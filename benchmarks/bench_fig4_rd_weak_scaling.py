@@ -1,0 +1,41 @@
+"""F4: regenerate Figure 4 — RD weak scaling on the four platforms.
+
+Prints the per-phase series (assembly / preconditioner / solve / total)
+for 1..1000 MPI processes at 20^3 elements per process, with the
+platform truncations of §VII.A.
+"""
+
+from repro.core.reporting import ascii_chart, ascii_table, rows_to_csv
+from repro.harness import (
+    experiment_fig4_rd_weak_scaling,
+    weak_scaling_rows,
+    weak_scaling_series,
+)
+
+
+def test_fig4_rd_weak_scaling(benchmark, save_artifact):
+    table = benchmark(experiment_fig4_rd_weak_scaling)
+
+    # Shape assertions (the figure's story):
+    assert table.feasible_max("puma") == 125
+    assert table.feasible_max("ellipse") == 512
+    assert table.feasible_max("lagrange") == 343
+    assert table.feasible_max("ec2") == 1000
+    # lagrange alone keeps weak scaling beyond 125.
+    assert table.point("lagrange", 343).total_time < 1.6 * table.point("lagrange", 1).total_time
+    assert table.point("ec2", 1000).total_time > 15 * table.point("ec2", 1).total_time
+
+    parts = ["Figure 4 — RD weak scaling (s/iteration), 20^3 elements/process\n"]
+    for phase in ("assembly", "preconditioner", "solve", "total"):
+        headers, rows = weak_scaling_rows(table, phase)
+        parts.append(f"[{phase}]")
+        parts.append(ascii_table(headers, rows))
+    parts.append(
+        ascii_chart(
+            weak_scaling_series(table, "total"),
+            title="total max iteration time vs ranks (log y)",
+        )
+    )
+    save_artifact("fig4_rd_weak_scaling.txt", "\n".join(parts))
+    headers, rows = weak_scaling_rows(table, "total")
+    save_artifact("fig4_rd_weak_scaling.csv", rows_to_csv(headers, rows))

@@ -1,0 +1,46 @@
+"""F5: regenerate Figure 5 — Navier-Stokes weak scaling."""
+
+from repro.core.reporting import ascii_chart, ascii_table, rows_to_csv
+from repro.harness import (
+    experiment_fig4_rd_weak_scaling,
+    experiment_fig5_ns_weak_scaling,
+    weak_scaling_rows,
+    weak_scaling_series,
+)
+
+
+def test_fig5_ns_weak_scaling(benchmark, save_artifact):
+    table = benchmark(experiment_fig5_ns_weak_scaling)
+
+    # "This test does not scale well in any range" — even 1 -> 8 grows.
+    for name in table.platforms():
+        assert table.point(name, 8).total_time > 1.2 * table.point(name, 1).total_time
+    # "Again the most efficient machine is the HPC lagrange cluster."
+    for p in (125, 343):
+        lag = table.point("lagrange", p).total_time
+        for other in ("puma", "ellipse", "ec2"):
+            pt = table.point(other, p)
+            if pt.feasible:
+                assert lag < pt.total_time
+    # NS scales worse than RD on every platform.
+    rd = experiment_fig4_rd_weak_scaling()
+    for name in table.platforms():
+        p_max = min(table.feasible_max(name), 125)
+        ns_growth = table.point(name, p_max).total_time / table.point(name, 1).total_time
+        rd_growth = rd.point(name, p_max).total_time / rd.point(name, 1).total_time
+        assert ns_growth > rd_growth
+
+    parts = ["Figure 5 — NS weak scaling (s/iteration), 20^3 elements/process\n"]
+    for phase in ("assembly", "preconditioner", "solve", "total"):
+        headers, rows = weak_scaling_rows(table, phase)
+        parts.append(f"[{phase}]")
+        parts.append(ascii_table(headers, rows))
+    parts.append(
+        ascii_chart(
+            weak_scaling_series(table, "total"),
+            title="total max iteration time vs ranks (log y)",
+        )
+    )
+    save_artifact("fig5_ns_weak_scaling.txt", "\n".join(parts))
+    headers, rows = weak_scaling_rows(table, "total")
+    save_artifact("fig5_ns_weak_scaling.csv", rows_to_csv(headers, rows))

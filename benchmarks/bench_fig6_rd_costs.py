@@ -1,0 +1,43 @@
+"""F6: regenerate Figure 6 — RD per-iteration costs on all platforms.
+
+Four platform curves plus the paper's "ec2 mix" cost-aware strategy
+curve; whole-node billing inflates EC2 at 1 and 8 processes.
+"""
+
+from repro.core.reporting import ascii_chart, ascii_table, rows_to_csv
+from repro.harness import (
+    experiment_fig6_rd_costs,
+    weak_scaling_rows,
+    weak_scaling_series,
+)
+
+
+def test_fig6_rd_costs(benchmark, save_artifact):
+    table = benchmark(experiment_fig6_rd_costs)
+
+    assert "ec2 mix" in table.platforms()
+    # Whole-node charging: EC2 cost/iteration is flat from 1 to 8 ranks
+    # (same single instance billed), unlike the per-core platforms.
+    ec2_1 = table.point("ec2", 1).cost_per_iteration
+    ec2_8 = table.point("ec2", 8).cost_per_iteration
+    puma_1 = table.point("puma", 1).cost_per_iteration
+    puma_8 = table.point("puma", 8).cost_per_iteration
+    assert ec2_8 / ec2_1 < 2.0
+    assert puma_8 / puma_1 > 4.0
+    # The mix curve is the cheapest cloud option everywhere.
+    for p in (27, 125, 1000):
+        assert (
+            table.point("ec2 mix", p).cost_per_iteration
+            < table.point("ec2", p).cost_per_iteration / 4
+        )
+
+    headers, rows = weak_scaling_rows(table, "cost")
+    text = "Figure 6 — RD cost per iteration [$]\n\n" + ascii_table(
+        headers, rows, fmt="{:.4f}"
+    )
+    text += "\n" + ascii_chart(
+        weak_scaling_series(table, "cost"),
+        title="cost per iteration [$] vs ranks (log y)",
+    )
+    save_artifact("fig6_rd_costs.txt", text)
+    save_artifact("fig6_rd_costs.csv", rows_to_csv(headers, rows))

@@ -1,0 +1,27 @@
+"""§VI: regenerate the porting-effort narrative (man-hours per platform)."""
+
+from repro.core.reporting import ascii_table
+from repro.harness import experiment_porting_effort
+
+
+def test_porting_effort(benchmark, save_artifact):
+    efforts = benchmark(experiment_porting_effort)
+
+    # The paper's numbers: nothing at home, ~8 man-hours on ellipse and
+    # lagrange, about a working day on EC2 including the cloud actions.
+    assert efforts["puma"]["total_hours"] == 0.0
+    assert 6 <= efforts["ellipse"]["total_hours"] <= 10
+    assert 5 <= efforts["lagrange"]["total_hours"] <= 10
+    assert efforts["ec2"]["total_hours"] > efforts["ellipse"]["total_hours"]
+
+    lines = ["Porting effort per platform (paper §VI):", ""]
+    headers = ["platform", "man-hours", "installed packages"]
+    rows = [
+        [name, data["total_hours"], len(data["missing_packages"])]
+        for name, data in efforts.items()
+    ]
+    lines.append(ascii_table(headers, rows))
+    for name, data in efforts.items():
+        lines.append(f"\n--- {name} ---")
+        lines.extend(f"  {a}" for a in data["actions"])
+    save_artifact("porting_effort.txt", "\n".join(lines))

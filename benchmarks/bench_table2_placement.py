@@ -1,0 +1,49 @@
+"""T2: regenerate Table II — EC2 full vs mix assemblies.
+
+Compares the fully paid single-placement-group 63-node assembly with
+the spot+paid mix across four placement groups: average iteration time
+and cost per iteration for the 10 rank counts.
+"""
+
+import pytest
+
+from repro.core.reporting import ascii_table, rows_to_csv
+from repro.harness import experiment_table2_placement
+
+from repro.harness.paper_data import PAPER_TABLE2
+
+PAPER = {
+    mpi: (row.nodes, row.full_time_s, row.full_real_cost, row.mix_time_s, row.mix_est_cost)
+    for mpi, row in PAPER_TABLE2.items()
+}
+
+
+def test_table2_placement_groups(benchmark, save_artifact):
+    rows = benchmark(experiment_table2_placement)
+
+    for row in rows:
+        nodes, f_time, f_cost, m_time, _m_cost = PAPER[row.mpi]
+        assert row.nodes == nodes
+        # Shape: within the calibration band of the measured values.
+        assert row.full_time_s == pytest.approx(f_time, rel=0.40)
+        # The paper's headline: no significant single-group benefit...
+        assert row.mix_time_s == pytest.approx(row.full_time_s, rel=0.20)
+        # ...despite costing ~4x more.
+        assert row.full_real_cost / row.mix_est_cost == pytest.approx(4.44, rel=0.25)
+
+    headers = ["# mpi", "#", "full time[s]", "full real cost[$]",
+               "mix time[s]", "mix est. cost[$]"]
+    out_rows = [
+        [r.mpi, r.nodes, r.full_time_s, r.full_real_cost, r.mix_time_s, r.mix_est_cost]
+        for r in rows
+    ]
+    text = "Table II — EC2 cc2.8xlarge assemblies: full vs mix\n\n"
+    text += ascii_table(headers, out_rows, fmt="{:.4f}")
+    text += "\npaper (measured 2012):\n"
+    text += ascii_table(
+        headers,
+        [[mpi, *vals] for mpi, vals in PAPER.items()],
+        fmt="{:.4f}",
+    )
+    save_artifact("table2_placement.txt", text)
+    save_artifact("table2_placement.csv", rows_to_csv(headers, out_rows))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper-artifact benchmark writes its regenerated table/figure to
+``benchmarks/output/`` so the numbers are inspectable after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a named text artifact; returns the path."""
+
+    def _save(name: str, text: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(text)
+        return path
+
+    return _save

@@ -1,0 +1,69 @@
+"""Distributed execution over the virtual-time MPI runtime.
+
+Runs the RD solver SPMD on simulated puma (1 GbE) and simulated
+lagrange (InfiniBand) fabrics: the *numerics are identical* (both pass
+the exactness check) while the virtual clocks diverge with the
+interconnect — the essence of the paper's 'secondary heterogeneity'.
+
+Run:  python examples/distributed_rd.py
+"""
+
+from repro.apps.reaction_diffusion import RDProblem, run_rd_distributed
+from repro.core.reporting import ascii_table
+from repro.network.model import NetworkModel
+from repro.network.topology import ClusterTopology
+from repro.platforms import lagrange, puma
+from repro.simmpi import run_spmd
+
+
+def run_on(platform, num_ranks: int):
+    problem = RDProblem(mesh_shape=(6, 6, 6), dt=0.05, num_steps=6)
+    # One rank per node to isolate the fabric difference.
+    topology = ClusterTopology(num_ranks, 1, NetworkModel(platform.interconnect))
+
+    def main(comm):
+        _owned, log, err = run_rd_distributed(
+            comm,
+            problem,
+            preconditioner="block-jacobi",
+            discard=2,
+            cpu_speed_factor=platform.node.cpu.sustained_gflops,
+        )
+        avg = log.averages()
+        return err, avg.assembly, avg.preconditioner, avg.solve
+
+    result = run_spmd(main, num_ranks, topology=topology, real_timeout=120.0)
+    err = max(r[0] for r in result.returns)
+    assembly = max(r[1] for r in result.returns)
+    precond = max(r[2] for r in result.returns)
+    solve = max(r[3] for r in result.returns)
+    return err, assembly, precond, solve, result.total_bytes
+
+
+def main() -> None:
+    num_ranks = 4
+    print(f"RD (6^3 elements, Q2, BDF2) on {num_ranks} simulated ranks,")
+    print("executed for real through the virtual-time MPI runtime:\n")
+    rows = []
+    for platform in (puma, lagrange):
+        err, assembly, precond, solve, total_bytes = run_on(platform, num_ranks)
+        rows.append([
+            f"{platform.name} ({platform.interconnect.name})",
+            f"{err:.1e}",
+            f"{assembly * 1e3:.1f}",
+            f"{precond * 1e3:.2f}",
+            f"{solve * 1e3:.1f}",
+            f"{total_bytes / 1e6:.1f}",
+        ])
+    print(ascii_table(
+        ["platform", "nodal err", "assembly [ms]", "precond [ms]",
+         "solve [ms]", "MB moved"],
+        rows,
+    ))
+    print("\nSame bytes, same (exact) answer - different virtual clocks.")
+    print("The solve phase carries the halo exchanges and allreduces, so")
+    print("it is where the InfiniBand advantage shows.")
+
+
+if __name__ == "__main__":
+    main()

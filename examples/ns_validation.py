@@ -1,0 +1,56 @@
+"""Figure 2 companion: the Ethier-Steinman Navier-Stokes benchmark.
+
+Verifies the exact solution satisfies the NSE, then runs the projection
+solver and shows second-order spatial convergence of the velocity — the
+validation a CFD practitioner would demand before trusting any of the
+timing numbers.
+
+Run:  python examples/ns_validation.py
+"""
+
+import numpy as np
+
+from repro.apps.exact import EthierSteinmanSolution
+from repro.apps.navier_stokes import NSProblem, NSSolver
+from repro.core.reporting import ascii_table
+
+
+def main() -> None:
+    exact = EthierSteinmanSolution()
+
+    # -- the exact solution is a real NSE solution ------------------------
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(-0.9, 0.9, size=(500, 3))
+    t_fig = 0.003  # the paper's Figure 2 time
+    div = np.max(np.abs(exact.divergence(pts, t_fig)))
+    mom = np.max(np.abs(exact.momentum_residual(pts, t_fig)))
+    speed = np.linalg.norm(exact.velocity(pts, t_fig), axis=1)
+    print(f"Ethier-Steinman solution at t = {t_fig}s (a = pi/4, d = pi/2):")
+    print(f"  |velocity| range: [{speed.min():.3f}, {speed.max():.3f}]")
+    print(f"  max |div u|      : {div:.2e}   (divergence-free)")
+    print(f"  max NSE residual : {mom:.2e}   (momentum equations hold)")
+
+    # -- convergence of the flow solver ------------------------------------
+    print("\nBDF2 + incremental projection, simultaneous space-time refinement:")
+    rows = []
+    previous = None
+    for shape, dt in [((4, 4, 4), 0.002), ((8, 8, 8), 0.001), ((12, 12, 12), 0.0005)]:
+        steps = round(0.012 / dt) - 1
+        solver = NSSolver(NSProblem(mesh_shape=shape, dt=dt, num_steps=steps))
+        solver.run()
+        err = solver.velocity_error()
+        rate = "" if previous is None else f"{np.log(previous / err) / np.log(shape[0] / prev_n):.2f}"
+        rows.append([f"{shape[0]}^3", dt, f"{err:.4e}", rate,
+                     f"{solver.pressure_error():.3f}",
+                     f"{solver.divergence_norm():.2e}"])
+        previous, prev_n = err, shape[0]
+    print(ascii_table(
+        ["mesh", "dt", "velocity L2 err", "order", "pressure err", "weak div"],
+        rows,
+    ))
+    print("Velocity converges at ~2nd order; the divergence shrinks with")
+    print("the startup transient - the behaviour expected of the scheme.")
+
+
+if __name__ == "__main__":
+    main()

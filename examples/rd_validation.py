@@ -1,0 +1,57 @@
+"""Figure 1 companion: the RD manufactured solution at t = 2 s.
+
+The paper's Figure 1 plots 25 isosurfaces (0.5 apart) of
+u = t^2 (x1^2 + x2^2 + x3^2) inside the unit cube at t = 2 s.  Instead
+of rendering, this example verifies the numbers behind the plot: the
+solution range, the isosurface levels, and — the actual point of the
+manufactured solution — that the discrete solver reproduces it exactly.
+
+Run:  python examples/rd_validation.py
+"""
+
+import numpy as np
+
+from repro.apps.exact import RDManufacturedSolution
+from repro.apps.reaction_diffusion import RDProblem, RDSolver
+from repro.core.reporting import ascii_table
+
+
+def main() -> None:
+    exact = RDManufacturedSolution()
+
+    # -- the figure's content ------------------------------------------------
+    t = 2.0
+    corners = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+    lo, hi = exact(corners, t)
+    levels = exact.isosurface_levels()
+    print(f"u(x, t=2s) spans [{lo:.1f}, {hi:.1f}] on the unit cube")
+    print(f"figure 1 isosurface levels: {levels[0]:.1f}, {levels[1]:.1f}, ... "
+          f"{levels[-1]:.1f}  ({len(levels)} levels, spacing 0.5)")
+    inside = np.count_nonzero(levels < hi)
+    print(f"levels inside the solution range: {inside}/{len(levels)}")
+
+    # -- PDE residual check --------------------------------------------------
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 1, size=(1000, 3))
+    residual = np.max(np.abs(exact.residual(pts, t)))
+    print(f"\nPDE residual of the manufactured solution: {residual:.2e}")
+
+    # -- solver exactness under refinement ----------------------------------
+    print("\nDiscrete solution vs exact (Q2 + BDF2 - no discretization error):")
+    rows = []
+    for n in (4, 6, 8):
+        solver = RDSolver(
+            RDProblem(mesh_shape=(n, n, n), dt=0.05, t0=1.5, num_steps=10),
+            discard=2,
+        )
+        solver.run()
+        rows.append([f"{n}^3", solver.dofmap.num_dofs,
+                     f"{solver.nodal_error():.2e}",
+                     f"{solver.l2_solution_error():.2e}"])
+    print(ascii_table(["mesh", "dofs", "max nodal err", "L2 err"], rows))
+    print("Both error columns sit at solver tolerance for every mesh -")
+    print("the 'mathematical correctness' check of paper §IV.A.")
+
+
+if __name__ == "__main__":
+    main()

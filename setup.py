@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so the package installs in environments
+without the `wheel` package (offline boxes where PEP 660 editable builds
+cannot fetch build requirements): `pip install -e . --no-build-isolation
+--no-use-pep517` falls back to this file.
+"""
+
+from setuptools import setup
+
+setup()

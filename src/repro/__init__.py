@@ -1,0 +1,51 @@
+"""repro: reproduction of "Experiences with Target-Platform Heterogeneity
+in Clouds, Grids, and On-Premises Resources" (Emory TR-2012-004).
+
+The public API re-exports the objects a downstream user needs most; the
+subpackages remain importable directly for everything else:
+
+* ``repro.fem`` / ``repro.la`` / ``repro.partition`` — the numerical
+  substrate (LifeV / Trilinos / ParMETIS work-alikes);
+* ``repro.simmpi`` / ``repro.network`` — the virtual-time MPI runtime
+  and interconnect models;
+* ``repro.platforms`` / ``repro.cloud`` / ``repro.costs`` — the four
+  target platforms, the EC2 simulation, and the dollar models;
+* ``repro.apps`` / ``repro.perfmodel`` / ``repro.harness`` — the two
+  paper applications, the calibrated performance model, and one
+  experiment generator per paper table/figure;
+* ``repro.core`` — the deployment/characterization framework.
+"""
+
+from repro.errors import ReproError
+from repro.apps.navier_stokes import NSProblem, NSSolver
+from repro.apps.reaction_diffusion import RDProblem, RDSolver
+from repro.core.api import best_platform, compare_platforms
+from repro.core.deployment import deploy_and_run
+from repro.platforms.catalog import (
+    all_platforms,
+    ec2_cc28xlarge,
+    ellipse,
+    lagrange,
+    platform_by_name,
+    puma,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "RDProblem",
+    "RDSolver",
+    "NSProblem",
+    "NSSolver",
+    "best_platform",
+    "compare_platforms",
+    "deploy_and_run",
+    "all_platforms",
+    "platform_by_name",
+    "puma",
+    "ellipse",
+    "lagrange",
+    "ec2_cc28xlarge",
+    "__version__",
+]

@@ -1,0 +1,254 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro table1                 # Table I
+    python -m repro porting               # §VI man-hours
+    python -m repro fig4 | fig5           # weak-scaling figures
+    python -m repro table2                # EC2 full vs mix
+    python -m repro fig6 | fig7           # cost figures
+    python -m repro compare --app rd --ranks 64
+    python -m repro script --platform ec2 # provisioning shell script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.characterization import render_table1
+from repro.core.reporting import ascii_chart, ascii_table
+
+
+def _cmd_table1(_args) -> str:
+    return render_table1()
+
+
+def _cmd_porting(_args) -> str:
+    from repro.harness import experiment_porting_effort
+
+    efforts = experiment_porting_effort()
+    lines = []
+    for name, data in efforts.items():
+        lines.append(f"=== {name} ({data['total_hours']:.1f} man-hours) ===")
+        lines.extend(f"  {a}" for a in data["actions"])
+    return "\n".join(lines)
+
+
+def _weak_scaling_text(table, value: str, title: str) -> str:
+    from repro.harness import weak_scaling_rows, weak_scaling_series
+
+    headers, rows = weak_scaling_rows(table, value)
+    fmt = "{:.4f}" if value == "cost" else "{:.4g}"
+    out = title + "\n\n" + ascii_table(headers, rows, fmt=fmt)
+    out += "\n" + ascii_chart(weak_scaling_series(table, value), title=f"{value} vs ranks")
+    return out
+
+
+def _cmd_fig4(_args) -> str:
+    from repro.harness import experiment_fig4_rd_weak_scaling
+
+    return _weak_scaling_text(
+        experiment_fig4_rd_weak_scaling(), "total",
+        "Figure 4 - RD weak scaling (s/iteration)",
+    )
+
+
+def _cmd_fig5(_args) -> str:
+    from repro.harness import experiment_fig5_ns_weak_scaling
+
+    return _weak_scaling_text(
+        experiment_fig5_ns_weak_scaling(), "total",
+        "Figure 5 - NS weak scaling (s/iteration)",
+    )
+
+
+def _cmd_table2(_args) -> str:
+    from repro.harness import experiment_table2_placement
+
+    rows = [
+        [r.mpi, r.nodes, r.full_time_s, r.full_real_cost, r.mix_time_s, r.mix_est_cost]
+        for r in experiment_table2_placement()
+    ]
+    return "Table II - EC2 full vs mix assemblies\n\n" + ascii_table(
+        ["# mpi", "#", "full time[s]", "real cost[$]", "mix time[s]", "est. cost[$]"],
+        rows,
+        fmt="{:.4f}",
+    )
+
+
+def _cmd_fig6(_args) -> str:
+    from repro.harness import experiment_fig6_rd_costs
+
+    return _weak_scaling_text(
+        experiment_fig6_rd_costs(), "cost", "Figure 6 - RD cost per iteration [$]"
+    )
+
+
+def _cmd_fig7(_args) -> str:
+    from repro.harness import experiment_fig7_ns_costs
+
+    return _weak_scaling_text(
+        experiment_fig7_ns_costs(), "cost", "Figure 7 - NS cost per iteration [$]"
+    )
+
+
+def _cmd_compare(args) -> str:
+    from repro.core.api import compare_platforms
+
+    deployments, expenses = compare_platforms(
+        args.app, args.ranks, num_iterations=args.iterations
+    )
+    rows = []
+    for d in deployments:
+        rows.append([d.platform, d.nodes, f"{d.queue_wait_s / 3600:.2f}",
+                     f"{d.phases.total:.2f}", f"{d.run_cost_dollars:.2f}"])
+    out = ascii_table(
+        ["platform", "nodes", "wait [h]", "s/iter", "cost [$]"], rows
+    )
+    infeasible = [e for e in expenses if not e.feasible]
+    for e in infeasible:
+        out += f"\n{e.platform}: infeasible - {e.infeasibility_reason}"
+    return out
+
+
+def _cmd_validate(_args) -> str:
+    """Run the quick correctness gauntlet: RD exactness, NS convergence,
+    distributed == sequential."""
+    import numpy as np
+
+    from repro.apps.navier_stokes import NSProblem, NSSolver
+    from repro.apps.reaction_diffusion import RDProblem, RDSolver, run_rd_distributed
+    from repro.simmpi import run_spmd
+
+    lines = []
+
+    solver = RDSolver(RDProblem(mesh_shape=(5, 5, 5), num_steps=4),
+                      assembly_mode="combine")
+    solver.run()
+    err = solver.nodal_error()
+    ok = err < 1e-9
+    lines.append(f"[{'PASS' if ok else 'FAIL'}] RD exactness (Q2+BDF2): "
+                 f"nodal error {err:.2e}")
+
+    errors = []
+    for shape, dt in [((4, 4, 4), 0.002), ((8, 8, 8), 0.001)]:
+        ns = NSSolver(NSProblem(mesh_shape=shape, dt=dt,
+                                num_steps=round(0.012 / dt) - 1))
+        ns.run()
+        errors.append(ns.velocity_error())
+    rate = float(np.log2(errors[0] / errors[1]))
+    ok2 = rate > 1.6
+    lines.append(f"[{'PASS' if ok2 else 'FAIL'}] NS convergence "
+                 f"(Ethier-Steinman): velocity order {rate:.2f}")
+
+    prob = RDProblem(mesh_shape=(4, 4, 4), num_steps=2)
+
+    def main(comm):
+        return run_rd_distributed(comm, prob, discard=0)[2]
+
+    dist_err = max(run_spmd(main, 2, real_timeout=60.0).returns)
+    ok3 = dist_err < 1e-8
+    lines.append(f"[{'PASS' if ok3 else 'FAIL'}] distributed RD over simmpi: "
+                 f"nodal error {dist_err:.2e}")
+
+    lines.append("all checks passed" if ok and ok2 and ok3 else "CHECKS FAILED")
+    return "\n".join(lines)
+
+
+def _cmd_experiments(_args) -> str:
+    """Paper-vs-measured summary for every numeric artifact."""
+    from repro.harness import (
+        experiment_fig4_rd_weak_scaling,
+        experiment_porting_effort,
+        experiment_table2_placement,
+    )
+    from repro.harness.paper_data import (
+        PAPER_MAX_RANKS,
+        PAPER_PORTING_HOURS,
+        PAPER_TABLE2,
+    )
+
+    lines = ["Paper vs reproduction", "=" * 60, ""]
+
+    lines.append("Porting effort [man-hours] (paper §VI is approximate):")
+    efforts = experiment_porting_effort()
+    rows = [
+        [name, PAPER_PORTING_HOURS[name], data["total_hours"]]
+        for name, data in efforts.items()
+    ]
+    lines.append(ascii_table(["platform", "paper ~", "measured"], rows))
+
+    lines.append("Weak-scaling ceilings (§VII.A):")
+    fig4 = experiment_fig4_rd_weak_scaling()
+    rows = [
+        [name, PAPER_MAX_RANKS[name], fig4.feasible_max(name)]
+        for name in fig4.platforms()
+    ]
+    lines.append(ascii_table(["platform", "paper", "measured"], rows))
+
+    lines.append("Table II, RD on EC2 (time s/iter and cost $/iter):")
+    t2 = experiment_table2_placement()
+    rows = []
+    for row in t2:
+        paper = PAPER_TABLE2[row.mpi]
+        rows.append([
+            row.mpi,
+            paper.full_time_s, row.full_time_s,
+            paper.full_real_cost, row.full_real_cost,
+            paper.mix_est_cost, row.mix_est_cost,
+        ])
+    lines.append(ascii_table(
+        ["ranks", "t paper", "t ours", "$ paper", "$ ours",
+         "$mix paper", "$mix ours"],
+        rows, fmt="{:.4f}",
+    ))
+    lines.append("See EXPERIMENTS.md for the full per-artifact record.")
+    return "\n".join(lines)
+
+
+def _cmd_script(args) -> str:
+    from repro.platforms.catalog import platform_by_name
+    from repro.platforms.provisioning import plan_provisioning
+    from repro.platforms.scripts import provisioning_script
+
+    platform = platform_by_name(args.platform)
+    return provisioning_script(plan_provisioning(platform), platform)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the target-platform heterogeneity paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in [
+        ("table1", _cmd_table1), ("porting", _cmd_porting),
+        ("fig4", _cmd_fig4), ("fig5", _cmd_fig5), ("table2", _cmd_table2),
+        ("fig6", _cmd_fig6), ("fig7", _cmd_fig7), ("validate", _cmd_validate),
+        ("experiments", _cmd_experiments),
+    ]:
+        p = sub.add_parser(name, help=fn.__doc__)
+        p.set_defaults(func=fn)
+    compare = sub.add_parser("compare", help="deploy an app across all platforms")
+    compare.add_argument("--app", choices=("rd", "ns"), default="rd")
+    compare.add_argument("--ranks", type=int, default=64)
+    compare.add_argument("--iterations", type=int, default=100)
+    compare.set_defaults(func=_cmd_compare)
+    script = sub.add_parser("script", help="emit a provisioning shell script")
+    script.add_argument("--platform", required=True,
+                        choices=("puma", "ellipse", "lagrange", "ec2"))
+    script.set_defaults(func=_cmd_script)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

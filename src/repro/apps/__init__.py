@@ -1,0 +1,36 @@
+"""The paper's two test applications.
+
+* :mod:`repro.apps.reaction_diffusion` — the RD equation (§IV.A) with
+  the manufactured solution ``u = t^2 (x1^2 + x2^2 + x3^2)``, solved
+  with Q2 elements and BDF2 so the discrete solution is exact up to
+  solver tolerance (the paper's correctness check);
+* :mod:`repro.apps.navier_stokes` — incompressible Navier-Stokes
+  (§IV.B) on the Ethier-Steinman benchmark, BDF2 + semi-implicit
+  advection + incremental pressure projection.
+
+Both expose the paper's phase structure (fig. 3): assembly (ii),
+preconditioner (iiia), solve (iiib), instrumented per iteration by
+:mod:`repro.apps.phases`.
+"""
+
+from repro.apps.exact import RDManufacturedSolution, EthierSteinmanSolution
+from repro.apps.phases import PhaseClock, IterationPhases, PhaseLog
+from repro.apps.reaction_diffusion import RDProblem, RDSolver, run_rd_distributed
+from repro.apps.navier_stokes import NSProblem, NSSolver
+from repro.apps.workload import AppWorkload, RD_WORKLOAD, NS_WORKLOAD
+
+__all__ = [
+    "RDManufacturedSolution",
+    "EthierSteinmanSolution",
+    "PhaseClock",
+    "IterationPhases",
+    "PhaseLog",
+    "RDProblem",
+    "RDSolver",
+    "run_rd_distributed",
+    "NSProblem",
+    "NSSolver",
+    "AppWorkload",
+    "RD_WORKLOAD",
+    "NS_WORKLOAD",
+]

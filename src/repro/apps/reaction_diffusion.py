@@ -1,0 +1,309 @@
+"""The reaction-diffusion application (§IV.A).
+
+Solves ``du/dt - (1/t^2) lap(u) - (2/t) u = -6`` on the unit cube with
+Q2 elements and BDF2, prescribing the manufactured solution on the
+boundary.  Because the manufactured solution is quadratic in both space
+and time, the Q2/BDF2 discretization commits *no* discretization error:
+the computed nodal values match the exact solution to solver tolerance,
+which is the correctness check the paper ran on every platform.
+
+The weak form per time step (t = t^{n+1}):
+
+    [ (alpha0/dt) M + (1/t^2) K - (2/t) M ] u^{n+1}
+        = F(-6) + (1/dt) M sum_i beta_i u^{n+1-i}
+
+with Dirichlet data from the exact solution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.apps.exact import RDManufacturedSolution
+from repro.apps.phases import IterationPhases, PhaseClock, PhaseLog
+from repro.fem.assembly import assemble_load, assemble_mass, assemble_stiffness
+from repro.fem.bdf import BDF
+from repro.fem.boundary import apply_dirichlet
+from repro.fem.dofmap import DofMap
+from repro.fem.function import l2_error
+from repro.fem.mesh import StructuredBoxMesh
+from repro.la.krylov import cg
+from repro.la.preconditioners import make_preconditioner
+
+
+@dataclass(frozen=True)
+class RDProblem:
+    """Problem definition: mesh, element order, time grid.
+
+    The paper's weak-scaling runs load each MPI process with a 20^3
+    element mesh; ``mesh_shape`` is the *global* mesh.
+    """
+
+    mesh_shape: tuple[int, int, int] = (20, 20, 20)
+    order: int = 2
+    dt: float = 0.05
+    t0: float = 1.0
+    num_steps: int = 10
+    bdf_order: int = 2
+
+    def __post_init__(self) -> None:
+        if self.t0 <= 0:
+            raise ReproError("the RD coefficients are singular at t <= 0; pick t0 > 0")
+        if self.num_steps < 1:
+            raise ReproError(f"need at least one step, got {self.num_steps}")
+        # SPD requirement for CG: (alpha0/dt) must dominate the 2/t reaction.
+        alpha0 = 1.5 if self.bdf_order == 2 else 1.0
+        if alpha0 / self.dt <= 2.0 / self.t0:
+            raise ReproError(
+                f"dt={self.dt} too large: operator loses positive definiteness "
+                f"(alpha0/dt = {alpha0 / self.dt:.2f} <= 2/t0 = {2 / self.t0:.2f})"
+            )
+
+    def mesh(self) -> StructuredBoxMesh:
+        """The unit-cube mesh of the problem."""
+        return StructuredBoxMesh(self.mesh_shape)
+
+
+class RDSolver:
+    """Sequential RD solver with per-iteration phase instrumentation.
+
+    ``assembly_mode``:
+
+    * ``"full"`` — re-run the FEM assembly of mass and stiffness every
+      step (what LifeV does for time-dependent coefficients; gives the
+      assembly phase its real cost);
+    * ``"combine"`` — assemble M and K once, combine per step (fast path
+      for tests; assembly phase then measures the sparse combination).
+    """
+
+    def __init__(
+        self,
+        problem: RDProblem,
+        preconditioner: str = "jacobi",
+        tol: float = 1e-12,
+        assembly_mode: str = "full",
+        discard: int = 5,
+    ):
+        if assembly_mode not in ("full", "combine"):
+            raise ReproError(f"unknown assembly_mode {assembly_mode!r}")
+        self.problem = problem
+        self.exact = RDManufacturedSolution()
+        self.dofmap = DofMap(problem.mesh(), problem.order)
+        self.preconditioner_name = preconditioner
+        self.tol = tol
+        self.assembly_mode = assembly_mode
+        self.clock = PhaseClock()
+        self.log = PhaseLog(discard=discard)
+        self.solve_iterations: list[int] = []
+
+        self.bdf = BDF(problem.bdf_order, problem.dt)
+        coords = self.dofmap.dof_coords
+        # Seed the BDF history with exact states (they are representable
+        # in Q2, so this introduces no error).
+        times = [problem.t0 + i * problem.dt for i in range(problem.bdf_order)]
+        self.bdf.initialize([self.exact(coords, t) for t in times])
+        self.t = times[-1]
+
+        if assembly_mode == "combine":
+            self._mass = assemble_mass(self.dofmap)
+            self._stiffness = assemble_stiffness(self.dofmap)
+        else:
+            self._mass = assemble_mass(self.dofmap)  # history term needs M anyway
+            self._stiffness = None
+
+    # -- single step ------------------------------------------------------
+
+    def _assemble_system(self, t_new: float) -> tuple[sp.csr_matrix, np.ndarray]:
+        alpha0 = self.bdf.alpha0
+        dt = self.problem.dt
+        mass_coeff = alpha0 / dt - 2.0 / t_new
+        if self.assembly_mode == "full":
+            matrix = (
+                assemble_mass(self.dofmap, coefficient=mass_coeff)
+                + assemble_stiffness(self.dofmap, coefficient=1.0 / t_new**2)
+            ).tocsr()
+        else:
+            matrix = (mass_coeff * self._mass + (1.0 / t_new**2) * self._stiffness).tocsr()
+        rhs = assemble_load(self.dofmap, self.exact.SOURCE_VALUE)
+        rhs = rhs + self._mass @ (self.bdf.history_rhs() / dt)
+        boundary = self.dofmap.boundary_dofs
+        values = self.exact(self.dofmap.dof_coords[boundary], t_new)
+        return apply_dirichlet(matrix, rhs, boundary, values, symmetric=True)
+
+    def step(self) -> IterationPhases:
+        """Advance one BDF2 step, timing the three phases."""
+        t_new = self.t + self.problem.dt
+        with self.clock.phase("assembly"):
+            matrix, rhs = self._assemble_system(t_new)
+        with self.clock.phase("preconditioner"):
+            precond = make_preconditioner(self.preconditioner_name, matrix)
+        with self.clock.phase("solve"):
+            result = cg(
+                matrix, rhs, x0=self.bdf.latest(), preconditioner=precond,
+                tol=self.tol, maxiter=5000, strict=True,
+            )
+        self.solve_iterations.append(result.iterations)
+        self.bdf.advance(result.x)
+        self.t = t_new
+        phases = self.clock.finish_iteration()
+        self.log.append(phases)
+        return phases
+
+    def run(self) -> PhaseLog:
+        """Run all steps; returns the phase log."""
+        for _ in range(self.problem.num_steps):
+            self.step()
+        return self.log
+
+    # -- correctness ---------------------------------------------------------
+
+    @property
+    def solution(self) -> np.ndarray:
+        """Current nodal solution values."""
+        return self.bdf.latest()
+
+    def nodal_error(self) -> float:
+        """Max nodal deviation from the exact solution at the current time."""
+        exact = self.exact(self.dofmap.dof_coords, self.t)
+        return float(np.max(np.abs(self.solution - exact)))
+
+    def l2_solution_error(self) -> float:
+        """L2 error against the exact solution at the current time."""
+        return l2_error(self.dofmap, self.solution, lambda p: self.exact(p, self.t))
+
+
+# ---------------------------------------------------------------------------
+# Distributed execution over simmpi
+# ---------------------------------------------------------------------------
+
+
+def slab_ownership(dofmap: DofMap, num_ranks: int) -> list[np.ndarray]:
+    """Geometric z-slab DOF ownership (contiguous in lattice numbering).
+
+    The lattice is numbered x-fastest, so splitting the flat index range
+    at z-plane boundaries gives each rank a contiguous slab whose halo
+    with the next rank is exactly one lattice plane — the same surface
+    structure a ParMETIS block partition produces.
+    """
+    mx, my, mz = dofmap.lattice_shape
+    if num_ranks > mz:
+        raise ReproError(
+            f"cannot slab-partition {mz} z-planes over {num_ranks} ranks"
+        )
+    plane = mx * my
+    bounds = np.linspace(0, mz, num_ranks + 1).round().astype(int)
+    return [
+        np.arange(bounds[r] * plane, bounds[r + 1] * plane, dtype=np.int64)
+        for r in range(num_ranks)
+    ]
+
+
+def run_rd_distributed(
+    comm,
+    problem: RDProblem,
+    preconditioner: str = "block-jacobi",
+    tol: float = 1e-12,
+    cpu_speed_factor: float = 1.0,
+    discard: int = 5,
+):
+    """SPMD RD solve over simmpi: executed numerics, virtual-time phases.
+
+    Local computation is measured with the wall clock and charged to the
+    rank's virtual clock scaled by ``cpu_speed_factor`` (a platform with
+    2x faster cores charges half the time); communication costs accrue
+    through the platform's network model inside the distributed CG.
+
+    Returns ``(owned_solution_values, PhaseLog, nodal_error)`` per rank;
+    the phase log carries *virtual* durations.
+    """
+    from repro.la.distributed import (
+        DistBlockJacobiPreconditioner,
+        DistJacobiPreconditioner,
+        DistMatrix,
+        dist_cg,
+    )
+
+    if cpu_speed_factor <= 0:
+        raise ReproError("cpu_speed_factor must be positive")
+
+    exact = RDManufacturedSolution()
+    dofmap = DofMap(problem.mesh(), problem.order)
+    ownership = slab_ownership(dofmap, comm.size)
+    owned = ownership[comm.rank]
+    coords = dofmap.dof_coords
+    bdf = BDF(problem.bdf_order, problem.dt)
+    times = [problem.t0 + i * problem.dt for i in range(problem.bdf_order)]
+    bdf.initialize([exact(coords, t) for t in times])
+    t = times[-1]
+
+    mass = assemble_mass(dofmap)
+    clock = PhaseClock(now=lambda: comm.time)
+    log = PhaseLog(discard=discard)
+
+    def charge(real_seconds: float) -> None:
+        comm.compute(real_seconds / cpu_speed_factor)
+
+    solution = bdf.latest()
+    for _ in range(problem.num_steps):
+        t_new = t + problem.dt
+        alpha0 = bdf.alpha0
+
+        with clock.phase("assembly"):
+            start = time.perf_counter()
+            mass_coeff = alpha0 / problem.dt - 2.0 / t_new
+            matrix = (
+                assemble_mass(dofmap, coefficient=mass_coeff)
+                + assemble_stiffness(dofmap, coefficient=1.0 / t_new**2)
+            ).tocsr()
+            rhs = assemble_load(dofmap, exact.SOURCE_VALUE)
+            rhs = rhs + mass @ (bdf.history_rhs() / problem.dt)
+            boundary = dofmap.boundary_dofs
+            values = exact(coords[boundary], t_new)
+            matrix, rhs = apply_dirichlet(matrix, rhs, boundary, values, symmetric=True)
+            dist = DistMatrix.from_global(comm, matrix, ownership=ownership)
+            charge(time.perf_counter() - start)
+
+        with clock.phase("preconditioner"):
+            start = time.perf_counter()
+            if preconditioner == "block-jacobi":
+                precond = DistBlockJacobiPreconditioner(dist)
+            elif preconditioner == "jacobi":
+                precond = DistJacobiPreconditioner(dist)
+            elif preconditioner in ("none", "identity"):
+                precond = None
+            else:
+                raise ReproError(
+                    f"unknown distributed preconditioner {preconditioner!r}"
+                )
+            charge(time.perf_counter() - start)
+
+        with clock.phase("solve"):
+            rhs_dist = dist.vector_from_global(rhs)
+            x0_dist = dist.vector_from_global(bdf.latest())
+            result = dist_cg(
+                dist, rhs_dist, x0=x0_dist, preconditioner=precond,
+                tol=tol, maxiter=5000,
+            )
+            full = dist.gather_global(
+                _vec(dist, result.x), root=0
+            )
+            full = comm.bcast(full, root=0)
+
+        bdf.advance(full)
+        solution = full
+        t = t_new
+        log.append(clock.finish_iteration())
+
+    nodal_error = float(np.max(np.abs(solution - exact(coords, t))))
+    return solution[owned], log, nodal_error
+
+
+def _vec(dist, owned_values):
+    from repro.la.distributed import DistVector
+
+    return DistVector(dist.comm, owned_values, dist.ghost_indices.size)

@@ -1,0 +1,29 @@
+"""The paper's contribution: cross-platform deployment & characterization.
+
+The ADAPT project's question — "how hard, slow, and expensive is it to
+run *this* application on *that* platform?" — becomes an executable
+pipeline: provision (porting effort), schedule (availability), execute
+(performance through the simulator/model), bill (cost), and compare.
+"""
+
+from repro.core.deployment import DeploymentReport, deploy_and_run
+from repro.core.characterization import (
+    characterization_matrix,
+    render_table1,
+    platform_gaps,
+)
+from repro.core.reporting import ascii_table, ascii_chart, rows_to_csv
+from repro.core.api import compare_platforms, best_platform
+
+__all__ = [
+    "DeploymentReport",
+    "deploy_and_run",
+    "characterization_matrix",
+    "render_table1",
+    "platform_gaps",
+    "ascii_table",
+    "ascii_chart",
+    "rows_to_csv",
+    "compare_platforms",
+    "best_platform",
+]

@@ -1,0 +1,118 @@
+"""End-to-end deployment: provision -> schedule -> execute -> bill.
+
+One call answers the paper's practical question for a given application
+and rank count on a given platform, producing a
+:class:`DeploymentReport` with every attribute of the study: porting
+effort, queue wait, per-iteration phase times, run time, and dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.apps.workload import AppWorkload
+from repro.costs.model import PlatformCostModel
+from repro.perfmodel.calibration import time_scale_for
+from repro.perfmodel.phases import PhaseModel, PhasePrediction
+from repro.platforms.limits import effective_max_ranks
+from repro.platforms.provisioning import ProvisioningPlan, plan_provisioning
+from repro.platforms.schedulers import JobRequest, make_scheduler
+from repro.platforms.spec import PlatformSpec
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Everything one deployment produced."""
+
+    platform: str
+    num_ranks: int
+    num_iterations: int
+    provisioning: ProvisioningPlan
+    queue_wait_s: float
+    launch_command: str
+    phases: PhasePrediction
+    runtime_s: float
+    run_cost_dollars: float
+    nodes: int
+
+    @property
+    def time_to_solution_s(self) -> float:
+        """Queue wait plus runtime (provisioning is a one-off)."""
+        return self.queue_wait_s + self.runtime_s
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable report."""
+        return (
+            f"{self.platform}: {self.num_ranks} ranks on {self.nodes} nodes | "
+            f"porting {self.provisioning.total_hours:.1f} man-h | "
+            f"wait {self.queue_wait_s / 3600:.2f} h | "
+            f"run {self.runtime_s:.1f} s "
+            f"({self.phases.total:.2f} s/iter x {self.num_iterations}) | "
+            f"cost ${self.run_cost_dollars:.2f}"
+        )
+
+
+def deploy_and_run(
+    platform: PlatformSpec,
+    workload: AppWorkload,
+    num_ranks: int,
+    num_iterations: int = 100,
+    elements_per_rank: int = 20**3,
+    core_hour_rate: float | None = None,
+    scheduler_seed: int = 0,
+) -> DeploymentReport:
+    """Run the full pipeline; raises :class:`PlatformError` when the
+    platform cannot execute the request (capacity or §VII.A ceilings).
+    """
+    if num_ranks < 1 or num_iterations < 1:
+        raise PlatformError("num_ranks and num_iterations must be >= 1")
+    limit = effective_max_ranks(platform)
+    if num_ranks > limit:
+        raise PlatformError(
+            f"{platform.name} cannot run {num_ranks} ranks "
+            f"(effective ceiling {limit}; paper §VII.A)"
+        )
+    required = workload.memory_per_rank_bytes(elements_per_rank)
+    available = platform.node.ram_per_core_gb * 1e9
+    if required > available:
+        raise PlatformError(
+            f"{platform.name}: {elements_per_rank} elements/rank need "
+            f"{required / 1e9:.2f} GB but the node offers "
+            f"{platform.node.ram_per_core_gb:.1f} GB per core "
+            f"(Table I 'RAM/core'; §VIII contrasts 1 GB/core 2006 nodes "
+            f"with cc2.8xlarge's 3.8 GB)"
+        )
+
+    provisioning = plan_provisioning(platform)
+
+    model = PhaseModel(
+        workload, platform,
+        elements_per_rank=elements_per_rank,
+        time_scale=time_scale_for(workload),
+    )
+    phases = model.predict(num_ranks)
+    runtime = phases.total * num_iterations
+
+    scheduler = make_scheduler(platform, seed=scheduler_seed)
+    outcome = scheduler.submit(JobRequest(num_ranks=num_ranks, walltime_s=runtime * 1.5))
+    if not outcome.accepted:
+        raise PlatformError(f"{platform.name} rejected the job: {outcome.reason}")
+
+    cost_model = PlatformCostModel.for_platform(platform)
+    if core_hour_rate is not None:
+        cost_model = cost_model.with_rate(core_hour_rate)
+    cost = cost_model.cost(num_ranks, runtime)
+
+    return DeploymentReport(
+        platform=platform.name,
+        num_ranks=num_ranks,
+        num_iterations=num_iterations,
+        provisioning=provisioning,
+        queue_wait_s=outcome.wait_s,
+        launch_command=outcome.launch_command,
+        phases=phases,
+        runtime_s=runtime,
+        run_cost_dollars=cost,
+        nodes=outcome.nodes_allocated,
+    )

@@ -1,0 +1,109 @@
+"""Plain-text tables, log-scale ASCII charts, and CSV output.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers do the rendering without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+from repro.errors import ExperimentError
+
+
+def ascii_table(
+    headers: list[str], rows: list[list], fmt: str = "{:.4g}", min_width: int = 8
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numeric cells go through ``fmt``; None renders as '-'.
+    """
+    if not headers:
+        raise ExperimentError("table needs headers")
+
+    def cell(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return fmt.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(min_width, len(h), *(len(r[i]) for r in text_rows)) if text_rows else max(min_width, len(h))
+        for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in text_rows:
+        out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = True,
+    title: str = "",
+) -> str:
+    """A crude multi-series scatter chart in text, log-y by default.
+
+    Each series is a list of (x, y); y values must be positive for the
+    log scale.  Missing/infeasible points should simply be absent.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts if math.isfinite(y)]
+    if not points:
+        raise ExperimentError("no finite points to chart")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if logy and min(ys) <= 0:
+        raise ExperimentError("log-scale chart requires positive y values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    y_lo, y_hi = ty(min(ys)), ty(max(ys))
+    x_lo, x_hi = min(xs), max(xs)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for x, y in pts:
+            if not math.isfinite(y):
+                continue
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    y_top = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_bot = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    for i, line in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        out.write(f"{label:>9} |" + "".join(line) + "\n")
+    out.write(" " * 10 + "+" + "-" * width + "\n")
+    out.write(f"{'':>10} {x_lo:<10.4g}{'':^{max(width - 22, 1)}}{x_hi:>10.4g}\n")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    out.write("legend: " + legend + "\n")
+    return out.getvalue()
+
+
+def rows_to_csv(headers: list[str], rows: list[list]) -> str:
+    """Minimal CSV rendering (no quoting needs in our data)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(
+            ",".join("" if v is None else str(v) for v in row)
+        )
+    return "\n".join(lines) + "\n"

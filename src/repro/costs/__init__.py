@@ -1,0 +1,28 @@
+"""Cost accounting and the paper's broader 'expense factor' analysis.
+
+§VII.D's per-iteration cost curves (Figures 6-7) come from simple
+published rates times measured time — with the twist that EC2 charges
+whole nodes.  §VIII's qualitative comparison folds in deployment effort
+and queue wait; :mod:`repro.costs.analysis` makes that an explicit
+multi-attribute record.
+"""
+
+from repro.costs.model import (
+    PlatformCostModel,
+    cost_per_iteration,
+    ec2_mix_estimated_cost,
+)
+from repro.costs.analysis import (
+    ExpenseReport,
+    expense_report,
+    rank_platforms,
+)
+
+__all__ = [
+    "PlatformCostModel",
+    "cost_per_iteration",
+    "ec2_mix_estimated_cost",
+    "ExpenseReport",
+    "expense_report",
+    "rank_platforms",
+]

@@ -1,0 +1,142 @@
+"""The paper's broader 'expense factor': time, money, effort, availability.
+
+§I promises a characterization of "deployment effort, actual and nominal
+costs, application performance, and availability (both in terms of
+resource size and time to gain access)".  :func:`expense_report`
+computes all four per platform for a given job, and
+:func:`rank_platforms` orders the candidates under user-supplied
+priorities — the 'selecting a utility provider' decision of the paper's
+abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.costs.model import PlatformCostModel
+from repro.platforms.provisioning import plan_provisioning
+from repro.platforms.limits import effective_max_ranks
+from repro.platforms.spec import PlatformSpec
+from repro.units import HOUR
+
+# The value of an experienced developer's hour, used to convert porting
+# effort to dollars for the aggregate score.  Any constant works for the
+# ranking; this one is a round 2012 figure.
+DEVELOPER_HOURLY_RATE = 50.0
+
+
+@dataclass(frozen=True)
+class ExpenseReport:
+    """Everything it costs to run a job on one platform."""
+
+    platform: str
+    feasible: bool
+    infeasibility_reason: str
+    runtime_s: float
+    run_cost_dollars: float
+    provisioning_hours: float
+    expected_wait_s: float
+    max_feasible_ranks: int
+
+    @property
+    def provisioning_cost_dollars(self) -> float:
+        """Porting effort converted to dollars."""
+        return self.provisioning_hours * DEVELOPER_HOURLY_RATE
+
+    @property
+    def time_to_solution_s(self) -> float:
+        """Queue wait + runtime (ignores provisioning, a one-off)."""
+        return self.expected_wait_s + self.runtime_s
+
+    def total_cost_dollars(self, amortize_provisioning_over_runs: int = 1) -> float:
+        """Run cost plus the (amortized) provisioning cost."""
+        if amortize_provisioning_over_runs < 1:
+            raise CostModelError("amortization run count must be >= 1")
+        return (
+            self.run_cost_dollars
+            + self.provisioning_cost_dollars / amortize_provisioning_over_runs
+        )
+
+
+def expense_report(
+    platform: PlatformSpec,
+    num_ranks: int,
+    runtime_s: float,
+    core_hour_rate: float | None = None,
+) -> ExpenseReport:
+    """Build the multi-attribute expense record for one job on one platform."""
+    if num_ranks < 1 or runtime_s < 0:
+        raise CostModelError("num_ranks must be >= 1 and runtime >= 0")
+    max_ranks = effective_max_ranks(platform)
+    feasible = num_ranks <= max_ranks
+    reason = ""
+    if not feasible:
+        if num_ranks > platform.total_cores:
+            reason = (
+                f"{num_ranks} ranks exceed the machine's "
+                f"{platform.total_cores} cores"
+            )
+        else:
+            reason = (
+                f"{num_ranks} ranks exceed the platform's observed execution "
+                f"ceiling of {max_ranks} (paper §VII.A)"
+            )
+    model = PlatformCostModel.for_platform(platform)
+    if core_hour_rate is not None:
+        model = model.with_rate(core_hour_rate)
+    run_cost = model.cost(num_ranks, runtime_s) if feasible else float("inf")
+    wait = (
+        platform.availability.expected_wait(
+            min(num_ranks, platform.total_cores), platform.total_cores
+        )
+        if feasible
+        else float("inf")
+    )
+    plan = plan_provisioning(platform)
+    return ExpenseReport(
+        platform=platform.name,
+        feasible=feasible,
+        infeasibility_reason=reason,
+        runtime_s=runtime_s if feasible else float("inf"),
+        run_cost_dollars=run_cost,
+        provisioning_hours=plan.total_hours,
+        expected_wait_s=wait,
+        max_feasible_ranks=max_ranks,
+    )
+
+
+def rank_platforms(
+    reports: list[ExpenseReport],
+    time_weight: float = 1.0,
+    cost_weight: float = 1.0,
+    effort_weight: float = 1.0,
+) -> list[ExpenseReport]:
+    """Order feasible platforms by a weighted normalized score (low = best).
+
+    Each attribute is normalized by the best feasible value so weights
+    express *relative* priorities; infeasible platforms sort last.
+    """
+    if time_weight < 0 or cost_weight < 0 or effort_weight < 0:
+        raise CostModelError("weights must be non-negative")
+    feasible = [r for r in reports if r.feasible]
+    infeasible = [r for r in reports if not r.feasible]
+    if not feasible:
+        return infeasible
+
+    def best(values: list[float]) -> float:
+        floor = min(values)
+        return floor if floor > 0 else 1.0
+
+    t0 = best([r.time_to_solution_s for r in feasible])
+    c0 = best([max(r.run_cost_dollars, 1e-9) for r in feasible])
+    e0 = best([max(r.provisioning_cost_dollars, 1e-9) for r in feasible])
+
+    def score(r: ExpenseReport) -> float:
+        return (
+            time_weight * r.time_to_solution_s / t0
+            + cost_weight * max(r.run_cost_dollars, 1e-9) / c0
+            + effort_weight * max(r.provisioning_cost_dollars, 1e-9) / e0
+        )
+
+    return sorted(feasible, key=score) + infeasible

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MeshError(ReproError):
+    """Invalid mesh construction or query (bad extents, unknown entity)."""
+
+
+class ElementError(ReproError):
+    """Unknown finite element family/order or invalid reference query."""
+
+
+class AssemblyError(ReproError):
+    """Assembly failure: shape mismatch, unknown form, bad coefficients."""
+
+
+class SolverError(ReproError):
+    """Linear solver failure (breakdown, non-convergence when strict)."""
+
+
+class ConvergenceError(SolverError):
+    """Iterative solver exhausted its iteration budget without converging."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class PartitionError(ReproError):
+    """Invalid partitioning request (more parts than cells, bad weights)."""
+
+
+class SimMPIError(ReproError):
+    """Errors inside the virtual-time MPI runtime."""
+
+
+class CommunicatorError(SimMPIError):
+    """Invalid communicator usage (bad rank, mismatched collective)."""
+
+
+class DeadlockError(SimMPIError):
+    """The runtime detected that all live ranks are blocked on receives."""
+
+
+class LaunchError(SimMPIError):
+    """The SPMD launcher could not start (or lost) ranks.
+
+    This is the error the paper hit on *ellipse* above 512 ranks, where
+    ``mpiexec`` could not initialise the remote daemons.
+    """
+
+
+class NetworkError(ReproError):
+    """Network model misuse or injected fabric failure.
+
+    The InfiniBand data-volume cap on *lagrange* surfaces as a subclass.
+    """
+
+
+class DataVolumeExceededError(NetworkError):
+    """Injected failure: a rank exceeded the fabric's data-volume budget."""
+
+    def __init__(self, message: str, rank: int, volume_bytes: int, limit_bytes: int):
+        super().__init__(message)
+        self.rank = rank
+        self.volume_bytes = volume_bytes
+        self.limit_bytes = limit_bytes
+
+
+class PlatformError(ReproError):
+    """Invalid platform specification or unsupported platform request."""
+
+
+class ProvisioningError(PlatformError):
+    """The provisioning planner could not satisfy the dependency closure."""
+
+
+class SchedulerError(PlatformError):
+    """Batch scheduler rejected or failed a job."""
+
+
+class CloudError(ReproError):
+    """EC2 simulation errors (bad instance type, exhausted capacity)."""
+
+
+class SpotUnavailableError(CloudError):
+    """A spot request could not be (fully) fulfilled."""
+
+
+class BillingError(CloudError):
+    """Inconsistent billing operations (double-stop, negative usage)."""
+
+
+class CostModelError(ReproError):
+    """Invalid cost model parameters or queries."""
+
+
+class ExperimentError(ReproError):
+    """Harness-level error: malformed experiment definition or results."""

@@ -1,0 +1,265 @@
+"""Vectorized finite element assembly on structured hex meshes.
+
+This module is the computational kernel the paper calls *step (ii)*: the
+construction of mass, stiffness and advection matrices and load vectors.
+All loops over cells are vectorized with NumPy einsums (see the
+scientific-python optimization guidance: vectorize, broadcast, avoid
+copies).
+
+Both uniform and *graded* tensor-product meshes are supported: every
+cell is an axis-aligned box, so the Jacobian is the diagonal
+``diag(hx_e, hy_e, hz_e)`` and gradient contractions decompose per
+direction with no cross terms — stiffness is assembled as three
+per-direction reference matrices scaled by ``vol_e / h_{e,d}^2``.
+
+Matrices are returned in CSR format (scipy.sparse), the same storage the
+paper's Trilinos backend uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import AssemblyError
+from repro.fem.dofmap import DofMap
+from repro.fem.quadrature import QuadratureRule, default_rule_for_order
+
+Coefficient = Callable[[np.ndarray], np.ndarray] | float | None
+
+
+def _rule_for(dofmap: DofMap, rule: QuadratureRule | None) -> QuadratureRule:
+    return rule if rule is not None else default_rule_for_order(dofmap.order)
+
+
+def quad_points_physical(dofmap: DofMap, rule: QuadratureRule | None = None) -> np.ndarray:
+    """Physical coordinates of quadrature points, shape ``(nc, nq, 3)``."""
+    rule = _rule_for(dofmap, rule)
+    mesh = dofmap.mesh
+    origins = mesh.cell_origin(np.arange(mesh.num_cells))
+    return origins[:, None, :] + rule.points[None, :, :] * mesh.cell_spacings[:, None, :]
+
+
+def evaluate_at_quad(
+    dofmap: DofMap, values: np.ndarray, rule: QuadratureRule | None = None
+) -> np.ndarray:
+    """Evaluate an FE coefficient vector at quadrature points.
+
+    ``values`` may be ``(num_dofs,)`` for a scalar field (returns
+    ``(nc, nq)``) or ``(num_dofs, m)`` for an ``m``-component field
+    (returns ``(nc, nq, m)``).
+    """
+    rule = _rule_for(dofmap, rule)
+    basis = dofmap.element.tabulate(rule.points)  # (nb, nq)
+    vals = np.asarray(values, dtype=float)
+    if vals.ndim not in (1, 2) or vals.shape[0] != dofmap.num_dofs:
+        raise AssemblyError(f"coefficient vector has unsupported shape {vals.shape}")
+    local = vals[dofmap.cell_dofs]  # (nc, nb) or (nc, nb, m)
+    if local.ndim == 2:
+        return np.einsum("ea,aq->eq", local, basis)
+    return np.einsum("eam,aq->eqm", local, basis)
+
+
+def evaluate_gradient_at_quad(
+    dofmap: DofMap, values: np.ndarray, rule: QuadratureRule | None = None
+) -> np.ndarray:
+    """Physical gradient of a scalar FE field at quad points, ``(nc, nq, 3)``."""
+    rule = _rule_for(dofmap, rule)
+    grads = dofmap.element.tabulate_gradients(rule.points)  # (nb, nq, 3)
+    inv_h = 1.0 / dofmap.mesh.cell_spacings  # (nc, 3)
+    local = np.asarray(values, dtype=float)[dofmap.cell_dofs]  # (nc, nb)
+    return np.einsum("ea,aqd,ed->eqd", local, grads, inv_h)
+
+
+def _coefficient_at_quad(
+    dofmap: DofMap, rule: QuadratureRule, coefficient: Coefficient
+) -> np.ndarray | float:
+    """Resolve a coefficient spec to per-quad-point values or a scalar."""
+    if coefficient is None:
+        return 1.0
+    if callable(coefficient):
+        pts = quad_points_physical(dofmap, rule)
+        vals = np.asarray(coefficient(pts.reshape(-1, 3)), dtype=float)
+        return vals.reshape(pts.shape[0], pts.shape[1])
+    return float(coefficient)
+
+
+def _scatter(dofmap: DofMap, local: np.ndarray) -> sp.csr_matrix:
+    """Scatter per-cell local matrices ``(nc, nb, nb)`` into global CSR.
+
+    The COO index pattern is cached on the dofmap
+    (:attr:`~repro.fem.dofmap.DofMap.scatter_indices`) since repeated
+    per-time-step assembly reuses it unchanged.
+    """
+    nc, nb = dofmap.cell_dofs.shape
+    if local.shape != (nc, nb, nb):
+        raise AssemblyError(f"local matrices shape {local.shape} != {(nc, nb, nb)}")
+    rows, cols = dofmap.scatter_indices
+    mat = sp.coo_matrix(
+        (np.ascontiguousarray(local).ravel(), (rows, cols)),
+        shape=(dofmap.num_dofs, dofmap.num_dofs),
+    )
+    out = mat.tocsr()
+    out.sum_duplicates()
+    return out
+
+
+def assemble_mass(
+    dofmap: DofMap,
+    coefficient: Coefficient = None,
+    rule: QuadratureRule | None = None,
+) -> sp.csr_matrix:
+    """Assemble the mass matrix ``M_ab = ∫ c φ_a φ_b``.
+
+    ``coefficient`` may be None (1), a scalar, or a callable evaluated at
+    physical quadrature points.
+    """
+    rule = _rule_for(dofmap, rule)
+    basis = dofmap.element.tabulate(rule.points)  # (nb, nq)
+    volumes = dofmap.mesh.cell_volumes  # (nc,)
+    c = _coefficient_at_quad(dofmap, rule, coefficient)
+    if np.isscalar(c):
+        ref = float(c) * np.einsum("q,aq,bq->ab", rule.weights, basis, basis)
+        local = volumes[:, None, None] * ref[None, :, :]
+        return _scatter(dofmap, local)
+    local = np.einsum("q,eq,aq,bq->eab", rule.weights, c, basis, basis)
+    local *= volumes[:, None, None]
+    return _scatter(dofmap, local)
+
+
+def assemble_stiffness(
+    dofmap: DofMap,
+    coefficient: Coefficient = None,
+    rule: QuadratureRule | None = None,
+) -> sp.csr_matrix:
+    """Assemble the stiffness matrix ``K_ab = ∫ c ∇φ_a · ∇φ_b``.
+
+    Axis-aligned cells make the Jacobian diagonal, so the contraction
+    splits into three per-direction terms scaled by ``vol_e / h_{e,d}^2``.
+    """
+    rule = _rule_for(dofmap, rule)
+    grads = dofmap.element.tabulate_gradients(rule.points)  # (nb, nq, 3)
+    mesh = dofmap.mesh
+    scale = mesh.cell_volumes[:, None] / mesh.cell_spacings**2  # (nc, 3)
+    c = _coefficient_at_quad(dofmap, rule, coefficient)
+
+    nb = grads.shape[0]
+    nc = mesh.num_cells
+    local = np.zeros((nc, nb, nb))
+    for d in range(3):
+        gd = grads[:, :, d]  # (nb, nq)
+        if np.isscalar(c):
+            ref_d = float(c) * np.einsum("q,aq,bq->ab", rule.weights, gd, gd)
+            local += scale[:, d, None, None] * ref_d[None, :, :]
+        else:
+            part = np.einsum("q,eq,aq,bq->eab", rule.weights, c, gd, gd)
+            part *= scale[:, d, None, None]
+            local += part
+    return _scatter(dofmap, local)
+
+
+def assemble_advection(
+    dofmap: DofMap,
+    velocity: Callable[[np.ndarray], np.ndarray] | np.ndarray,
+    rule: QuadratureRule | None = None,
+) -> sp.csr_matrix:
+    """Assemble the advection matrix ``A_ab = ∫ (β · ∇φ_b) φ_a``.
+
+    ``velocity`` is either a callable mapping points ``(n, 3) -> (n, 3)``,
+    a constant 3-vector, or precomputed per-quad values ``(nc, nq, 3)``
+    (the form used by the Navier–Stokes solver, which advects with the
+    extrapolated velocity of the previous steps).
+    """
+    rule = _rule_for(dofmap, rule)
+    basis = dofmap.element.tabulate(rule.points)  # (nb, nq)
+    grads = dofmap.element.tabulate_gradients(rule.points)  # (nb, nq, 3)
+    mesh = dofmap.mesh
+    nc, nq = mesh.num_cells, rule.num_points
+
+    if callable(velocity):
+        pts = quad_points_physical(dofmap, rule)
+        beta = np.asarray(velocity(pts.reshape(-1, 3)), dtype=float).reshape(nc, nq, 3)
+    else:
+        beta = np.asarray(velocity, dtype=float)
+        if beta.shape == (3,):
+            beta = np.broadcast_to(beta, (nc, nq, 3))
+        elif beta.shape != (nc, nq, 3):
+            raise AssemblyError(
+                f"velocity shape {beta.shape} is neither (3,) nor {(nc, nq, 3)}"
+            )
+
+    scale = mesh.cell_volumes[:, None] / mesh.cell_spacings  # (nc, 3)
+    nb = basis.shape[0]
+    local = np.zeros((nc, nb, nb))
+    for d in range(3):
+        beta_d = beta[:, :, d] * scale[:, d, None]  # (nc, nq)
+        part = np.einsum("q,eq,bq,aq->eab", rule.weights, beta_d, grads[:, :, d], basis)
+        local += part
+    return _scatter(dofmap, local)
+
+
+def assemble_load(
+    dofmap: DofMap,
+    source: Callable[[np.ndarray], np.ndarray] | float,
+    rule: QuadratureRule | None = None,
+) -> np.ndarray:
+    """Assemble the load vector ``F_a = ∫ f φ_a``."""
+    rule = _rule_for(dofmap, rule)
+    basis = dofmap.element.tabulate(rule.points)
+    mesh = dofmap.mesh
+    nc, nq = mesh.num_cells, rule.num_points
+    if callable(source):
+        pts = quad_points_physical(dofmap, rule)
+        f = np.asarray(source(pts.reshape(-1, 3)), dtype=float).reshape(nc, nq)
+    else:
+        f = np.full((nc, nq), float(source))
+    local = np.einsum("q,eq,aq->ea", rule.weights, f, basis)
+    local *= mesh.cell_volumes[:, None]
+    out = np.zeros(dofmap.num_dofs)
+    np.add.at(out, dofmap.cell_dofs.ravel(), local.ravel())
+    return out
+
+
+def assemble_weighted_gradient_load(
+    dofmap: DofMap,
+    weights_at_quad: np.ndarray,
+    component: int,
+    rule: QuadratureRule | None = None,
+) -> np.ndarray:
+    """Assemble ``F_a = ∫ w ∂φ_a/∂x_component`` for per-quad weights ``w``.
+
+    Used by the Navier–Stokes projection scheme for the pressure-gradient
+    and divergence couplings when pressure and velocity share the Q1
+    space.
+    """
+    rule = _rule_for(dofmap, rule)
+    grads = dofmap.element.tabulate_gradients(rule.points)
+    mesh = dofmap.mesh
+    nc, nq = mesh.num_cells, rule.num_points
+    w = np.asarray(weights_at_quad, dtype=float)
+    if w.shape != (nc, nq):
+        raise AssemblyError(f"weights shape {w.shape} != {(nc, nq)}")
+    scale = mesh.cell_volumes / mesh.cell_spacings[:, component]  # (nc,)
+    local = np.einsum("q,eq,aq->ea", rule.weights, w, grads[:, :, component])
+    local *= scale[:, None]
+    out = np.zeros(dofmap.num_dofs)
+    np.add.at(out, dofmap.cell_dofs.ravel(), local.ravel())
+    return out
+
+
+def assemble_vector_laplacian_operator(
+    dofmap: DofMap,
+    coefficient: Coefficient = None,
+    components: int = 3,
+    rule: QuadratureRule | None = None,
+) -> sp.csr_matrix:
+    """Block-diagonal stiffness operator for a ``components``-vector field.
+
+    Vector problems solved component-wise (as our NS scheme does) reuse
+    the same scalar stiffness per component; this helper materializes the
+    block operator for callers that want a single matrix.
+    """
+    k = assemble_stiffness(dofmap, coefficient=coefficient, rule=rule)
+    return sp.block_diag([k] * components, format="csr")

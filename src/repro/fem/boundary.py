@@ -1,0 +1,105 @@
+"""Dirichlet boundary condition application.
+
+Both paper test cases prescribe the exact solution on the whole boundary
+of the cube.  Conditions are imposed algebraically after assembly, with
+either symmetric elimination (keeps SPD operators SPD so CG remains
+applicable) or plain row replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import AssemblyError
+
+
+def apply_dirichlet(
+    matrix: sp.csr_matrix,
+    rhs: np.ndarray,
+    dofs: np.ndarray,
+    values: np.ndarray | float,
+    symmetric: bool = True,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Impose ``u[dofs] = values`` on the linear system.
+
+    Returns a new ``(matrix, rhs)`` pair; inputs are not modified.
+
+    With ``symmetric=True`` the constrained columns are eliminated into
+    the right-hand side (``rhs -= A[:, dofs] @ values``) before zeroing
+    rows *and* columns, preserving symmetry/definiteness.  With
+    ``symmetric=False`` only rows are replaced.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise AssemblyError(f"matrix must be square, got {matrix.shape}")
+    rhs = np.asarray(rhs, dtype=float)
+    if rhs.shape != (n,):
+        raise AssemblyError(f"rhs shape {rhs.shape} != ({n},)")
+    dofs = np.asarray(dofs, dtype=np.int64)
+    if dofs.size and (dofs.min() < 0 or dofs.max() >= n):
+        raise AssemblyError("Dirichlet dof index out of range")
+    if np.unique(dofs).size != dofs.size:
+        raise AssemblyError("duplicate Dirichlet dofs")
+
+    vals = np.asarray(values, dtype=float)
+    if vals.ndim == 0:
+        vals = np.full(dofs.shape, float(vals))
+    if vals.shape != dofs.shape:
+        raise AssemblyError(f"values shape {vals.shape} != dofs shape {dofs.shape}")
+
+    keep = np.ones(n)
+    keep[dofs] = 0.0
+    pin = 1.0 - keep
+    d_keep = sp.diags(keep)
+    d_pin = sp.diags(pin)
+
+    new_rhs = rhs.copy()
+    if symmetric:
+        # Move known-value contributions to the RHS, then clear rows+cols.
+        g = np.zeros(n)
+        g[dofs] = vals
+        new_rhs -= matrix @ g
+        new_matrix = (d_keep @ matrix @ d_keep + d_pin).tocsr()
+    else:
+        new_matrix = (d_keep @ matrix + d_pin).tocsr()
+    new_rhs[dofs] = vals
+    return new_matrix, new_rhs
+
+
+def lift_dirichlet_rhs(
+    matrix: sp.csr_matrix, dofs: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """The RHS correction ``-A @ g`` for Dirichlet lifting alone.
+
+    Useful when the constrained operator is assembled once but boundary
+    values change every time step (the RD problem: boundary data depends
+    on t).
+    """
+    n = matrix.shape[0]
+    g = np.zeros(n)
+    g[np.asarray(dofs, dtype=np.int64)] = np.asarray(values, dtype=float)
+    return -(matrix @ g)
+
+
+def constrain_operator(matrix: sp.csr_matrix, dofs: np.ndarray) -> sp.csr_matrix:
+    """Zero Dirichlet rows and columns and put 1 on their diagonal.
+
+    The time-loop fast path: constrain the (step-invariant) operator once,
+    recompute only the RHS lifting each step.
+    """
+    n = matrix.shape[0]
+    keep = np.ones(n)
+    keep[np.asarray(dofs, dtype=np.int64)] = 0.0
+    d_keep = sp.diags(keep)
+    d_pin = sp.diags(1.0 - keep)
+    return (d_keep @ matrix @ d_keep + d_pin).tocsr()
+
+
+def pin_dof(matrix: sp.csr_matrix, rhs: np.ndarray, dof: int, value: float = 0.0):
+    """Pin a single DOF — used to fix the pressure nullspace in NS.
+
+    Pure-Neumann pressure Poisson problems are singular (constants are in
+    the nullspace); pinning one DOF selects a representative.
+    """
+    return apply_dirichlet(matrix, rhs, np.array([dof]), np.array([value]), symmetric=True)

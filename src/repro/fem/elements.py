@@ -1,0 +1,125 @@
+"""Tensor-product Lagrange elements on the reference hexahedron.
+
+Q1 (8 nodes) and Q2 (27 nodes) are the workhorses: the paper solves the
+reaction-diffusion problem with order-2 elements (whose span contains the
+manufactured solution ``x^2 + y^2 + z^2`` exactly) and uses order-1
+pressure spaces in the Navier–Stokes discretization.
+
+Nodes are equispaced on ``[0, 1]`` per direction and tensorized with the
+x index varying fastest, matching :mod:`repro.fem.mesh` and
+:mod:`repro.fem.dofmap` conventions.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ElementError
+
+
+def _lagrange_1d(order: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Values and derivatives of 1-D Lagrange basis at points ``x``.
+
+    Returns arrays of shape ``(order + 1, len(x))``.
+    """
+    nodes = np.linspace(0.0, 1.0, order + 1)
+    x = np.asarray(x, dtype=float)
+    n = order + 1
+    values = np.ones((n, x.shape[0]))
+    derivs = np.zeros((n, x.shape[0]))
+    for a in range(n):
+        # L_a(x) = prod_{b != a} (x - x_b) / (x_a - x_b)
+        for b in range(n):
+            if b == a:
+                continue
+            values[a] *= (x - nodes[b]) / (nodes[a] - nodes[b])
+        # L_a'(x) = sum_{c != a} 1/(x_a - x_c) prod_{b != a,c} (x - x_b)/(x_a - x_b)
+        for c in range(n):
+            if c == a:
+                continue
+            term = np.full_like(x, 1.0 / (nodes[a] - nodes[c]))
+            for b in range(n):
+                if b in (a, c):
+                    continue
+                term *= (x - nodes[b]) / (nodes[a] - nodes[b])
+            derivs[a] += term
+    return values, derivs
+
+
+class LagrangeHexElement:
+    """Continuous Lagrange element of given ``order`` on the unit cube.
+
+    Basis functions are indexed in tensor order: basis ``(a, b, c)``
+    (per-direction 1-D indices) has flat index ``a + n*b + n*n*c`` with
+    ``n = order + 1``.
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ElementError(f"Lagrange order must be >= 1, got {order}")
+        self.order = int(order)
+
+    @property
+    def nodes_per_direction(self) -> int:
+        """Number of 1-D nodes per direction (= order + 1)."""
+        return self.order + 1
+
+    @property
+    def num_basis(self) -> int:
+        """Number of local basis functions ((order + 1)^3)."""
+        return self.nodes_per_direction ** 3
+
+    @cached_property
+    def reference_nodes(self) -> np.ndarray:
+        """Coordinates of the local nodes on the unit cube, tensor order."""
+        t = np.linspace(0.0, 1.0, self.nodes_per_direction)
+        zz, yy, xx = np.meshgrid(t, t, t, indexing="ij")
+        return np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+
+    def tabulate(self, points: np.ndarray) -> np.ndarray:
+        """Basis values at reference ``points``; shape ``(num_basis, npts)``."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != 3:
+            raise ElementError(f"expected 3-D reference points, got shape {pts.shape}")
+        vx, _ = _lagrange_1d(self.order, pts[:, 0])
+        vy, _ = _lagrange_1d(self.order, pts[:, 1])
+        vz, _ = _lagrange_1d(self.order, pts[:, 2])
+        n = self.nodes_per_direction
+        # values[(a,b,c), q] = vx[a, q] * vy[b, q] * vz[c, q], x fastest.
+        out = (
+            vx[None, None, :, :] * vy[None, :, None, :] * vz[:, None, None, :]
+        )  # [c, b, a, q]
+        return out.reshape(n * n * n, pts.shape[0])
+
+    def tabulate_gradients(self, points: np.ndarray) -> np.ndarray:
+        """Reference gradients at ``points``; shape ``(num_basis, npts, 3)``."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != 3:
+            raise ElementError(f"expected 3-D reference points, got shape {pts.shape}")
+        vx, dx = _lagrange_1d(self.order, pts[:, 0])
+        vy, dy = _lagrange_1d(self.order, pts[:, 1])
+        vz, dz = _lagrange_1d(self.order, pts[:, 2])
+        n = self.nodes_per_direction
+        npts = pts.shape[0]
+        grad = np.empty((n * n * n, npts, 3))
+        gx = dx[None, None, :, :] * vy[None, :, None, :] * vz[:, None, None, :]
+        gy = vx[None, None, :, :] * dy[None, :, None, :] * vz[:, None, None, :]
+        gz = vx[None, None, :, :] * vy[None, :, None, :] * dz[:, None, None, :]
+        grad[:, :, 0] = gx.reshape(n * n * n, npts)
+        grad[:, :, 1] = gy.reshape(n * n * n, npts)
+        grad[:, :, 2] = gz.reshape(n * n * n, npts)
+        return grad
+
+    # -- convenience checks used in property-based tests --------------------
+
+    def partition_of_unity_residual(self, points: np.ndarray) -> float:
+        """Max deviation of ``sum_a N_a`` from 1 over ``points``."""
+        vals = self.tabulate(points)
+        return float(np.max(np.abs(vals.sum(axis=0) - 1.0)))
+
+    def nodal_interpolation_matrix_is_identity(self) -> bool:
+        """Kronecker-delta property: ``N_a(node_b) = delta_ab``."""
+        vals = self.tabulate(self.reference_nodes)
+        return bool(np.allclose(vals, np.eye(self.num_basis), atol=1e-12))

@@ -1,0 +1,79 @@
+"""Axis-grading generators: the mesh-generation role of NetGen/GMSH.
+
+The paper's pipeline step (i) produces the computational mesh with
+"in-house mesh generators (for structured meshes) or third-party
+software such as NetGen and GMSH".  These helpers generate the
+non-uniform axis coordinates a practitioner actually asks such tools
+for — geometric stretching and symmetric boundary-layer grading — to
+feed :class:`~repro.fem.mesh.StructuredBoxMesh` via ``axis_coords``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+def uniform_axis(num_cells: int, lower: float = 0.0, upper: float = 1.0) -> np.ndarray:
+    """Equispaced axis coordinates (num_cells + 1 points)."""
+    _check(num_cells, lower, upper)
+    return np.linspace(lower, upper, num_cells + 1)
+
+
+def geometric_axis(
+    num_cells: int, lower: float = 0.0, upper: float = 1.0, ratio: float = 1.2
+) -> np.ndarray:
+    """Geometrically stretched axis: each cell ``ratio`` times the last.
+
+    ``ratio > 1`` clusters points near ``lower``; ``ratio < 1`` near
+    ``upper``; ``ratio = 1`` is uniform.
+    """
+    _check(num_cells, lower, upper)
+    if ratio <= 0:
+        raise MeshError(f"ratio must be positive, got {ratio}")
+    if np.isclose(ratio, 1.0):
+        return uniform_axis(num_cells, lower, upper)
+    widths = ratio ** np.arange(num_cells)
+    widths = widths / widths.sum() * (upper - lower)
+    return np.concatenate([[lower], lower + np.cumsum(widths)])
+
+
+def boundary_layer_axis(
+    num_cells: int, lower: float = 0.0, upper: float = 1.0, stretch: float = 2.0
+) -> np.ndarray:
+    """Symmetric boundary-layer grading via a tanh map.
+
+    Points cluster toward *both* ends (where CFD boundary layers live);
+    ``stretch`` controls the clustering strength (0 -> uniform).
+    """
+    _check(num_cells, lower, upper)
+    if stretch < 0:
+        raise MeshError(f"stretch must be >= 0, got {stretch}")
+    s = np.linspace(-1.0, 1.0, num_cells + 1)
+    if stretch == 0:
+        mapped = s
+    else:
+        mapped = np.tanh(stretch * s) / np.tanh(stretch)
+    # Map [-1, 1] -> [lower, upper] with exact endpoints.
+    coords = lower + (mapped + 1.0) * 0.5 * (upper - lower)
+    coords[0], coords[-1] = lower, upper
+    return coords
+
+
+def grading_ratio(axis: np.ndarray) -> float:
+    """Max adjacent-cell size ratio of an axis (1.0 = uniform)."""
+    widths = np.diff(np.asarray(axis, dtype=float))
+    if np.any(widths <= 0):
+        raise MeshError("axis coordinates must strictly increase")
+    if widths.size < 2:
+        return 1.0
+    ratios = widths[1:] / widths[:-1]
+    return float(max(ratios.max(), (1.0 / ratios).max()))
+
+
+def _check(num_cells: int, lower: float, upper: float) -> None:
+    if num_cells < 1:
+        raise MeshError(f"num_cells must be >= 1, got {num_cells}")
+    if not upper > lower:
+        raise MeshError(f"upper ({upper}) must exceed lower ({lower})")

@@ -1,0 +1,38 @@
+"""Experiment harness: one generator per paper table/figure.
+
+:mod:`repro.harness.experiments` defines the artifacts (Table I,
+Table II, Figures 4-7, the §VI porting narrative) as functions
+returning structured results; :mod:`repro.harness.results` holds the
+shared record types and reductions.  The benchmark scripts under
+``benchmarks/`` are thin wrappers that print these results.
+"""
+
+from repro.harness.results import (
+    WeakScalingTable,
+    weak_scaling_rows,
+    weak_scaling_series,
+)
+from repro.harness.experiments import (
+    experiment_table1,
+    experiment_porting_effort,
+    experiment_fig4_rd_weak_scaling,
+    experiment_fig5_ns_weak_scaling,
+    experiment_table2_placement,
+    experiment_fig6_rd_costs,
+    experiment_fig7_ns_costs,
+    Table2Row,
+)
+
+__all__ = [
+    "WeakScalingTable",
+    "weak_scaling_rows",
+    "weak_scaling_series",
+    "experiment_table1",
+    "experiment_porting_effort",
+    "experiment_fig4_rd_weak_scaling",
+    "experiment_fig5_ns_weak_scaling",
+    "experiment_table2_placement",
+    "experiment_fig6_rd_costs",
+    "experiment_fig7_ns_costs",
+    "Table2Row",
+]

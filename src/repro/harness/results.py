@@ -1,0 +1,81 @@
+"""Shared result structures and reductions for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.perfmodel.weak_scaling import WeakScalingPoint
+
+
+@dataclass(frozen=True)
+class WeakScalingTable:
+    """A full figure's data: per platform, the weak-scaling column."""
+
+    workload: str
+    columns: dict[str, list[WeakScalingPoint]]
+
+    def platforms(self) -> list[str]:
+        """Platform names in insertion order."""
+        return list(self.columns)
+
+    def point(self, platform: str, num_ranks: int) -> WeakScalingPoint:
+        """Look up one cell."""
+        for pt in self.columns[platform]:
+            if pt.num_ranks == num_ranks:
+                return pt
+        raise ExperimentError(f"no point ({platform}, {num_ranks})")
+
+    def feasible_max(self, platform: str) -> int:
+        """The largest feasible rank count of a platform's column."""
+        feasible = [pt.num_ranks for pt in self.columns[platform] if pt.feasible]
+        if not feasible:
+            raise ExperimentError(f"{platform} has no feasible points")
+        return max(feasible)
+
+
+def weak_scaling_rows(
+    table: WeakScalingTable, value: str = "total"
+) -> tuple[list[str], list[list]]:
+    """(headers, rows) for the figure: ranks x platforms of ``value``.
+
+    ``value``: 'total', 'assembly', 'preconditioner', 'solve', or
+    'cost' (per-iteration dollars).
+    """
+    platforms = table.platforms()
+    first = table.columns[platforms[0]]
+    ranks = [pt.num_ranks for pt in first]
+    headers = ["ranks"] + platforms
+    rows = []
+    for i, p in enumerate(ranks):
+        row: list = [p]
+        for name in platforms:
+            pt = table.columns[name][i]
+            if not pt.feasible:
+                row.append(None)
+            elif value == "cost":
+                row.append(pt.cost_per_iteration)
+            else:
+                row.append(pt.prediction.as_dict()[value])
+        rows.append(row)
+    return headers, rows
+
+
+def weak_scaling_series(
+    table: WeakScalingTable, value: str = "total"
+) -> dict[str, list[tuple[float, float]]]:
+    """Chart series: platform -> [(ranks, value), ...], feasible only."""
+    out: dict[str, list[tuple[float, float]]] = {}
+    for name, points in table.columns.items():
+        series = []
+        for pt in points:
+            if not pt.feasible:
+                continue
+            if value == "cost":
+                series.append((float(pt.num_ranks), pt.cost_per_iteration))
+            else:
+                series.append(
+                    (float(pt.num_ranks), pt.prediction.as_dict()[value])
+                )
+        out[name] = series
+    return out

@@ -1,0 +1,120 @@
+"""Legacy VTK writer: the ParaView handoff of pipeline step (iv).
+
+Writes ASCII ``STRUCTURED_POINTS`` datasets with point data located at
+the FE DOF lattice — Q1 fields render at mesh vertices, Q2 fields at
+the refined lattice.  The format is the 1994-vintage legacy one, chosen
+because every ParaView (including 2012's, per the paper) reads it and
+because it is trivially verifiable by the test suite.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fem.dofmap import DofMap
+
+
+class VTKError(ReproError):
+    """Invalid VTK export request."""
+
+
+def _format_floats(values: np.ndarray, per_line: int = 6) -> str:
+    flat = np.asarray(values, dtype=float).ravel()
+    out = io.StringIO()
+    for start in range(0, flat.size, per_line):
+        out.write(" ".join(f"{v:.9g}" for v in flat[start : start + per_line]))
+        out.write("\n")
+    return out.getvalue()
+
+
+def write_vtk(
+    path: str | Path,
+    dofmap: DofMap,
+    scalars: dict[str, np.ndarray] | None = None,
+    vectors: dict[str, np.ndarray] | None = None,
+    title: str = "repro solution export",
+) -> Path:
+    """Write DOF-lattice fields as a legacy VTK structured-points file.
+
+    ``scalars`` maps name -> (num_dofs,) arrays; ``vectors`` maps
+    name -> (num_dofs, 3) arrays.  Returns the written path.
+    """
+    scalars = scalars or {}
+    vectors = vectors or {}
+    if not scalars and not vectors:
+        raise VTKError("nothing to export: pass scalars and/or vectors")
+    n = dofmap.num_dofs
+    for name, values in scalars.items():
+        if np.asarray(values).shape != (n,):
+            raise VTKError(f"scalar {name!r} must have shape ({n},)")
+    for name, values in vectors.items():
+        if np.asarray(values).shape != (n, 3):
+            raise VTKError(f"vector {name!r} must have shape ({n}, 3)")
+    for name in set(scalars) & set(vectors):
+        raise VTKError(f"field name {name!r} used for both a scalar and a vector")
+
+    if not dofmap.mesh.is_uniform:
+        raise VTKError(
+            "STRUCTURED_POINTS requires a uniform mesh; resample graded "
+            "solutions onto a uniform lattice before export"
+        )
+    mx, my, mz = dofmap.lattice_shape
+    spacing = dofmap.mesh.spacing / dofmap.order
+    origin = dofmap.mesh.lower
+
+    out = io.StringIO()
+    out.write("# vtk DataFile Version 3.0\n")
+    out.write(title[:255] + "\n")
+    out.write("ASCII\n")
+    out.write("DATASET STRUCTURED_POINTS\n")
+    out.write(f"DIMENSIONS {mx} {my} {mz}\n")
+    out.write(f"ORIGIN {origin[0]:.9g} {origin[1]:.9g} {origin[2]:.9g}\n")
+    out.write(f"SPACING {spacing[0]:.9g} {spacing[1]:.9g} {spacing[2]:.9g}\n")
+    out.write(f"POINT_DATA {n}\n")
+    for name, values in scalars.items():
+        out.write(f"SCALARS {name} double 1\n")
+        out.write("LOOKUP_TABLE default\n")
+        out.write(_format_floats(values))
+    for name, values in vectors.items():
+        out.write(f"VECTORS {name} double\n")
+        out.write(_format_floats(np.asarray(values, dtype=float)))
+
+    path = Path(path)
+    path.write_text(out.getvalue())
+    return path
+
+
+def parse_vtk_header(path: str | Path) -> dict:
+    """Parse the dataset header of a legacy VTK file (for verification).
+
+    Returns dimensions, origin, spacing, point count, and the names and
+    kinds of the point-data fields.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("# vtk DataFile"):
+        raise VTKError(f"{path}: not a legacy VTK file")
+    info: dict = {"fields": {}}
+    for line in lines:
+        parts = line.split()
+        if not parts:
+            continue
+        key = parts[0]
+        if key == "DIMENSIONS":
+            info["dimensions"] = tuple(int(v) for v in parts[1:4])
+        elif key == "ORIGIN":
+            info["origin"] = tuple(float(v) for v in parts[1:4])
+        elif key == "SPACING":
+            info["spacing"] = tuple(float(v) for v in parts[1:4])
+        elif key == "POINT_DATA":
+            info["num_points"] = int(parts[1])
+        elif key == "SCALARS":
+            info["fields"][parts[1]] = "scalar"
+        elif key == "VECTORS":
+            info["fields"][parts[1]] = "vector"
+    if "dimensions" not in info:
+        raise VTKError(f"{path}: missing DIMENSIONS")
+    return info

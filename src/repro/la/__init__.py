@@ -1,0 +1,34 @@
+"""Linear algebra: the Trilinos work-alike.
+
+Iterative Krylov solvers (CG, BiCGStab, GMRES) and algebraic
+preconditioners (Jacobi, SSOR, ILU(0), block-Jacobi / one-level additive
+Schwarz) implemented from scratch on scipy.sparse storage, plus
+distributed vectors/matrices layered over the virtual-time MPI runtime.
+
+The paper's *step (iiia)* is preconditioner construction and *step
+(iiib)* the preconditioned iterative solve; these are the corresponding
+executable kernels.
+"""
+
+from repro.la.krylov import SolveResult, cg, bicgstab, gmres
+from repro.la.preconditioners import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    ILU0Preconditioner,
+    BlockJacobiPreconditioner,
+    make_preconditioner,
+)
+
+__all__ = [
+    "SolveResult",
+    "cg",
+    "bicgstab",
+    "gmres",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "SSORPreconditioner",
+    "ILU0Preconditioner",
+    "BlockJacobiPreconditioner",
+    "make_preconditioner",
+]

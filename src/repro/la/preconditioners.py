@@ -1,0 +1,231 @@
+"""Algebraic preconditioners (the paper's step iiia).
+
+Setup cost and apply cost are tracked separately because the paper
+reports the preconditioner phase as its own curve in the weak-scaling
+figures.  All preconditioners expose:
+
+* ``setup_flops`` — estimated flops spent in construction,
+* ``apply(v)`` — apply M^{-1} to a vector,
+* ``apply_flops`` — estimated flops per application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import SolverError
+
+
+def _require_square_csr(matrix) -> sp.csr_matrix:
+    if not sp.issparse(matrix):
+        raise SolverError(f"expected a sparse matrix, got {type(matrix).__name__}")
+    csr = matrix.tocsr()
+    if csr.shape[0] != csr.shape[1]:
+        raise SolverError(f"matrix must be square, got {csr.shape}")
+    return csr
+
+
+class IdentityPreconditioner:
+    """No preconditioning; useful as a baseline in ablations."""
+
+    def __init__(self, matrix=None):
+        self.setup_flops = 0
+        self.apply_flops = 0
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        return v
+
+
+class JacobiPreconditioner:
+    """Diagonal scaling: M = diag(A)."""
+
+    def __init__(self, matrix):
+        csr = _require_square_csr(matrix)
+        diag = csr.diagonal()
+        if np.any(diag == 0.0):
+            raise SolverError("Jacobi preconditioner: zero on the diagonal")
+        self._inv_diag = 1.0 / diag
+        self.setup_flops = csr.shape[0]
+        self.apply_flops = csr.shape[0]
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        return self._inv_diag * v
+
+
+class SSORPreconditioner:
+    """Symmetric SOR: M = (D/w + L) (D/w)^{-1} (D/w + U) * w/(2-w).
+
+    Keeps symmetry for SPD A, so it can precondition CG.
+    """
+
+    def __init__(self, matrix, omega: float = 1.0):
+        if not (0.0 < omega < 2.0):
+            raise SolverError(f"SSOR relaxation must be in (0, 2), got {omega}")
+        csr = _require_square_csr(matrix)
+        n = csr.shape[0]
+        diag = csr.diagonal()
+        if np.any(diag == 0.0):
+            raise SolverError("SSOR preconditioner: zero on the diagonal")
+        self.omega = float(omega)
+        d_over_w = sp.diags(diag / omega)
+        lower = sp.tril(csr, k=-1)
+        upper = sp.triu(csr, k=1)
+        self._lower_factor = (d_over_w + lower).tocsr()
+        self._upper_factor = (d_over_w + upper).tocsr()
+        self._scale = omega / (2.0 - omega)
+        self._diag_over_w = diag / omega
+        self.setup_flops = 2 * csr.nnz
+        self.apply_flops = 4 * csr.nnz
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        y = sp.linalg.spsolve_triangular(self._lower_factor, v, lower=True)
+        y = self._diag_over_w * y
+        z = sp.linalg.spsolve_triangular(self._upper_factor, y, lower=False)
+        return self._scale * z
+
+
+class ILU0Preconditioner:
+    """Incomplete LU with zero fill-in on the sparsity pattern of A.
+
+    The IKJ-variant factorization operating directly on CSR arrays; the
+    same preconditioner family Trilinos' Ifpack provides to LifeV.
+    """
+
+    def __init__(self, matrix):
+        csr = _require_square_csr(matrix).copy()
+        csr.sort_indices()
+        n = csr.shape[0]
+        data = csr.data.astype(float).copy()
+        indices = csr.indices
+        indptr = csr.indptr
+
+        diag_pos = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            for pos in range(indptr[i], indptr[i + 1]):
+                if indices[pos] == i:
+                    diag_pos[i] = pos
+                    break
+        if np.any(diag_pos < 0):
+            raise SolverError("ILU(0): structurally zero diagonal entry")
+
+        flops = 0
+        # IKJ Gaussian elimination restricted to the pattern.
+        for i in range(1, n):
+            row_start, row_end = indptr[i], indptr[i + 1]
+            row_cols = indices[row_start:row_end]
+            # map col -> position for fast lookup in row i
+            col_to_pos = {int(c): row_start + off for off, c in enumerate(row_cols)}
+            for pos in range(row_start, row_end):
+                k = indices[pos]
+                if k >= i:
+                    break
+                pivot = data[diag_pos[k]]
+                if pivot == 0.0:
+                    raise SolverError(f"ILU(0): zero pivot at row {k}")
+                lik = data[pos] / pivot
+                data[pos] = lik
+                flops += 1
+                # subtract lik * U[k, j] for j in pattern of row i, j > k
+                for kpos in range(diag_pos[k] + 1, indptr[k + 1]):
+                    j = int(indices[kpos])
+                    tgt = col_to_pos.get(j)
+                    if tgt is not None:
+                        data[tgt] -= lik * data[kpos]
+                        flops += 2
+
+        self._factors = sp.csr_matrix((data, indices.copy(), indptr.copy()), shape=(n, n))
+        self._diag_pos = diag_pos
+        self._n = n
+        self.setup_flops = flops
+        self.apply_flops = 2 * self._factors.nnz
+
+        # Split into strictly-lower-with-unit-diagonal L and upper U once.
+        lower = sp.tril(self._factors, k=-1) + sp.eye(n, format="csr")
+        upper = sp.triu(self._factors, k=0)
+        self._lower = lower.tocsr()
+        self._upper = upper.tocsr()
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        y = sp.linalg.spsolve_triangular(self._lower, v, lower=True, unit_diagonal=True)
+        return sp.linalg.spsolve_triangular(self._upper, y, lower=False)
+
+
+class BlockJacobiPreconditioner:
+    """Block-Jacobi / one-level additive Schwarz without overlap.
+
+    The domain-decomposition preconditioner that mirrors how the parallel
+    runs precondition: each rank factorizes its diagonal block and
+    applications need no communication.  ``blocks`` is a list of index
+    arrays (one per subdomain); ``local_factory`` builds the local solver
+    (default: ILU(0) of the diagonal block).
+    """
+
+    def __init__(self, matrix, blocks: list[np.ndarray], local_factory=None):
+        csr = _require_square_csr(matrix)
+        n = csr.shape[0]
+        cover = np.concatenate([np.asarray(b, dtype=np.int64) for b in blocks]) if blocks else np.array([], dtype=np.int64)
+        if cover.size != n or np.unique(cover).size != n:
+            raise SolverError(
+                "block-Jacobi blocks must partition the index set exactly"
+            )
+        if local_factory is None:
+            local_factory = ILU0Preconditioner
+        self._blocks = [np.asarray(b, dtype=np.int64) for b in blocks]
+        self._local = []
+        self.setup_flops = 0
+        self.apply_flops = 0
+        for idx in self._blocks:
+            sub = csr[idx][:, idx].tocsr()
+            solver = local_factory(sub)
+            self._local.append(solver)
+            self.setup_flops += solver.setup_flops
+            self.apply_flops += solver.apply_flops
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of subdomains."""
+        return len(self._blocks)
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(v)
+        for idx, solver in zip(self._blocks, self._local):
+            out[idx] = solver.apply(v[idx])
+        return out
+
+
+def lump_mass(matrix) -> np.ndarray:
+    """Row-sum mass lumping: the diagonal approximation M_L of M.
+
+    A standard FEM device (explicit time stepping, cheap projections):
+    for Lagrange elements the row sums are positive and conserve the
+    total mass exactly (``sum(M_L) == 1^T M 1``).
+    """
+    csr = _require_square_csr(matrix)
+    lumped = np.asarray(csr.sum(axis=1)).ravel()
+    if np.any(lumped <= 0.0):
+        raise SolverError(
+            "mass lumping produced a non-positive entry (operator is not "
+            "a Lagrange mass matrix?)"
+        )
+    return lumped
+
+
+_PRECONDITIONERS = {
+    "none": IdentityPreconditioner,
+    "identity": IdentityPreconditioner,
+    "jacobi": JacobiPreconditioner,
+    "ssor": SSORPreconditioner,
+    "ilu0": ILU0Preconditioner,
+}
+
+
+def make_preconditioner(name: str, matrix, **kwargs):
+    """Build a preconditioner by name ('none', 'jacobi', 'ssor', 'ilu0')."""
+    try:
+        cls = _PRECONDITIONERS[name.lower()]
+    except KeyError:
+        raise SolverError(
+            f"unknown preconditioner {name!r}; choose from {sorted(_PRECONDITIONERS)}"
+        ) from None
+    return cls(matrix, **kwargs)

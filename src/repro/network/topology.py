@@ -1,0 +1,94 @@
+"""Cluster topology: nodes, cores per node, and rank placement.
+
+Rank placement follows the block convention every MPI launcher in the
+paper used (``mpiexec`` default / PBS node files): rank ``r`` lands on
+node ``r // cores_per_node``.  The distinction between a 4-core puma
+node and a 16-core cc2.8xlarge node is exactly what makes EC2's curves
+different at equal rank counts — 1000 ranks mean 250 puma nodes but only
+63 EC2 instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.network.model import NetworkModel
+
+
+class ClusterTopology:
+    """A homogeneous cluster: ``num_nodes`` x ``cores_per_node`` cores.
+
+    Parameters
+    ----------
+    num_nodes, cores_per_node:
+        Machine shape.
+    network:
+        The :class:`NetworkModel` connecting the nodes.
+    """
+
+    def __init__(self, num_nodes: int, cores_per_node: int, network: NetworkModel):
+        if num_nodes < 1:
+            raise NetworkError(f"num_nodes must be >= 1, got {num_nodes}")
+        if cores_per_node < 1:
+            raise NetworkError(f"cores_per_node must be >= 1, got {cores_per_node}")
+        self.num_nodes = num_nodes
+        self.cores_per_node = cores_per_node
+        self.network = network
+
+    @property
+    def total_cores(self) -> int:
+        """Total core count of the machine."""
+        return self.num_nodes * self.cores_per_node
+
+    def nodes_for_ranks(self, num_ranks: int) -> int:
+        """Number of nodes a block placement of ``num_ranks`` occupies."""
+        if num_ranks < 1:
+            raise NetworkError(f"num_ranks must be >= 1, got {num_ranks}")
+        return -(-num_ranks // self.cores_per_node)  # ceil division
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node hosting ``rank`` under block placement."""
+        if rank < 0:
+            raise NetworkError(f"rank must be >= 0, got {rank}")
+        node = rank // self.cores_per_node
+        if node >= self.num_nodes:
+            raise NetworkError(
+                f"rank {rank} needs node {node} but the machine has "
+                f"{self.num_nodes} nodes of {self.cores_per_node} cores"
+            )
+        return node
+
+    def ranks_on_node(self, node: int, num_ranks: int) -> np.ndarray:
+        """The ranks placed on ``node`` when running ``num_ranks`` total."""
+        if not (0 <= node < self.num_nodes):
+            raise NetworkError(f"node {node} outside machine of {self.num_nodes} nodes")
+        lo = node * self.cores_per_node
+        hi = min(lo + self.cores_per_node, num_ranks)
+        return np.arange(lo, hi) if hi > lo else np.empty(0, dtype=int)
+
+    def supports(self, num_ranks: int) -> bool:
+        """Whether the machine has enough cores for ``num_ranks``."""
+        return 1 <= num_ranks <= self.total_cores
+
+    def transfer_time(
+        self, num_bytes: float, rank_a: int, rank_b: int, concurrency: int = 1
+    ) -> float:
+        """Message time between two ranks, resolving their placement."""
+        return self.network.transfer_time(
+            num_bytes, self.node_of_rank(rank_a), self.node_of_rank(rank_b), concurrency
+        )
+
+    def offnode_peer_fraction(self, rank: int, peers: list[int]) -> float:
+        """Fraction of ``peers`` living on a different node than ``rank``."""
+        if not peers:
+            return 0.0
+        node = self.node_of_rank(rank)
+        off = sum(1 for p in peers if self.node_of_rank(p) != node)
+        return off / len(peers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterTopology({self.num_nodes} nodes x {self.cores_per_node} cores, "
+            f"{self.network.internode.name})"
+        )

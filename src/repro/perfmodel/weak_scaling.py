@@ -1,0 +1,109 @@
+"""Weak-scaling sweeps: the engine behind Figures 4-7.
+
+For each platform and each rank count of the paper's cubic series, the
+sweep checks feasibility (capacity and the §VII.A execution ceilings),
+predicts per-phase iteration times through the :class:`PhaseModel`, and
+attaches per-iteration dollar costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.apps.workload import AppWorkload, paper_rank_series
+from repro.costs.model import cost_per_iteration
+from repro.perfmodel.calibration import time_scale_for
+from repro.perfmodel.phases import PhaseModel, PhasePrediction
+from repro.platforms.limits import effective_max_ranks
+from repro.platforms.spec import PlatformSpec
+
+
+@dataclass(frozen=True)
+class WeakScalingPoint:
+    """One (platform, rank-count) cell of a weak-scaling figure."""
+
+    platform: str
+    num_ranks: int
+    feasible: bool
+    limit_reason: str
+    prediction: PhasePrediction | None
+    nodes: int
+    cost_per_iteration: float
+
+    @property
+    def total_time(self) -> float:
+        """Predicted max iteration time (inf when infeasible)."""
+        return self.prediction.total if self.prediction else float("inf")
+
+
+def platform_rank_limit(platform: PlatformSpec) -> tuple[int, str]:
+    """The largest feasible rank count and why it stops there."""
+    limit = effective_max_ranks(platform)
+    if platform.max_launch_ranks is not None and limit == platform.max_launch_ranks:
+        reason = f"mpiexec cannot initialize more than {limit} remote daemons"
+    elif (
+        platform.data_volume_cap_ranks is not None
+        and limit == platform.data_volume_cap_ranks
+    ):
+        reason = f"IB adapter data-volume cap above {limit} processes"
+    else:
+        reason = f"machine capacity of {platform.total_cores} cores"
+    return limit, reason
+
+
+def weak_scaling_sweep(
+    workload: AppWorkload,
+    platform: PlatformSpec,
+    rank_series: list[int] | None = None,
+    elements_per_rank: int = 20**3,
+    core_hour_rate: float | None = None,
+) -> list[WeakScalingPoint]:
+    """One platform's weak-scaling column for a figure.
+
+    Infeasible points (beyond the platform's ceiling) are included with
+    ``feasible=False`` so the figure generators can report *why* a curve
+    stops — the paper's curves for puma, ellipse and lagrange all
+    truncate before 1000.
+    """
+    if rank_series is None:
+        rank_series = paper_rank_series(1000)
+    if not rank_series:
+        raise ExperimentError("rank series is empty")
+    limit, reason = platform_rank_limit(platform)
+    model = PhaseModel(
+        workload,
+        platform,
+        elements_per_rank=elements_per_rank,
+        time_scale=time_scale_for(workload),
+    )
+    points = []
+    for p in rank_series:
+        if p > limit:
+            points.append(
+                WeakScalingPoint(
+                    platform=platform.name,
+                    num_ranks=p,
+                    feasible=False,
+                    limit_reason=reason,
+                    prediction=None,
+                    nodes=0,
+                    cost_per_iteration=float("inf"),
+                )
+            )
+            continue
+        prediction = model.predict(p)
+        points.append(
+            WeakScalingPoint(
+                platform=platform.name,
+                num_ranks=p,
+                feasible=True,
+                limit_reason="",
+                prediction=prediction,
+                nodes=platform.nodes_for_ranks(p),
+                cost_per_iteration=cost_per_iteration(
+                    platform, p, prediction.total, core_hour_rate=core_hour_rate
+                ),
+            )
+        )
+    return points

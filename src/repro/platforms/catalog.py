@@ -1,0 +1,243 @@
+"""The four target platforms (Table I, §V of the paper).
+
+Sustained per-core flop rates are calibration inputs to the performance
+model; they are chosen to respect the hardware generations (2006-era
+Opterons on puma/ellipse, 2010 Westmere Xeons on lagrange, 2011/12
+Sandy-Bridge-class Xeon E5s on EC2 cc2.8xlarge), so the *ratios* carry
+the signal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+from repro.network.model import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_4X_DDR,
+    TEN_GIGABIT_ETHERNET,
+)
+from repro.platforms.spec import (
+    AccessMode,
+    AvailabilityModel,
+    CPUModel,
+    NodeSpec,
+    PlatformSpec,
+    SupportLevel,
+)
+from repro.units import cents, eur_to_usd, hours, minutes
+
+# -- CPUs ---------------------------------------------------------------------
+
+OPTERON_2214 = CPUModel(
+    name="AMD Opteron 2214", architecture="Opteron",
+    clock_ghz=2.2, cores=2, sustained_gflops=0.85,
+)
+OPTERON_2218 = CPUModel(
+    name="AMD Opteron 2218", architecture="Opteron",
+    clock_ghz=2.6, cores=2, sustained_gflops=1.0,
+)
+XEON_X5660 = CPUModel(
+    name="Intel Xeon X5660", architecture="Xeon",
+    clock_ghz=2.8, cores=6, sustained_gflops=2.1,
+)
+XEON_E5 = CPUModel(
+    name="Intel Xeon E5 (cc2.8xlarge)", architecture="Xeon",
+    clock_ghz=2.6, cores=8, sustained_gflops=2.3,
+)
+
+# -- The LifeV software stack names used in Table I's dependency rows ---------
+
+_FULL_STACK = frozenset(
+    {
+        "gcc", "gfortran", "make", "autotools", "cmake",
+        "openmpi", "blas-lapack",
+        "boost", "hdf5", "parmetis", "suitesparse", "trilinos", "lifev",
+    }
+)
+
+# -- puma ----------------------------------------------------------------------
+
+puma = PlatformSpec(
+    name="puma",
+    description=(
+        "In-house 32-node cluster (LifeV team's home environment): "
+        "2x AMD 2214 per node, 8 GB RAM, 1 GbE, CentOS 5.2 / Rocks 5.1, "
+        "PBS Torque 2.3.6"
+    ),
+    node=NodeSpec(cpu=OPTERON_2214, sockets=2, ram_per_core_gb=1.0, scratch_gb=80.0),
+    num_nodes=32,
+    interconnect=GIGABIT_ETHERNET,
+    scheduler_name="pbs",
+    access=AccessMode.USER_SPACE,
+    support=SupportLevel.FULL,
+    has_build_env=True,
+    compiler="GCC 4.3.4",
+    preinstalled=_FULL_STACK,
+    install_channels=frozenset({"source"}),
+    storage_adequate=True,
+    storage_note="80 GB local scratch per node",
+    parallel_jobs_supported=True,
+    cost_per_core_hour=cents(2.3),  # amortized capital + operating (§VII.D)
+    charges_whole_nodes=False,
+    availability=AvailabilityModel(
+        base_wait_s=minutes(1), mean_queue_wait_s=hours(8), size_sensitivity=1.0
+    ),  # "overnight turnaround times on a local cluster" (§II)
+    backplane_bandwidth=25e6,  # oversubscribed campus 1 GbE switch tree
+)
+
+# -- ellipse ---------------------------------------------------------------------
+
+ellipse = PlatformSpec(
+    name="ellipse",
+    description=(
+        "University fee-for-use cluster: 256 nodes, 2x AMD 2218, 8 GB RAM, "
+        "1 GbE, CentOS 4.5, Sun Grid Engine 6.1 configured for serial "
+        "batches only"
+    ),
+    node=NodeSpec(cpu=OPTERON_2218, sockets=2, ram_per_core_gb=1.0, scratch_gb=40.0),
+    num_nodes=256,
+    interconnect=GIGABIT_ETHERNET,
+    scheduler_name="sge",
+    access=AccessMode.USER_SPACE,
+    support=SupportLevel.VERY_LIMITED,
+    has_build_env=True,
+    compiler="GCC 4.1.2",
+    preinstalled=frozenset({"gcc", "gfortran", "make", "autotools", "cmake"}),
+    install_channels=frozenset({"source"}),
+    storage_adequate=False,
+    storage_note="insufficient disk quota",
+    parallel_jobs_supported=False,  # SGE serial-only; Open MPI liaises with it
+    cost_per_core_hour=cents(5.0),
+    charges_whole_nodes=False,
+    availability=AvailabilityModel(
+        base_wait_s=minutes(2), mean_queue_wait_s=hours(12), size_sensitivity=0.7
+    ),
+    max_launch_ranks=512,  # mpiexec failed to start >512 remote daemons (§VII.A)
+    backplane_bandwidth=25e6,  # same oversubscribed 1 GbE fabric class as puma
+)
+
+# -- lagrange --------------------------------------------------------------------
+
+lagrange = PlatformSpec(
+    name="lagrange",
+    description=(
+        "CILEA supercomputer (TOP500 #136 when assembled): HP ProLiant "
+        "blades, 2x Intel Xeon X5660, 24 GB RAM, InfiniBand 4X DDR, "
+        "CentOS 5.6, PBS Professional 11"
+    ),
+    node=NodeSpec(cpu=XEON_X5660, sockets=2, ram_per_core_gb=2.0, scratch_gb=200.0),
+    num_nodes=170,  # enough for the paper's runs; the real machine was larger
+    interconnect=INFINIBAND_4X_DDR,
+    scheduler_name="pbs",
+    access=AccessMode.USER_SPACE,
+    support=SupportLevel.LIMITED,
+    has_build_env=True,
+    compiler="GCC 4.1.2 / Intel 12.1",
+    preinstalled=frozenset(
+        {"gcc", "gfortran", "make", "autotools", "cmake", "openmpi", "blas-lapack"}
+    ),  # vendor MKL provides BLAS/LAPACK; MPI via modules (Table I)
+    install_channels=frozenset({"module", "source"}),
+    storage_adequate=True,
+    storage_note="project storage allocation",
+    parallel_jobs_supported=True,
+    cost_per_core_hour=eur_to_usd(0.15, rate=1.2793),  # EUR 0.15 -> 19.19 cents (§VII.D)
+    charges_whole_nodes=False,
+    availability=AvailabilityModel(
+        base_wait_s=minutes(5), mean_queue_wait_s=hours(24), size_sensitivity=0.8
+    ),  # "grid resources are often subject to long queue wait times" (§VIII)
+    data_volume_cap_ranks=343,  # IB adapter data-volume limit (§VII.A)
+    backplane_bandwidth=60e9,  # full-bisection IB fat-tree: effectively unconstrained
+)
+
+# -- EC2 cc2.8xlarge ---------------------------------------------------------------
+
+ec2_cc28xlarge = PlatformSpec(
+    name="ec2",
+    description=(
+        "Amazon EC2 Cluster Compute cc2.8xlarge: 2x eight-core Intel Xeon "
+        "E5, 60.5 GB RAM, 10 GbE with placement groups, root access via "
+        "ssh, no scheduler (plain mpiexec from the shell)"
+    ),
+    node=NodeSpec(cpu=XEON_E5, sockets=2, ram_per_core_gb=3.8, scratch_gb=20.0),
+    num_nodes=63,  # the largest assembly the authors instantiated
+    interconnect=TEN_GIGABIT_ETHERNET,
+    scheduler_name="shell",
+    access=AccessMode.ROOT,
+    support=SupportLevel.NONE,
+    has_build_env=False,
+    compiler=None,  # "none / yum" in Table I
+    preinstalled=frozenset(),
+    install_channels=frozenset({"yum", "source"}),
+    storage_adequate=False,
+    storage_note="20 GB image partition; resized boot volume for meshes",
+    parallel_jobs_supported=False,  # no scheduler; user drives mpiexec directly
+    cost_per_core_hour=cents(15.0),  # $2.40 per 16-core node-hour
+    charges_whole_nodes=True,
+    availability=AvailabilityModel(
+        base_wait_s=minutes(3), mean_queue_wait_s=0.0, size_sensitivity=1.0
+    ),  # "IaaS's provide resources immediately" (§VIII)
+    on_demand=True,
+    # Effective many-to-many capacity of the 2012 multi-tenant EC2
+    # fabric under bulk-synchronous MPI load (TCP incast collapse);
+    # calibrated against Table II's measured iteration times.
+    backplane_bandwidth=15e6,
+)
+
+
+_CATALOG = {p.name: p for p in (puma, ellipse, lagrange, ec2_cc28xlarge)}
+
+
+def all_platforms() -> list[PlatformSpec]:
+    """The four platforms in the paper's order."""
+    return [puma, ellipse, lagrange, ec2_cc28xlarge]
+
+
+def platform_by_name(name: str) -> PlatformSpec:
+    """Look a platform up by name ('puma', 'ellipse', 'lagrange', 'ec2')."""
+    try:
+        return _CATALOG[name.lower()]
+    except KeyError:
+        raise PlatformError(
+            f"unknown platform {name!r}; known: {sorted(_CATALOG)}"
+        ) from None
+
+
+def table1_rows() -> dict[str, dict[str, str]]:
+    """Regenerate Table I: attribute -> platform -> cell text."""
+    rows: dict[str, dict[str, str]] = {}
+
+    def put(attr: str, fn) -> None:
+        rows[attr] = {p.name: fn(p) for p in all_platforms()}
+
+    put("cpu arch.", lambda p: p.node.cpu.architecture)
+    put("# cpu/cores", lambda p: f"{p.node.sockets}/{p.node.cpu.cores}")
+    put("RAM/core", lambda p: f"{p.node.ram_per_core_gb:g}GB")
+    put("network", lambda p: p.interconnect.name)
+    put(
+        "storage",
+        lambda p: "OK" if p.storage_adequate else f"insufficient ({p.storage_note})",
+    )
+    put("access", lambda p: p.access.value)
+    put("support", lambda p: p.support.value)
+    put(
+        "build env.",
+        lambda p: "yes" if p.has_build_env else ("none; yum" if "yum" in p.install_channels else "none"),
+    )
+    put("compiler", lambda p: p.compiler or "none; yum")
+    put(
+        "dependencies",
+        lambda p: (
+            "all"
+            if "lifev" in p.preinstalled
+            else ("blas, lapack" if "blas-lapack" in p.preinstalled else "none")
+        ),
+    )
+    put(
+        "MPI",
+        lambda p: "Open MPI" if "openmpi" in p.preinstalled else "none",
+    )
+    put("parallel jobs", lambda p: "yes" if p.parallel_jobs_supported else "no")
+    put(
+        "execution",
+        lambda p: {"pbs": "PBS", "sge": "SGE", "shell": "shell"}[p.scheduler_name],
+    )
+    return rows

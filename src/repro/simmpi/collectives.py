@@ -1,0 +1,120 @@
+"""Communication schedules for collective operations.
+
+Pure functions that compute who-talks-to-whom per round; the
+:class:`~repro.simmpi.comm.Communicator` executes them with real
+point-to-point messages.  Keeping the schedules separate makes them unit
+testable and reusable by the analytic performance model, which costs the
+same rounds without executing them.
+
+Algorithms are the textbook ones Open MPI uses at these scales: binomial
+trees for bcast/reduce, recursive doubling (with a pre/post fold for
+non-powers-of-two) for allreduce, dissemination for barrier, ring for
+allgather.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CommunicatorError
+
+
+def binomial_children(rank: int, size: int, root: int = 0) -> list[int]:
+    """Children of ``rank`` in a binomial broadcast tree rooted at ``root``.
+
+    Ranks are rotated so the root maps to virtual rank 0.  In round ``k``
+    (k = 0 is the earliest), virtual rank ``v < 2^k`` sends to ``v + 2^k``.
+    Children are returned in send order.
+    """
+    _check_rank(rank, size)
+    _check_rank(root, size)
+    virtual = (rank - root) % size
+    children = []
+    k = 0
+    while (1 << k) < size:
+        if virtual < (1 << k):
+            child = virtual + (1 << k)
+            if child < size:
+                children.append((child + root) % size)
+        k += 1
+    return children
+
+
+def binomial_parent(rank: int, size: int, root: int = 0) -> int | None:
+    """Parent of ``rank`` in the binomial tree, or None for the root."""
+    _check_rank(rank, size)
+    _check_rank(root, size)
+    virtual = (rank - root) % size
+    if virtual == 0:
+        return None
+    # Clear the highest set bit to find the parent.
+    highest = 1 << (virtual.bit_length() - 1)
+    return ((virtual - highest) + root) % size
+
+
+def binomial_rounds(size: int) -> int:
+    """Number of rounds a binomial tree needs: ceil(log2(size))."""
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    return max(0, math.ceil(math.log2(size))) if size > 1 else 0
+
+
+def dissemination_rounds(size: int) -> list[int]:
+    """Offsets per round of the dissemination barrier: 1, 2, 4, ...
+
+    In round with offset ``d`` each rank sends to ``(rank + d) % size``
+    and receives from ``(rank - d) % size``.
+    """
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    offsets = []
+    d = 1
+    while d < size:
+        offsets.append(d)
+        d *= 2
+    return offsets
+
+
+def recursive_doubling_plan(size: int) -> tuple[int, list[int]]:
+    """Plan for recursive-doubling allreduce on arbitrary ``size``.
+
+    Returns ``(pof2, masks)``: the largest power of two <= size and the
+    XOR masks per round for the pof2 core.  The ``size - pof2`` excess
+    ranks fold their data into a partner before the core rounds and
+    receive the result after.
+    """
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    pof2 = 1 << (size.bit_length() - 1)
+    masks = []
+    mask = 1
+    while mask < pof2:
+        masks.append(mask)
+        mask *= 2
+    return pof2, masks
+
+
+def ring_neighbors(rank: int, size: int) -> tuple[int, int]:
+    """(send_to, recv_from) of the allgather ring."""
+    _check_rank(rank, size)
+    return (rank + 1) % size, (rank - 1) % size
+
+
+def tree_depth_of(rank: int, size: int, root: int = 0) -> int:
+    """Rounds until ``rank`` receives in a binomial bcast (popcount path).
+
+    Virtual rank ``v`` receives in round ``floor(log2(v))`` + 1; the root
+    has depth 0.  Used by the perf model to cost pipelined trees.
+    """
+    _check_rank(rank, size)
+    virtual = (rank - root) % size
+    if virtual == 0:
+        return 0
+    return virtual.bit_length()
+
+
+def _check_rank(rank: int, size: int) -> None:
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    if not (0 <= rank < size):
+        raise CommunicatorError(f"rank {rank} outside communicator of size {size}")

@@ -1,0 +1,616 @@
+"""The simmpi Communicator: mpi4py-style message passing in virtual time.
+
+Semantics are executed for real (payloads actually move between
+threads); timing is modeled: each message advances virtual clocks
+through the platform's :class:`~repro.network.topology.ClusterTopology`.
+
+Collectives run the schedules from :mod:`repro.simmpi.collectives` with
+real point-to-point messages, so their cost emerges from the same
+alpha-beta model instead of being hand-waved — a binomial bcast on an
+InfiniBand cluster is genuinely cheaper than on 1 GbE because each of
+its log2(p) hops is.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any
+
+from repro.errors import CommunicatorError, DataVolumeExceededError
+from repro.network.topology import ClusterTopology
+from repro.simmpi import collectives as coll
+from repro.simmpi.clock import VirtualClock
+from repro.simmpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    ReduceOp,
+    Status,
+    SUM,
+    payload_nbytes,
+)
+from repro.simmpi.tracing import TraceRecord, Tracer
+from repro.simmpi.transport import Engine
+
+# Per-message CPU overhead on each side (LogP's "o" parameter).
+SEND_OVERHEAD = 0.5e-6
+RECV_OVERHEAD = 0.5e-6
+
+# Collective operations use a reserved tag space above user tags.
+_COLL_TAG_BASE = 1 << 20
+_MAX_USER_TAG = _COLL_TAG_BASE - 1
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py's Request)."""
+
+    def __init__(self, comm: "Communicator", kind: str, source: int = ANY_SOURCE,
+                 tag: int = ANY_TAG, payload: Any = None):
+        self._comm = comm
+        self._kind = kind
+        self._source = source
+        self._tag = tag
+        self._payload = payload
+        self._done = kind == "send"  # eager sends complete immediately
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received payload for irecv."""
+        if self._done:
+            return self._payload
+        self._payload = self._comm.recv(source=self._source, tag=self._tag)
+        self._done = True
+        return self._payload
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, payload_or_None)."""
+        if self._done:
+            return True, self._payload
+        msg = self._comm._try_collect(self._source, self._tag)
+        if msg is None:
+            return False, None
+        self._comm._absorb(msg)
+        self._payload = msg.payload
+        self._done = True
+        return True, self._payload
+
+
+class Communicator:
+    """An MPI-like communicator over the virtual-time engine.
+
+    ``group`` maps local ranks to engine (world) ranks; the world
+    communicator has the identity group and context 0.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rank: int,
+        size: int,
+        topology: ClusterTopology,
+        clock: VirtualClock | None = None,
+        tracer: Tracer | None = None,
+        context: int = 0,
+        group: list[int] | None = None,
+        volume_limit_bytes: float | None = None,
+        nic_concurrency: float = 1.0,
+    ):
+        if not (0 <= rank < size):
+            raise CommunicatorError(f"rank {rank} outside communicator of size {size}")
+        self.engine = engine
+        self.rank = rank
+        self.size = size
+        self.topology = topology
+        self.clock = clock if clock is not None else VirtualClock()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.context = context
+        self.group = group if group is not None else list(range(size))
+        if len(self.group) != size:
+            raise CommunicatorError(
+                f"group has {len(self.group)} entries for size-{size} communicator"
+            )
+        self._world_to_local = {w: l for l, w in enumerate(self.group)}
+        self.volume_limit_bytes = volume_limit_bytes
+        self.nic_concurrency = max(1.0, float(nic_concurrency))
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._coll_seq = 0
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's id in the engine's world numbering."""
+        return self.group[self.rank]
+
+    @property
+    def time(self) -> float:
+        """This rank's current virtual time."""
+        return self.clock.time
+
+    def __repr__(self) -> str:
+        return f"Communicator(rank={self.rank}/{self.size}, context={self.context})"
+
+    # -- local computation ------------------------------------------------------
+
+    def compute(self, seconds: float, label: str = "compute") -> None:
+        """Advance this rank's clock by a modeled computation time."""
+        if seconds < 0:
+            raise CommunicatorError(f"compute duration must be >= 0, got {seconds}")
+        start = self.clock.time
+        self.clock.advance(seconds)
+        self.tracer.record(
+            TraceRecord(self.rank, "compute", start, self.clock.time, label=label)
+        )
+
+    @contextmanager
+    def phase(self, label: str):
+        """Trace a phase: ``with comm.phase("assembly"): ...``"""
+        start = self.clock.time
+        yield
+        self.tracer.record(
+            TraceRecord(self.rank, "phase", start, self.clock.time, label=label)
+        )
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Eager send: charges the sender its overhead and returns."""
+        self._check_peer(dest)
+        self._check_tag(tag)
+        self._send_impl(payload, dest, tag + 0, internal=False)
+
+    def _send_impl(self, payload: Any, dest: int, tag: int, internal: bool) -> None:
+        nbytes = payload_nbytes(payload)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        if (
+            self.volume_limit_bytes is not None
+            and self.bytes_sent > self.volume_limit_bytes
+        ):
+            raise DataVolumeExceededError(
+                f"rank {self.rank} exceeded the fabric data-volume budget "
+                f"({self.bytes_sent} > {self.volume_limit_bytes:.0f} bytes) — "
+                f"the lagrange IB limitation (paper §VII.A)",
+                rank=self.rank,
+                volume_bytes=self.bytes_sent,
+                limit_bytes=int(self.volume_limit_bytes),
+            )
+        start = self.clock.time
+        world_dest = self.group[dest]
+        src_node = self.topology.node_of_rank(self.world_rank)
+        dst_node = self.topology.node_of_rank(world_dest)
+        concurrency = 1 if src_node == dst_node else max(1.0, self.nic_concurrency)
+        link = self.topology.network.link_between(src_node, dst_node)
+        # Store-and-forward injection: the sender's NIC serializes the
+        # payload (LogGP's G*n charged at the sender), so back-to-back
+        # sends cannot overlap on one adapter — this is what makes a
+        # linear broadcast genuinely slower than a binomial tree.
+        inject = nbytes * concurrency / link.bandwidth
+        self.clock.advance(SEND_OVERHEAD + inject)
+        arrival = self.clock.time + link.latency
+        self.engine.post(
+            world_dest,
+            Message(
+                context=self.context,
+                source=self.world_rank,
+                tag=tag,
+                payload=payload,
+                nbytes=nbytes,
+                arrival_time=arrival,
+            ),
+        )
+        self.tracer.record(
+            TraceRecord(
+                self.rank,
+                "send",
+                start,
+                self.clock.time,
+                nbytes=nbytes,
+                peer=dest,
+                tag=tag,
+            )
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        payload, _ = self.recv_status(source, tag)
+        return payload
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
+        """Blocking receive; returns (payload, Status)."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        start = self.clock.time
+        msg = self.engine.wait_for_message(self.world_rank, self.context, world_source, tag)
+        self._absorb(msg)
+        local_source = self._world_to_local[msg.source]
+        self.tracer.record(
+            TraceRecord(
+                self.rank,
+                "recv",
+                start,
+                self.clock.time,
+                nbytes=msg.nbytes,
+                peer=local_source,
+                tag=msg.tag,
+            )
+        )
+        return msg.payload, Status(source=local_source, tag=msg.tag, nbytes=msg.nbytes)
+
+    def _absorb(self, msg: Message) -> None:
+        """Merge the message's arrival time into this rank's clock."""
+        self.clock.merge(msg.arrival_time)
+        self.clock.advance(RECV_OVERHEAD)
+
+    def _try_collect(self, source: int, tag: int) -> Message | None:
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        mailbox = self.engine.mailboxes[self.world_rank]
+        with mailbox.condition:
+            return mailbox.try_collect(self.context, world_source, tag)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (eager: completes immediately)."""
+        self.send(payload, dest, tag)
+        return Request(self, "send", payload=None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; complete with ``wait()`` or ``test()``."""
+        return Request(self, "recv", source=source, tag=tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-blocking probe: Status of a matching pending message
+        (without consuming it), or None.  Does not advance the clock."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        mailbox = self.engine.mailboxes[self.world_rank]
+        with mailbox.condition:
+            for msg in mailbox._messages:
+                if msg.context == self.context and msg.matches(world_source, tag):
+                    return Status(
+                        source=self._world_to_local[msg.source],
+                        tag=msg.tag,
+                        nbytes=msg.nbytes,
+                    )
+        return None
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: wait until a matching message is pending.
+
+        The message stays in the mailbox; the clock merges to its
+        arrival time (you cannot know it exists before it arrives).
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        msg = self.engine.wait_for_message(self.world_rank, self.context, world_source, tag)
+        # Put it back at the front so the next recv matches it first.
+        mailbox = self.engine.mailboxes[self.world_rank]
+        with mailbox.condition:
+            mailbox._messages.insert(0, msg)
+            mailbox.condition.notify_all()
+        self.clock.merge(msg.arrival_time)
+        return Status(
+            source=self._world_to_local[msg.source], tag=msg.tag, nbytes=msg.nbytes
+        )
+
+    @staticmethod
+    def waitall(requests: list["Request"]) -> list[Any]:
+        """Complete a list of requests; returns their payloads in order."""
+        return [req.wait() for req in requests]
+
+    def sendrecv(
+        self, payload: Any, dest: int, source: int = ANY_SOURCE,
+        sendtag: int = 0, recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send + receive (deadlock-free since sends are eager)."""
+        self.send(payload, dest, sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def _next_coll_tag(self) -> int:
+        self._coll_seq += 1
+        return _COLL_TAG_BASE + (self._coll_seq % (1 << 20))
+
+    def barrier(self) -> None:
+        """Dissemination barrier; synchronizes virtual clocks."""
+        tag = self._next_coll_tag()
+        for offset in coll.dissemination_rounds(self.size):
+            self._send_impl(None, (self.rank + offset) % self.size, tag, internal=True)
+            self.engine.check_abort()
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[(self.rank - offset) % self.size], tag
+            )
+            self._absorb(msg)
+
+    def bcast(self, payload: Any, root: int = 0, algorithm: str = "binomial") -> Any:
+        """Broadcast; every rank returns the payload.
+
+        ``algorithm``: ``"binomial"`` (log2(p) rounds, the Open MPI
+        default at these scales) or ``"linear"`` (root sends p-1
+        messages — the naive baseline the ablation benchmarks compare
+        against).
+        """
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if algorithm == "binomial":
+            parent = coll.binomial_parent(self.rank, self.size, root)
+            if parent is not None:
+                msg = self.engine.wait_for_message(
+                    self.world_rank, self.context, self.group[parent], tag
+                )
+                self._absorb(msg)
+                payload = msg.payload
+            for child in coll.binomial_children(self.rank, self.size, root):
+                self._send_impl(payload, child, tag, internal=True)
+            return payload
+        if algorithm == "linear":
+            if self.rank == root:
+                for dest in range(self.size):
+                    if dest != root:
+                        self._send_impl(payload, dest, tag, internal=True)
+                return payload
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[root], tag
+            )
+            self._absorb(msg)
+            return msg.payload
+        raise CommunicatorError(f"unknown bcast algorithm {algorithm!r}")
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0,
+               algorithm: str = "binomial") -> Any:
+        """Reduction; the result lands on ``root`` (None elsewhere).
+
+        ``algorithm``: ``"binomial"`` tree or ``"linear"`` (everyone
+        sends to root).
+        """
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if algorithm == "binomial":
+            accum = value
+            # Receive from children in reverse send order (deepest first).
+            for child in reversed(coll.binomial_children(self.rank, self.size, root)):
+                msg = self.engine.wait_for_message(
+                    self.world_rank, self.context, self.group[child], tag
+                )
+                self._absorb(msg)
+                accum = op(accum, msg.payload)
+            parent = coll.binomial_parent(self.rank, self.size, root)
+            if parent is not None:
+                self._send_impl(accum, parent, tag, internal=True)
+                return None
+            return accum
+        if algorithm == "linear":
+            if self.rank != root:
+                self._send_impl(value, root, tag, internal=True)
+                return None
+            accum = value
+            for src in range(self.size):
+                if src == root:
+                    continue
+                msg = self.engine.wait_for_message(
+                    self.world_rank, self.context, self.group[src], tag
+                )
+                self._absorb(msg)
+                accum = op(accum, msg.payload)
+            return accum
+        raise CommunicatorError(f"unknown reduce algorithm {algorithm!r}")
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Recursive-doubling allreduce (with fold for non-powers-of-two)."""
+        tag = self._next_coll_tag()
+        pof2, masks = coll.recursive_doubling_plan(self.size)
+        excess = self.size - pof2
+        accum = value
+
+        # Pre-phase: the top `excess` ranks fold into partners below pof2.
+        if self.rank >= pof2:
+            partner = self.rank - pof2
+            self._send_impl(accum, partner, tag, internal=True)
+            # Wait for the final result in the post-phase.
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[partner], tag
+            )
+            self._absorb(msg)
+            return msg.payload
+
+        if self.rank < excess:
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[self.rank + pof2], tag
+            )
+            self._absorb(msg)
+            accum = op(accum, msg.payload)
+
+        for mask in masks:
+            partner = self.rank ^ mask
+            self._send_impl(accum, partner, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[partner], tag
+            )
+            self._absorb(msg)
+            accum = op(accum, msg.payload)
+
+        if self.rank < excess:
+            self._send_impl(accum, self.rank + pof2, tag, internal=True)
+        return accum
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Linear gather to ``root``; returns the list there, None elsewhere."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if self.rank != root:
+            self._send_impl(value, root, tag, internal=True)
+            return None
+        out = [None] * self.size
+        out[root] = value
+        for src in range(self.size):
+            if src == root:
+                continue
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[src], tag
+            )
+            self._absorb(msg)
+            out[self._world_to_local[msg.source]] = msg.payload
+        return out
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Ring allgather; every rank returns the full list."""
+        tag = self._next_coll_tag()
+        out = [None] * self.size
+        out[self.rank] = value
+        send_to, recv_from = coll.ring_neighbors(self.rank, self.size)
+        carry_index = self.rank
+        for _ in range(self.size - 1):
+            self._send_impl((carry_index, out[carry_index]), send_to, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[recv_from], tag
+            )
+            self._absorb(msg)
+            carry_index, payload = msg.payload
+            out[carry_index] = payload
+        return out
+
+    def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
+        """Linear scatter from ``root``; each rank returns its slice."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommunicatorError(
+                    f"scatter root needs a list of exactly {self.size} items"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self._send_impl(values[dest], dest, tag, internal=True)
+            return values[root]
+        msg = self.engine.wait_for_message(
+            self.world_rank, self.context, self.group[root], tag
+        )
+        self._absorb(msg)
+        return msg.payload
+
+    def alltoall(self, values: list[Any]) -> list[Any]:
+        """Pairwise-exchange all-to-all."""
+        if len(values) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs a list of exactly {self.size} items"
+            )
+        tag = self._next_coll_tag()
+        out = [None] * self.size
+        out[self.rank] = values[self.rank]
+        for shift in range(1, self.size):
+            dest = (self.rank + shift) % self.size
+            src = (self.rank - shift) % self.size
+            self._send_impl(values[dest], dest, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[src], tag
+            )
+            self._absorb(msg)
+            out[self._world_to_local[msg.source]] = msg.payload
+        return out
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix scan along the rank chain."""
+        tag = self._next_coll_tag()
+        accum = value
+        if self.rank > 0:
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[self.rank - 1], tag
+            )
+            self._absorb(msg)
+            accum = op(msg.payload, value)
+        if self.rank + 1 < self.size:
+            self._send_impl(accum, self.rank + 1, tag, internal=True)
+        return accum
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix scan; rank 0 receives None.
+
+        The classic use is computing global DOF offsets from local
+        counts, which is exactly what the distributed assembly needs.
+        """
+        tag = self._next_coll_tag()
+        prefix = None
+        if self.rank > 0:
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[self.rank - 1], tag
+            )
+            self._absorb(msg)
+            prefix = msg.payload
+        if self.rank + 1 < self.size:
+            carry = value if prefix is None else op(prefix, value)
+            self._send_impl(carry, self.rank + 1, tag, internal=True)
+        return prefix
+
+    def reduce_scatter_block(self, values: list[Any], op: ReduceOp = SUM) -> Any:
+        """Reduce ``values`` elementwise across ranks, scatter one block each.
+
+        ``values`` must have exactly ``size`` entries; rank ``i`` returns
+        the reduction of everyone's ``values[i]``.  Implemented as
+        pairwise exchange + local reduction (the small-message algorithm).
+        """
+        if len(values) != self.size:
+            raise CommunicatorError(
+                f"reduce_scatter_block needs a list of exactly {self.size} items"
+            )
+        contributions = self.alltoall(values)
+        accum = contributions[0]
+        for item in contributions[1:]:
+            accum = op(accum, item)
+        return accum
+
+    # -- communicator management -----------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color``, order by ``key``.
+
+        All ranks must call it (collective).  Returns the new
+        sub-communicator for this rank's color.
+        """
+        if key is None:
+            key = self.rank
+        triples = self.allgather((int(color), int(key), self.rank))
+        # Local rank 0 allocates context ids so all members agree.
+        colors = sorted({c for c, _, _ in triples})
+        if self.rank == 0:
+            mapping = {c: self.engine.allocate_context() for c in colors}
+        else:
+            mapping = None
+        mapping = self.bcast(mapping, root=0)
+        members = sorted(
+            [(k, r) for c, k, r in triples if c == color]
+        )
+        local_ranks = [r for _, r in members]
+        new_rank = local_ranks.index(self.rank)
+        return Communicator(
+            engine=self.engine,
+            rank=new_rank,
+            size=len(local_ranks),
+            topology=self.topology,
+            clock=self.clock,  # shared: same physical rank, same timeline
+            tracer=self.tracer,
+            context=mapping[color],
+            group=[self.group[r] for r in local_ranks],
+            volume_limit_bytes=self.volume_limit_bytes,
+            nic_concurrency=self.nic_concurrency,
+        )
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator with a fresh context (collective)."""
+        return self.split(color=0, key=self.rank)
+
+    # -- validation --------------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise CommunicatorError(
+                f"peer rank {peer} outside communicator of size {self.size}"
+            )
+
+    def _check_tag(self, tag: int) -> None:
+        if not (0 <= tag <= _MAX_USER_TAG):
+            raise CommunicatorError(
+                f"user tags must be in [0, {_MAX_USER_TAG}], got {tag}"
+            )

@@ -1,0 +1,152 @@
+"""SPMD launcher: the simulated ``mpiexec``.
+
+Spawns one thread per rank, hands each a :class:`Communicator`, collects
+return values, clocks and traces.  Failure injection hooks reproduce the
+launch pathologies the paper hit: ellipse's ``mpiexec`` could not
+initialize more than 512 remote daemons, and EC2 required ssh mutual
+authentication and open security-group ports before any launch worked
+(:mod:`repro.platforms` wires those hooks).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import LaunchError, SimMPIError
+from repro.network.model import GIGABIT_ETHERNET, NetworkModel
+from repro.network.topology import ClusterTopology
+from repro.simmpi.clock import VirtualClock
+from repro.simmpi.comm import Communicator
+from repro.simmpi.tracing import Tracer
+from repro.simmpi.transport import Engine
+
+
+@dataclass
+class SPMDResult:
+    """Everything a finished SPMD run exposes."""
+
+    num_ranks: int
+    returns: list[Any]
+    clocks: list[float]
+    tracer: Tracer
+    bytes_sent: list[int] = field(default_factory=list)
+    messages_sent: list[int] = field(default_factory=list)
+
+    @property
+    def max_time(self) -> float:
+        """The run's makespan: the latest rank clock."""
+        return max(self.clocks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes sent across all ranks."""
+        return sum(self.bytes_sent)
+
+
+def default_topology(num_ranks: int) -> ClusterTopology:
+    """A generic single-switch cluster for tests: 4-core 1 GbE nodes."""
+    cores = 4
+    nodes = max(1, -(-num_ranks // cores))
+    return ClusterTopology(nodes, cores, NetworkModel(GIGABIT_ETHERNET))
+
+
+def run_spmd(
+    target: Callable[..., Any],
+    num_ranks: int,
+    topology: ClusterTopology | None = None,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    trace: bool = False,
+    volume_limit_bytes: float | None = None,
+    nic_concurrency: float = 1.0,
+    real_timeout: float = 120.0,
+    launch_hook: Callable[[int], None] | None = None,
+) -> SPMDResult:
+    """Run ``target(comm, *args, **kwargs)`` on ``num_ranks`` ranks.
+
+    Parameters mirror what a batch system controls: the ``topology``
+    places ranks on nodes (block placement), ``volume_limit_bytes``
+    injects the lagrange IB cap, ``nic_concurrency`` applies the NIC
+    sharing factor for off-node messages, and ``launch_hook`` may raise
+    :class:`~repro.errors.LaunchError` before any rank starts (ellipse's
+    >512-rank failure).
+
+    Raises the first rank exception after aborting the others.
+    """
+    if num_ranks < 1:
+        raise LaunchError(f"cannot launch {num_ranks} ranks")
+    if kwargs is None:
+        kwargs = {}
+    if topology is None:
+        topology = default_topology(num_ranks)
+    if not topology.supports(num_ranks):
+        raise LaunchError(
+            f"{num_ranks} ranks exceed the machine's {topology.total_cores} cores"
+        )
+    if launch_hook is not None:
+        launch_hook(num_ranks)
+
+    engine = Engine(num_ranks, real_timeout=real_timeout)
+    tracer = Tracer(enabled=trace)
+    comms = [
+        Communicator(
+            engine=engine,
+            rank=r,
+            size=num_ranks,
+            topology=topology,
+            clock=VirtualClock(),
+            tracer=tracer,
+            volume_limit_bytes=volume_limit_bytes,
+            nic_concurrency=nic_concurrency,
+        )
+        for r in range(num_ranks)
+    ]
+
+    returns: list[Any] = [None] * num_ranks
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def _rank_main(rank: int) -> None:
+        try:
+            returns[rank] = target(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must propagate everything
+            with errors_lock:
+                errors.append((rank, exc))
+            engine.abort(exc)
+        finally:
+            engine.rank_finished()
+
+    threads = [
+        threading.Thread(target=_rank_main, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+        for r in range(num_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=real_timeout + 10.0)
+        if t.is_alive():
+            exc = SimMPIError(f"thread {t.name} failed to finish (runaway rank)")
+            engine.abort(exc)
+            raise exc
+
+    if errors:
+        # Re-raise the root cause (the exception that triggered the abort),
+        # not the secondary SimMPIError other ranks saw while unwinding, so
+        # callers can discriminate injected platform failures
+        # (DataVolumeExceededError etc.).
+        root = engine.abort_exception
+        if root is None:
+            errors.sort(key=lambda pair: pair[0])
+            root = errors[0][1]
+        raise root
+
+    return SPMDResult(
+        num_ranks=num_ranks,
+        returns=returns,
+        clocks=[c.clock.time for c in comms],
+        tracer=tracer,
+        bytes_sent=[c.bytes_sent for c in comms],
+        messages_sent=[c.messages_sent for c in comms],
+    )

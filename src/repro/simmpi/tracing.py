@@ -1,0 +1,132 @@
+"""Execution traces: what each rank did, when (virtual time), how many bytes.
+
+The tracer is the bridge between the executed simulation and the paper's
+measurements: per-phase wall-clock averages come from reducing these
+records exactly the way the authors reduced their timers (discard the
+first iterations, average the rest — that part lives in
+:mod:`repro.harness.results`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event on one rank."""
+
+    rank: int
+    kind: str  # "send" | "recv" | "compute" | "collective" | "phase"
+    t_start: float
+    t_end: float
+    nbytes: int = 0
+    peer: int = -1
+    tag: int = 0
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Virtual duration of the event."""
+        return self.t_end - self.t_start
+
+
+@dataclass
+class Tracer:
+    """Thread-safe collector of trace records for a whole SPMD run."""
+
+    enabled: bool = True
+    records: list[TraceRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, record: TraceRecord) -> None:
+        """Append one record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.records.append(record)
+
+    # -- reductions -----------------------------------------------------------
+
+    def by_rank(self, rank: int) -> list[TraceRecord]:
+        """All records of one rank, in recording order."""
+        with self._lock:
+            return [r for r in self.records if r.rank == rank]
+
+    def total_bytes_sent(self, rank: int | None = None) -> int:
+        """Bytes sent by one rank (or all ranks)."""
+        with self._lock:
+            return sum(
+                r.nbytes
+                for r in self.records
+                if r.kind == "send" and (rank is None or r.rank == rank)
+            )
+
+    def message_count(self, kind: str = "send") -> int:
+        """Number of events of a given kind."""
+        with self._lock:
+            return sum(1 for r in self.records if r.kind == kind)
+
+    def time_by_label(self) -> dict[str, float]:
+        """Total virtual duration per label, summed over ranks."""
+        out: dict[str, float] = defaultdict(float)
+        with self._lock:
+            for r in self.records:
+                if r.label:
+                    out[r.label] += r.duration
+        return dict(out)
+
+    def max_time_by_label(self) -> dict[str, float]:
+        """Per label, the max over ranks of that rank's summed duration.
+
+        This is the paper's reduction for per-phase numbers: the slowest
+        rank determines the iteration's phase time.
+        """
+        per_rank: dict[str, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+        with self._lock:
+            for r in self.records:
+                if r.label:
+                    per_rank[r.label][r.rank] += r.duration
+        return {label: max(ranks.values()) for label, ranks in per_rank.items()}
+
+    def clear(self) -> None:
+        """Drop all records."""
+        with self._lock:
+            self.records.clear()
+
+    def timeline(self, width: int = 64, kinds: tuple[str, ...] = ("compute", "send", "recv")) -> str:
+        """Render a per-rank text timeline (a poor man's Gantt chart).
+
+        Each rank gets one lane of ``width`` characters spanning the
+        run's virtual time; events paint their interval with a kind
+        marker (``#`` compute, ``>`` send, ``<`` recv, ``=`` overlap).
+        Instantaneous events paint a single cell.
+        """
+        with self._lock:
+            records = [r for r in self.records if r.kind in kinds]
+        if not records:
+            return "(no trace records)\n"
+        t_end = max(r.t_end for r in records)
+        t_start = min(r.t_start for r in records)
+        span = (t_end - t_start) or 1.0
+        ranks = sorted({r.rank for r in records})
+        marks = {"compute": "#", "send": ">", "recv": "<", "phase": "~", "collective": "+"}
+
+        lanes: dict[int, list[str]] = {rank: [" "] * width for rank in ranks}
+        for r in records:
+            lo = int((r.t_start - t_start) / span * (width - 1))
+            hi = max(lo, int((r.t_end - t_start) / span * (width - 1)))
+            lane = lanes[r.rank]
+            mark = marks.get(r.kind, "?")
+            for col in range(lo, hi + 1):
+                lane[col] = "=" if lane[col] not in (" ", mark) else mark
+        lines = [
+            f"rank {rank:>3} |{''.join(lane)}|" for rank, lane in lanes.items()
+        ]
+        lines.append(
+            f"time: {t_start:.6f}s .. {t_end:.6f}s   "
+            f"(# compute, > send, < recv, = overlap)"
+        )
+        return "\n".join(lines) + "\n"

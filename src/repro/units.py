@@ -1,0 +1,142 @@
+"""Small unit-conversion helpers used across the library.
+
+All internal computation uses SI base units: seconds, bytes, dollars,
+flops.  These helpers exist so module code reads like the paper
+("20 Gb/s", "5 cents per core-hour") while staying unambiguous.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# time
+# ---------------------------------------------------------------------------
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+# A standard working day for porting-effort accounting (man-hours).
+WORKDAY_HOURS = 8.0
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * HOUR
+
+
+def to_hours(seconds_value: float) -> float:
+    """Convert seconds to hours."""
+    return seconds_value / HOUR
+
+
+# ---------------------------------------------------------------------------
+# data size / rate
+# ---------------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+
+def gbit_per_s(value: float) -> float:
+    """Convert a link rate in gigabits/second to bytes/second."""
+    return value * 1e9 / 8.0
+
+
+def mbyte_per_s(value: float) -> float:
+    """Convert a rate in megabytes/second to bytes/second."""
+    return value * 1e6
+
+
+def to_mib(num_bytes: float) -> float:
+    """Convert bytes to binary megabytes."""
+    return num_bytes / MIB
+
+
+# ---------------------------------------------------------------------------
+# money
+# ---------------------------------------------------------------------------
+
+CENT = 0.01
+
+
+def cents(value: float) -> float:
+    """Convert US cents to dollars."""
+    return value * CENT
+
+
+def dollars(value: float) -> float:
+    """Identity, for symmetric call sites."""
+    return float(value)
+
+
+def eur_to_usd(value_eur: float, rate: float = 1.2793) -> float:
+    """Convert euros to dollars.
+
+    The default rate reproduces the paper's conversion: lagrange is billed
+    at EUR 0.15 per core-hour, reported as 19.19 US cents ("currently,
+    about $0.20") in §VII.D.
+    """
+    return value_eur * rate
+
+
+# ---------------------------------------------------------------------------
+# compute
+# ---------------------------------------------------------------------------
+
+
+def gflops(value: float) -> float:
+    """Convert gigaflop/s to flop/s."""
+    return value * 1e9
+
+
+def format_seconds(value: float) -> str:
+    """Human-readable time, matching the granularity used in the paper."""
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    if value < MINUTE:
+        return f"{value:.2f}s"
+    if value < HOUR:
+        return f"{value / MINUTE:.1f}min"
+    return f"{value / HOUR:.2f}h"
+
+
+def format_dollars(value: float) -> str:
+    """Render a dollar amount like the paper's tables (4 decimals under $1)."""
+    if abs(value) < 1.0:
+        return f"${value:.4f}"
+    return f"${value:,.2f}"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(size) < 1024.0 or unit == "TiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,309 @@
+"""Tests for the EC2 simulation: instances, images, placement, spot, billing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BillingError, CloudError, SpotUnavailableError
+from repro.cloud import (
+    BASE_CENTOS_IMAGE,
+    CC1_4XLARGE,
+    CC2_8XLARGE,
+    BillingEngine,
+    EC2Service,
+    M1_SMALL,
+    PlacementMap,
+    SpotMarket,
+    T1_MICRO,
+    all_instance_types,
+    instance_type_by_name,
+    precondition_image,
+)
+from repro.cloud.billing import run_cost
+from repro.cloud.placement import (
+    CROSS_GROUP_BANDWIDTH_FACTOR,
+    CROSS_GROUP_LATENCY_FACTOR,
+    PlacementGroup,
+)
+from repro.units import HOUR
+
+
+class TestInstanceCatalog:
+    def test_cc28xlarge_matches_paper(self):
+        """16 cores, 60.5 GB RAM, 10GbE, $2.40 on demand, ~54 cents spot."""
+        t = CC2_8XLARGE
+        assert t.cores == 16
+        assert t.ram_gb == pytest.approx(60.5)
+        assert t.on_demand_hourly == pytest.approx(2.40)
+        assert t.typical_spot_hourly == pytest.approx(0.54)
+        assert t.placement_groups
+
+    def test_core_hourly_rates(self):
+        """§VII.D: 15 cents/core on demand, 3.375 cents/core on spot."""
+        assert CC2_8XLARGE.core_hourly() == pytest.approx(0.15)
+        assert CC2_8XLARGE.core_hourly(spot=True) == pytest.approx(0.03375)
+
+    def test_small_instances_32bit_slow_net(self):
+        for t in (T1_MICRO, M1_SMALL):
+            assert t.bits == 32
+            assert t.cores == 1
+            assert t.network.bandwidth < CC2_8XLARGE.network.bandwidth
+            assert not t.placement_groups
+
+    def test_lookup(self):
+        assert instance_type_by_name("cc2.8xlarge") is CC2_8XLARGE
+        with pytest.raises(CloudError):
+            instance_type_by_name("m5.large")
+
+    def test_catalog_sorted_by_price(self):
+        prices = [t.on_demand_hourly for t in all_instance_types()]
+        assert prices == sorted(prices)
+
+    def test_cc1_predates_cc2(self):
+        """The port started on cc1.4xlarge before cc2.8xlarge existed (§VI.D)."""
+        assert CC1_4XLARGE.cores < CC2_8XLARGE.cores
+
+
+class TestImages:
+    def test_base_image_is_bare(self):
+        assert BASE_CENTOS_IMAGE.image_id == "ami-7ea24a17"
+        assert not BASE_CENTOS_IMAGE.packages
+        assert not BASE_CENTOS_IMAGE.private
+        assert BASE_CENTOS_IMAGE.boot_volume_gb == 20.0
+
+    def test_preconditioning_persists_packages_and_growth(self):
+        img = precondition_image(
+            BASE_CENTOS_IMAGE, {"gcc", "openmpi", "lifev"}, grow_boot_volume_gb=30.0
+        )
+        assert img.private
+        assert img.has("lifev") and img.has("gcc")
+        assert img.boot_volume_gb == 50.0
+        assert img.image_id != BASE_CENTOS_IMAGE.image_id
+
+    def test_mesh_staging_capacity(self):
+        """The 20 GB default could not stage big meshes — resize required."""
+        assert not BASE_CENTOS_IMAGE.supports_meshes_of(15.0)
+        grown = precondition_image(BASE_CENTOS_IMAGE, set(), grow_boot_volume_gb=40.0)
+        assert grown.supports_meshes_of(15.0)
+
+    def test_cannot_shrink(self):
+        with pytest.raises(CloudError):
+            precondition_image(BASE_CENTOS_IMAGE, set(), grow_boot_volume_gb=-1.0)
+
+    def test_cc1_built_image_runs_on_cc2(self):
+        """§VI.D: the port started on cc1.4xlarge (cc2 did not exist yet);
+        the preconditioned HVM image was fully compatible with both."""
+        image = precondition_image(BASE_CENTOS_IMAGE, {"gcc", "openmpi", "lifev"})
+        assert image.compatible_with(CC1_4XLARGE)
+        assert image.compatible_with(CC2_8XLARGE)
+
+    def test_hvm_image_incompatible_with_paravirtual_types(self):
+        assert not BASE_CENTOS_IMAGE.compatible_with(T1_MICRO)
+        assert not BASE_CENTOS_IMAGE.compatible_with(M1_SMALL)
+
+
+class TestPlacement:
+    def test_single_group(self):
+        pm = PlacementMap.single_group(5)
+        assert pm.num_nodes == 5
+        assert pm.group_names() == {"pg0"}
+        assert pm.cross_group_pair_fraction() == 0.0
+        assert pm.distance_factor(0, 4) == (1.0, 1.0)
+
+    def test_spread_over_four_groups(self):
+        pm = PlacementMap.spread(63, 4, seed=1)
+        assert pm.num_nodes == 63
+        assert 1 < len(pm.group_names()) <= 4
+        assert pm.cross_group_pair_fraction() > 0.4
+
+    def test_cross_group_penalty_is_mild(self):
+        """Table II found no significant single-group advantage; the
+        cross-group fabric penalty must stay small."""
+        assert 1.0 < CROSS_GROUP_LATENCY_FACTOR < 2.0
+        assert 0.85 < CROSS_GROUP_BANDWIDTH_FACTOR < 1.0
+
+    def test_distance_factor_cross(self):
+        pm = PlacementMap([PlacementGroup("a"), PlacementGroup("b")])
+        lat, bw = pm.distance_factor(0, 1)
+        assert lat == CROSS_GROUP_LATENCY_FACTOR
+        assert bw == CROSS_GROUP_BANDWIDTH_FACTOR
+
+    def test_validation(self):
+        with pytest.raises(CloudError):
+            PlacementMap([])
+        with pytest.raises(CloudError):
+            PlacementMap.spread(4, 0)
+        pm = PlacementMap.single_group(2)
+        with pytest.raises(CloudError):
+            pm.group_of(5)
+
+
+class TestSpotMarket:
+    def test_price_hovers_near_base(self):
+        market = SpotMarket(CC2_8XLARGE, seed=3)
+        prices = [market.step() for _ in range(300)]
+        median = float(np.median(prices))
+        assert 0.3 < median < 1.1  # around the $0.54 base
+
+    def test_spikes_can_exceed_on_demand(self):
+        market = SpotMarket(CC2_8XLARGE, seed=5, spike_probability=0.3)
+        prices = [market.step() for _ in range(200)]
+        assert max(prices) > CC2_8XLARGE.on_demand_hourly * 0.8
+
+    def test_low_bid_gets_nothing(self):
+        market = SpotMarket(CC2_8XLARGE, seed=0)
+        result = market.request(10, bid_hourly=0.01)
+        assert result.fulfilled == 0
+        assert not result.complete
+
+    def test_small_requests_usually_fill(self):
+        market = SpotMarket(CC2_8XLARGE, seed=1)
+        wins = sum(
+            market.request(4, bid_hourly=CC2_8XLARGE.on_demand_hourly).complete
+            for _ in range(50)
+        )
+        assert wins > 40
+
+    def test_63_node_spot_requests_never_fill(self):
+        """§VII.B: 'we never succeeded in establishing a full 63-host
+        configuration of spot request instances.'"""
+        market = SpotMarket(CC2_8XLARGE, seed=2)
+        complete = sum(
+            market.request(63, bid_hourly=CC2_8XLARGE.on_demand_hourly).complete
+            for _ in range(100)
+        )
+        assert complete == 0
+
+    def test_request_or_raise(self):
+        market = SpotMarket(CC2_8XLARGE, seed=4)
+        with pytest.raises(SpotUnavailableError):
+            market.request_or_raise(5, bid_hourly=0.001)
+
+    def test_interruption_probability_monotone(self):
+        market = SpotMarket(CC2_8XLARGE, seed=0)
+        assert market.interruption_probability(0) == 0.0
+        assert market.interruption_probability(1) < market.interruption_probability(10)
+
+    def test_validation(self):
+        market = SpotMarket(CC2_8XLARGE, seed=0)
+        with pytest.raises(CloudError):
+            market.request(0, 1.0)
+        with pytest.raises(CloudError):
+            market.request(1, 0.0)
+        with pytest.raises(CloudError):
+            SpotMarket(CC2_8XLARGE, spare_capacity_mean=0)
+
+
+class TestBilling:
+    def test_fractional_and_rounded_hours(self):
+        engine = BillingEngine()
+        bill = engine.open_bill("i-1", CC2_8XLARGE, 2.40)
+        bill.accrue(1800.0)  # half an hour
+        assert bill.cost() == pytest.approx(1.20)
+        assert bill.cost(round_up_hours=True) == pytest.approx(2.40)
+
+    def test_whole_cluster_accrual(self):
+        engine = BillingEngine()
+        for i in range(3):
+            engine.open_bill(f"i-{i}", CC2_8XLARGE, 2.40)
+        engine.accrue_all(HOUR)
+        assert engine.total_cost() == pytest.approx(3 * 2.40)
+        engine.stop_all()
+        assert engine.live_count() == 0
+
+    def test_stop_semantics(self):
+        engine = BillingEngine()
+        bill = engine.open_bill("i-1", CC2_8XLARGE, 2.40)
+        bill.stop()
+        with pytest.raises(BillingError):
+            bill.stop()
+        with pytest.raises(BillingError):
+            bill.accrue(10.0)
+
+    def test_duplicate_bill_rejected(self):
+        engine = BillingEngine()
+        engine.open_bill("i-1", CC2_8XLARGE, 2.40)
+        with pytest.raises(BillingError):
+            engine.open_bill("i-1", CC2_8XLARGE, 2.40)
+
+    def test_run_cost_helper(self):
+        cost = run_cost(CC2_8XLARGE, 63, HOUR)
+        assert cost == pytest.approx(63 * 2.40)
+        spot = run_cost(CC2_8XLARGE, 63, HOUR, hourly_price=0.54)
+        assert spot == pytest.approx(63 * 0.54)
+
+    def test_zero_duration_costs_nothing_even_rounded(self):
+        assert run_cost(CC2_8XLARGE, 5, 0.0, round_up_hours=True) == 0.0
+
+
+class TestEC2Service:
+    def test_on_demand_assembly(self):
+        svc = EC2Service(seed=0)
+        cluster = svc.assemble_on_demand(63)
+        assert cluster.num_nodes == 63
+        assert cluster.total_cores == 1008
+        assert cluster.spot_fraction() == 0.0
+        assert cluster.placement.group_names() == {"pg0"}
+        assert cluster.hourly_price == pytest.approx(63 * 2.40)
+
+    def test_mix_assembly_tops_up_with_paid(self):
+        """§VII.B: spot fills part of the 63; on-demand covers the rest."""
+        svc = EC2Service(seed=1)
+        cluster = svc.assemble_mix(63, seed=1)
+        assert cluster.num_nodes == 63
+        assert 0.0 < cluster.spot_fraction() < 1.0
+        assert cluster.hourly_price < 63 * 2.40
+        assert len(cluster.placement.group_names()) > 1
+
+    def test_mix_cheaper_than_full(self):
+        svc = EC2Service(seed=2)
+        full = svc.assemble_on_demand(32)
+        mix = EC2Service(seed=2).assemble_mix(32, seed=2)
+        assert mix.hourly_price < full.hourly_price
+
+    def test_topology_exposes_placement_distances(self):
+        svc = EC2Service(seed=3)
+        mix = svc.assemble_mix(8, num_groups=4, seed=3)
+        topo = mix.topology()
+        # Find one cross-group pair and check its link is penalized.
+        cross = None
+        for a in range(8):
+            for b in range(a + 1, 8):
+                if not mix.placement.same_group(a, b):
+                    cross = (a, b)
+                    break
+            if cross:
+                break
+        assert cross is not None
+        base = topo.network.internode
+        link = topo.network.link_between(*cross)
+        assert link.latency > base.latency
+
+    def test_hostfile_format(self):
+        svc = EC2Service(seed=4)
+        cluster = svc.assemble_on_demand(2)
+        lines = cluster.hostfile().splitlines()
+        assert len(lines) == 2
+        assert all("slots=16" in line for line in lines)
+        assert lines[0].startswith("10.17.")
+
+    def test_run_and_terminate_billing(self):
+        svc = EC2Service(seed=5)
+        cluster = svc.assemble_on_demand(4)
+        cost = cluster.run_for(HOUR / 2)
+        assert cost == pytest.approx(4 * 1.20)
+        final = cluster.terminate()
+        assert final == cost
+        with pytest.raises(BillingError):
+            cluster.run_for(10.0)
+
+    def test_capacity_limits(self):
+        svc = EC2Service(on_demand_capacity=10, seed=6)
+        with pytest.raises(CloudError):
+            svc.assemble_on_demand(11)
+
+    def test_validation(self):
+        svc = EC2Service(seed=7)
+        with pytest.raises(CloudError):
+            svc.assemble_on_demand(0)
+        with pytest.raises(CloudError):
+            svc.assemble_mix(0)

@@ -1,0 +1,155 @@
+"""Tests for cost models and the expense-factor analysis."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.costs import (
+    PlatformCostModel,
+    cost_per_iteration,
+    ec2_mix_estimated_cost,
+    expense_report,
+    rank_platforms,
+)
+from repro.platforms import all_platforms, ec2_cc28xlarge, ellipse, lagrange, puma
+from repro.units import HOUR
+
+
+class TestPlatformCostModel:
+    def test_core_hour_platforms_bill_exact_cores(self):
+        model = PlatformCostModel.for_platform(puma)
+        assert model.billed_cores(1) == 1
+        assert model.billed_cores(125) == 125
+        assert model.cost(125, HOUR) == pytest.approx(125 * 0.023)
+
+    def test_ec2_bills_whole_nodes(self):
+        """1 rank on EC2 still pays 16 cores (§VII.D: 'this price
+        increases if not all cores are utilized')."""
+        model = PlatformCostModel.for_platform(ec2_cc28xlarge)
+        assert model.billed_cores(1) == 16
+        assert model.billed_cores(8) == 16
+        assert model.billed_cores(16) == 16
+        assert model.billed_cores(17) == 32
+        assert model.billed_cores(1000) == 63 * 16
+
+    def test_table2_cost_shape(self):
+        """Reproduce Table II row 1000: 63 nodes, 162.09 s -> $6.81."""
+        model = PlatformCostModel.for_platform(ec2_cc28xlarge)
+        cost = model.cost(1000, 162.09)
+        assert cost == pytest.approx(6.8078, abs=5e-3)
+
+    def test_table2_mix_estimate(self):
+        """Row 1000 'mix': 148.98 s at the spot rate -> $1.41."""
+        est = ec2_mix_estimated_cost(
+            ec2_cc28xlarge, 1000, 148.98, spot_core_hour_rate=0.03375
+        )
+        assert est == pytest.approx(1.4079, abs=5e-3)
+
+    def test_with_rate(self):
+        model = PlatformCostModel.for_platform(ec2_cc28xlarge).with_rate(0.03375)
+        assert model.cost(1000, HOUR) == pytest.approx(63 * 16 * 0.03375)
+
+    def test_validation(self):
+        model = PlatformCostModel.for_platform(puma)
+        with pytest.raises(CostModelError):
+            model.billed_cores(0)
+        with pytest.raises(CostModelError):
+            model.cost(4, -1.0)
+        with pytest.raises(CostModelError):
+            model.with_rate(-0.1)
+
+
+class TestCostPerIteration:
+    def test_platform_ordering_at_full_node_use(self):
+        """Same iteration time, 16 ranks: puma cheapest, lagrange dearest."""
+        t = 10.0
+        costs = {
+            p.name: cost_per_iteration(p, 16, t) for p in all_platforms()
+        }
+        assert costs["puma"] < costs["ellipse"] < costs["ec2"] < costs["lagrange"]
+
+    def test_ec2_penalty_below_node_size(self):
+        """At 1 rank, EC2's effective per-core rate is 16x its nominal."""
+        one = cost_per_iteration(ec2_cc28xlarge, 1, 100.0)
+        sixteen = cost_per_iteration(ec2_cc28xlarge, 16, 100.0)
+        assert one == pytest.approx(sixteen)
+
+    def test_spot_rate_override(self):
+        full = cost_per_iteration(ec2_cc28xlarge, 64, 100.0)
+        spot = cost_per_iteration(ec2_cc28xlarge, 64, 100.0, core_hour_rate=0.03375)
+        assert spot == pytest.approx(full * 0.03375 / 0.15)
+
+
+class TestExpenseReport:
+    def test_feasible_report(self):
+        report = expense_report(puma, 64, runtime_s=600.0)
+        assert report.feasible
+        assert report.run_cost_dollars > 0
+        assert report.provisioning_hours == 0.0
+        assert report.max_feasible_ranks == 128
+        assert report.time_to_solution_s > report.runtime_s
+
+    def test_infeasible_beyond_ceiling(self):
+        report = expense_report(lagrange, 512, runtime_s=600.0)
+        assert not report.feasible
+        assert "ceiling" in report.infeasibility_reason
+        report2 = expense_report(puma, 1000, runtime_s=600.0)
+        assert not report2.feasible
+        assert "cores" in report2.infeasibility_reason
+
+    def test_provisioning_amortization(self):
+        report = expense_report(ellipse, 64, runtime_s=600.0)
+        once = report.total_cost_dollars(1)
+        many = report.total_cost_dollars(100)
+        assert once > many > report.run_cost_dollars
+        with pytest.raises(CostModelError):
+            report.total_cost_dollars(0)
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            expense_report(puma, 0, 10.0)
+        with pytest.raises(CostModelError):
+            expense_report(puma, 4, -1.0)
+
+
+class TestRanking:
+    def _reports(self, num_ranks, runtimes):
+        return [
+            expense_report(p, num_ranks, runtimes[p.name])
+            for p in all_platforms()
+        ]
+
+    def test_only_cloud_feasible_at_1000(self):
+        """§VIII: 'only Cloud providers could provide a large enough
+        offering to sustain the biggest, 1000-core task.'"""
+        runtimes = {"puma": 1.0, "ellipse": 1.0, "lagrange": 1.0, "ec2": 150.0}
+        reports = self._reports(1000, runtimes)
+        feasible = [r for r in reports if r.feasible]
+        assert [r.platform for r in feasible] == ["ec2"]
+
+    def test_infeasible_sorted_last(self):
+        runtimes = {"puma": 100.0, "ellipse": 100.0, "lagrange": 100.0, "ec2": 100.0}
+        ranked = rank_platforms(self._reports(512, runtimes))
+        assert ranked[-1].platform in ("puma", "lagrange")
+        assert not ranked[-1].feasible
+
+    def test_cost_priority_prefers_puma(self):
+        runtimes = {"puma": 120.0, "ellipse": 110.0, "lagrange": 60.0, "ec2": 70.0}
+        ranked = rank_platforms(
+            self._reports(64, runtimes), time_weight=0.0, cost_weight=1.0,
+            effort_weight=0.0,
+        )
+        assert ranked[0].platform == "puma"
+
+    def test_time_priority_prefers_fast_access(self):
+        """With pure time priority, EC2's minutes-not-hours wait wins
+        even against lagrange's faster compute."""
+        runtimes = {"puma": 900.0, "ellipse": 800.0, "lagrange": 300.0, "ec2": 400.0}
+        ranked = rank_platforms(
+            self._reports(64, runtimes), time_weight=1.0, cost_weight=0.0,
+            effort_weight=0.0,
+        )
+        assert ranked[0].platform == "ec2"
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CostModelError):
+            rank_platforms([], time_weight=-1.0)

@@ -1,0 +1,110 @@
+"""Tests for the resource-acquisition strategy evaluator."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.cloud.instances import CC2_8XLARGE
+from repro.costs.strategies import (
+    StrategyOutcome,
+    evaluate_strategies,
+    recommend_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def small_assembly():
+    """8 nodes for a 2-hour run: spot usually fills."""
+    return evaluate_strategies(CC2_8XLARGE, num_nodes=8, run_hours=2.0,
+                               trials=100, seed=1)
+
+
+@pytest.fixture(scope="module")
+def large_assembly():
+    """63 nodes (the paper's size): spot-only rarely fills."""
+    return evaluate_strategies(CC2_8XLARGE, num_nodes=63, run_hours=2.0,
+                               trials=100, seed=2)
+
+
+def by_name(outcomes):
+    return {o.name: o for o in outcomes}
+
+
+class TestEvaluate:
+    def test_three_strategies(self, small_assembly):
+        assert [o.name for o in small_assembly] == ["on-demand", "spot-only", "mix"]
+
+    def test_on_demand_deterministic(self, small_assembly):
+        od = by_name(small_assembly)["on-demand"]
+        assert od.fill_probability == 1.0
+        assert od.expected_cost == pytest.approx(8 * 2.40 * 2.0)
+
+    def test_spot_cheaper_when_it_fills(self, small_assembly):
+        outcomes = by_name(small_assembly)
+        assert outcomes["spot-only"].fill_probability > 0.5
+        assert outcomes["spot-only"].expected_cost < outcomes["on-demand"].expected_cost
+
+    def test_mix_always_fills_and_undercuts_on_demand(self, small_assembly, large_assembly):
+        for outcomes in (small_assembly, large_assembly):
+            mix = by_name(outcomes)["mix"]
+            od = by_name(outcomes)["on-demand"]
+            assert mix.fill_probability == 1.0
+            assert mix.expected_cost < od.expected_cost
+
+    def test_spot_only_rarely_fills_63_nodes(self, large_assembly):
+        """§VII.B: full 63-node spot assemblies never materialized."""
+        spot = by_name(large_assembly)["spot-only"]
+        assert spot.fill_probability < 0.2
+
+    def test_spot_interruption_inflates_makespan(self, small_assembly):
+        outcomes = by_name(small_assembly)
+        assert (
+            outcomes["spot-only"].expected_makespan_h
+            > outcomes["on-demand"].expected_makespan_h
+        )
+
+    def test_str_rendering(self, small_assembly):
+        text = str(small_assembly[0])
+        assert "on-demand" in text and "$" in text
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            evaluate_strategies(CC2_8XLARGE, 0, 1.0)
+        with pytest.raises(CostModelError):
+            evaluate_strategies(CC2_8XLARGE, 4, -1.0)
+
+
+class TestRecommend:
+    def test_cheapest_viable_small(self, small_assembly):
+        """Small assemblies: spot fills reliably, so all-spot wins on cost."""
+        pick = recommend_strategy(small_assembly, min_fill_probability=0.99)
+        viable = [o for o in small_assembly if o.fill_probability >= 0.99]
+        assert pick.expected_cost == min(o.expected_cost for o in viable)
+        assert pick.name in ("spot-only", "mix")
+
+    def test_paper_size_forces_the_mix(self, large_assembly):
+        """At the paper's 63 nodes, spot-only cannot meet any fill
+        requirement — the mix is the cost-aware choice (§VII.D)."""
+        pick = recommend_strategy(large_assembly, min_fill_probability=0.95)
+        assert pick.name == "mix"
+
+    def test_relaxed_fill_allows_spot(self, small_assembly):
+        pick = recommend_strategy(small_assembly, min_fill_probability=0.5)
+        assert pick.name in ("spot-only", "mix")
+        # Whichever wins must be the cheaper of the two.
+        outcomes = by_name(small_assembly)
+        assert pick.expected_cost <= min(
+            outcomes["spot-only"].expected_cost, outcomes["mix"].expected_cost
+        )
+
+    def test_tight_deadline_forces_reliability(self, small_assembly):
+        od = by_name(small_assembly)["on-demand"]
+        pick = recommend_strategy(
+            small_assembly,
+            deadline_hours=od.expected_makespan_h + 0.01,
+            min_fill_probability=0.99,
+        )
+        assert pick.expected_makespan_h <= od.expected_makespan_h + 0.01
+
+    def test_impossible_constraints(self, small_assembly):
+        with pytest.raises(CostModelError):
+            recommend_strategy(small_assembly, deadline_hours=0.01)

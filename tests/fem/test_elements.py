@@ -1,0 +1,108 @@
+"""Tests for tensor-product Lagrange elements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ElementError
+from repro.fem.elements import LagrangeHexElement
+
+unit_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=8,
+).map(np.array)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("order,nb", [(1, 8), (2, 27), (3, 64)])
+    def test_basis_count(self, order, nb):
+        assert LagrangeHexElement(order).num_basis == nb
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ElementError):
+            LagrangeHexElement(0)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_kronecker_delta_at_nodes(self, order):
+        assert LagrangeHexElement(order).nodal_interpolation_matrix_is_identity()
+
+    def test_reference_nodes_x_fastest(self):
+        elem = LagrangeHexElement(1)
+        nodes = elem.reference_nodes
+        assert nodes[0] == pytest.approx([0, 0, 0])
+        assert nodes[1] == pytest.approx([1, 0, 0])
+        assert nodes[2] == pytest.approx([0, 1, 0])
+        assert nodes[4] == pytest.approx([0, 0, 1])
+
+    def test_rejects_2d_points(self):
+        elem = LagrangeHexElement(1)
+        with pytest.raises(ElementError):
+            elem.tabulate(np.zeros((4, 2)))
+        with pytest.raises(ElementError):
+            elem.tabulate_gradients(np.zeros((4, 2)))
+
+
+class TestPartitionOfUnity:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    @given(points=unit_points)
+    @settings(max_examples=25, deadline=None)
+    def test_sum_of_basis_is_one(self, order, points):
+        elem = LagrangeHexElement(order)
+        assert elem.partition_of_unity_residual(points) < 1e-10
+
+    @pytest.mark.parametrize("order", [1, 2])
+    @given(points=unit_points)
+    @settings(max_examples=25, deadline=None)
+    def test_gradients_sum_to_zero(self, order, points):
+        elem = LagrangeHexElement(order)
+        grads = elem.tabulate_gradients(points)
+        assert np.max(np.abs(grads.sum(axis=0))) < 1e-9
+
+
+class TestPolynomialReproduction:
+    def _interpolate_then_evaluate(self, order, func, points):
+        elem = LagrangeHexElement(order)
+        coeffs = func(elem.reference_nodes)
+        vals = elem.tabulate(points)
+        return coeffs @ vals
+
+    @given(points=unit_points)
+    @settings(max_examples=20, deadline=None)
+    def test_q1_reproduces_trilinear(self, points):
+        func = lambda p: 2.0 + p[:, 0] - 3.0 * p[:, 1] * p[:, 2] + p[:, 0] * p[:, 1] * p[:, 2]
+        got = self._interpolate_then_evaluate(1, func, points)
+        assert np.allclose(got, func(np.atleast_2d(points)), atol=1e-10)
+
+    @given(points=unit_points)
+    @settings(max_examples=20, deadline=None)
+    def test_q2_reproduces_quadratics(self, points):
+        # The paper's manufactured RD solution is x^2+y^2+z^2: inside Q2.
+        func = lambda p: p[:, 0] ** 2 + p[:, 1] ** 2 + p[:, 2] ** 2
+        got = self._interpolate_then_evaluate(2, func, points)
+        assert np.allclose(got, func(np.atleast_2d(points)), atol=1e-10)
+
+    def test_q1_does_not_reproduce_quadratics(self):
+        points = np.array([[0.5, 0.5, 0.5]])
+        func = lambda p: p[:, 0] ** 2
+        got = self._interpolate_then_evaluate(1, func, points)
+        assert abs(got[0] - 0.25) > 0.1  # Q1 interpolates x^2 as x at nodes 0,1
+
+    @given(points=unit_points)
+    @settings(max_examples=20, deadline=None)
+    def test_q2_gradient_of_quadratic_exact(self, points):
+        elem = LagrangeHexElement(2)
+        func = lambda p: p[:, 0] ** 2 + 2 * p[:, 1] ** 2 - p[:, 2]
+        coeffs = func(elem.reference_nodes)
+        grads = elem.tabulate_gradients(points)
+        got = np.einsum("a,aqd->qd", coeffs, grads)
+        pts = np.atleast_2d(points)
+        expected = np.column_stack(
+            [2 * pts[:, 0], 4 * pts[:, 1], -np.ones(pts.shape[0])]
+        )
+        assert np.allclose(got, expected, atol=1e-9)

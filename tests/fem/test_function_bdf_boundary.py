@@ -1,0 +1,263 @@
+"""Tests for FE functions, BDF time stepping, and Dirichlet application."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError, SolverError
+from repro.fem.bdf import BDF, bdf_truncation_order
+from repro.fem.boundary import (
+    apply_dirichlet,
+    constrain_operator,
+    lift_dirichlet_rhs,
+    pin_dof,
+)
+from repro.fem.dofmap import DofMap
+from repro.fem.function import FEFunction, h1_seminorm_error, l2_error, vector_l2_error
+from repro.fem.mesh import StructuredBoxMesh
+
+
+@pytest.fixture(scope="module")
+def dm():
+    return DofMap(StructuredBoxMesh((4, 4, 4)), 1)
+
+
+@pytest.fixture(scope="module")
+def dm2():
+    return DofMap(StructuredBoxMesh((3, 3, 3)), 2)
+
+
+class TestFEFunction:
+    def test_zero_by_default(self, dm):
+        f = FEFunction(dm)
+        assert np.all(f.values == 0)
+
+    def test_interpolate_nodal_values(self, dm):
+        f = FEFunction.interpolate(dm, lambda p: p[:, 0])
+        assert np.allclose(f.values, dm.dof_coords[:, 0])
+
+    def test_arithmetic(self, dm):
+        f = FEFunction.interpolate(dm, lambda p: p[:, 0])
+        g = FEFunction.interpolate(dm, lambda p: p[:, 1])
+        h = 2.0 * f + g - f
+        assert np.allclose(h.values, dm.dof_coords[:, 0] + dm.dof_coords[:, 1])
+
+    def test_copy_is_deep(self, dm):
+        f = FEFunction.interpolate(dm, lambda p: p[:, 0])
+        g = f.copy()
+        g.values[:] = 0
+        assert not np.allclose(f.values, 0)
+
+    def test_shape_validation(self, dm):
+        with pytest.raises(AssemblyError):
+            FEFunction(dm, np.zeros(3))
+
+    def test_l2_norm_of_constant(self, dm):
+        f = FEFunction(dm, np.ones(dm.num_dofs))
+        assert f.l2_norm() == pytest.approx(1.0, rel=1e-12)
+
+
+class TestErrorNorms:
+    def test_l2_error_zero_for_representable(self, dm2):
+        exact = lambda p: p[:, 0] ** 2 + p[:, 1] ** 2
+        vals = exact(dm2.dof_coords)
+        assert l2_error(dm2, vals, exact) < 1e-13
+
+    def test_l2_error_of_known_gap(self, dm):
+        # u_h = 0, exact = 1: error is sqrt(∫1) = 1.
+        assert l2_error(dm, np.zeros(dm.num_dofs), lambda p: np.ones(len(p))) == pytest.approx(1.0)
+
+    def test_l2_interpolation_convergence_order_q1(self):
+        exact = lambda p: np.sin(np.pi * p[:, 0]) * np.cos(np.pi * p[:, 1])
+        errs = []
+        for n in (4, 8, 16):
+            dmn = DofMap(StructuredBoxMesh((n, n, n)), 1)
+            errs.append(l2_error(dmn, exact(dmn.dof_coords), exact))
+        r1 = np.log2(errs[0] / errs[1])
+        r2 = np.log2(errs[1] / errs[2])
+        assert r1 > 1.8 and r2 > 1.9  # O(h^2)
+
+    def test_h1_error_zero_for_representable(self, dm2):
+        vals = dm2.dof_coords[:, 0] ** 2
+        grad = lambda p: np.column_stack([2 * p[:, 0], np.zeros(len(p)), np.zeros(len(p))])
+        assert h1_seminorm_error(dm2, vals, grad) < 1e-12
+
+    def test_h1_interpolation_convergence_order_q1(self):
+        exact = lambda p: np.sin(np.pi * p[:, 0])
+        grad = lambda p: np.column_stack(
+            [np.pi * np.cos(np.pi * p[:, 0]), np.zeros(len(p)), np.zeros(len(p))]
+        )
+        errs = []
+        for n in (4, 8):
+            dmn = DofMap(StructuredBoxMesh((n, n, n)), 1)
+            errs.append(h1_seminorm_error(dmn, exact(dmn.dof_coords), grad))
+        assert np.log2(errs[0] / errs[1]) > 0.9  # O(h)
+
+    def test_vector_l2_error(self, dm):
+        comps = [dm.dof_coords[:, 0], dm.dof_coords[:, 1]]
+        exact = lambda p: p[:, :2]
+        assert vector_l2_error(dm, comps, exact) < 1e-13
+
+    def test_vector_l2_error_shape_check(self, dm):
+        with pytest.raises(AssemblyError):
+            vector_l2_error(dm, [dm.dof_coords[:, 0]], lambda p: p[:, :2])
+
+
+class TestBDF:
+    def test_rejects_bad_order(self):
+        with pytest.raises(SolverError):
+            BDF(4, 0.1)
+        with pytest.raises(SolverError):
+            BDF(0, 0.1)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SolverError):
+            BDF(2, 0.0)
+
+    def test_requires_initialization(self):
+        bdf = BDF(2, 0.1)
+        with pytest.raises(SolverError):
+            bdf.history_rhs()
+
+    def test_wrong_history_length(self):
+        bdf = BDF(2, 0.1)
+        with pytest.raises(SolverError):
+            bdf.initialize([np.zeros(3)])
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_exact_derivative_of_polynomial(self, order):
+        """BDF-k differentiates t^k exactly: check du/dt at t_{n+1}."""
+        dt = 0.125
+        times = [dt * i for i in range(order)]
+        t_new = dt * order
+        poly = lambda t: t**order
+        dpoly = lambda t: order * t ** (order - 1)
+        bdf = BDF(order, dt)
+        bdf.initialize([np.array([poly(t)]) for t in times])
+        u_new = np.array([poly(t_new)])
+        approx = (bdf.alpha0 * u_new - bdf.history_rhs()) / dt
+        assert approx[0] == pytest.approx(dpoly(t_new), rel=1e-10)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_extrapolation_exact_for_matching_degree(self, order):
+        dt = 0.25
+        poly = lambda t: (1.0 + t) ** (order - 1)
+        bdf = BDF(order, dt)
+        bdf.initialize([np.array([poly(i * dt)]) for i in range(order)])
+        star = bdf.extrapolate()
+        assert star[0] == pytest.approx(poly(order * dt), rel=1e-12)
+
+    def test_advance_rotates_history(self):
+        bdf = BDF(2, 0.1)
+        bdf.initialize([np.array([1.0]), np.array([2.0])])
+        bdf.advance(np.array([3.0]))
+        assert bdf.latest()[0] == 3.0
+        # history_rhs = 2*u_n - 0.5*u_{n-1} = 2*3 - 0.5*2 = 5
+        assert bdf.history_rhs()[0] == pytest.approx(5.0)
+
+    def test_ode_convergence_order_2(self):
+        """Integrate u' = -u with BDF2; error should drop ~4x per dt halving."""
+        errors = []
+        for steps in (20, 40):
+            dt = 1.0 / steps
+            bdf = BDF(2, dt)
+            bdf.initialize([np.array([np.exp(-0.0)]), np.array([np.exp(-dt)])])
+            t = dt
+            for _ in range(steps - 1):
+                t += dt
+                # (alpha0 u_{n+1} - hist)/dt = -u_{n+1}
+                u_new = bdf.history_rhs() / (bdf.alpha0 + dt)
+                bdf.advance(u_new)
+            errors.append(abs(bdf.latest()[0] - np.exp(-t)))
+        assert np.log2(errors[0] / errors[1]) > 1.7
+
+    def test_truncation_order_helper(self):
+        assert bdf_truncation_order(2) == 2
+        with pytest.raises(SolverError):
+            bdf_truncation_order(9)
+
+
+class TestDirichlet:
+    def _system(self, n=20, seed=0):
+        rng = np.random.default_rng(seed)
+        a = sp.random(n, n, density=0.3, random_state=rng, format="csr")
+        a = (a + a.T + sp.eye(n) * n).tocsr()  # SPD-ish
+        b = rng.standard_normal(n)
+        return a, b
+
+    def test_constrained_values_enforced(self):
+        a, b = self._system()
+        dofs = np.array([0, 3, 7])
+        vals = np.array([1.0, -2.0, 0.5])
+        for symmetric in (True, False):
+            am, bm = apply_dirichlet(a, b, dofs, vals, symmetric=symmetric)
+            u = np.linalg.solve(am.toarray(), bm)
+            assert np.allclose(u[dofs], vals)
+
+    def test_symmetric_variant_preserves_symmetry(self):
+        a, b = self._system()
+        am, _ = apply_dirichlet(a, b, np.array([1, 2]), 0.0, symmetric=True)
+        assert abs(am - am.T).max() < 1e-12
+
+    def test_interior_solution_unaffected_by_variant(self):
+        a, b = self._system()
+        dofs = np.array([0, 5])
+        vals = np.array([2.0, -1.0])
+        a1, b1 = apply_dirichlet(a, b, dofs, vals, symmetric=True)
+        a2, b2 = apply_dirichlet(a, b, dofs, vals, symmetric=False)
+        u1 = np.linalg.solve(a1.toarray(), b1)
+        u2 = np.linalg.solve(a2.toarray(), b2)
+        assert np.allclose(u1, u2, atol=1e-10)
+
+    def test_scalar_value_broadcast(self):
+        a, b = self._system()
+        am, bm = apply_dirichlet(a, b, np.array([2, 4]), 7.0)
+        u = np.linalg.solve(am.toarray(), bm)
+        assert np.allclose(u[[2, 4]], 7.0)
+
+    def test_duplicate_dofs_rejected(self):
+        a, b = self._system()
+        with pytest.raises(AssemblyError):
+            apply_dirichlet(a, b, np.array([1, 1]), 0.0)
+
+    def test_out_of_range_dof_rejected(self):
+        a, b = self._system()
+        with pytest.raises(AssemblyError):
+            apply_dirichlet(a, b, np.array([99]), 0.0)
+
+    def test_constrain_plus_lift_matches_apply(self):
+        """Fast path (constrain once, lift per step) == apply_dirichlet."""
+        a, b = self._system()
+        dofs = np.array([0, 3])
+        vals = np.array([1.5, -0.5])
+        a_ref, b_ref = apply_dirichlet(a, b, dofs, vals, symmetric=True)
+        a_fast = constrain_operator(a, dofs)
+        b_fast = b + lift_dirichlet_rhs(a, dofs, vals)
+        b_fast[dofs] = vals
+        assert abs(a_fast - a_ref).max() < 1e-13
+        assert np.allclose(b_fast, b_ref)
+
+    def test_pin_dof_removes_nullspace(self):
+        """Singular Laplacian-like system becomes solvable after pinning."""
+        n = 10
+        main = 2.0 * np.ones(n)
+        main[0] = main[-1] = 1.0
+        a = sp.diags([main, -np.ones(n - 1), -np.ones(n - 1)], [0, -1, 1]).tocsr()
+        b = np.zeros(n)
+        am, bm = pin_dof(a, b, 0, value=3.0)
+        u = np.linalg.solve(am.toarray(), bm)
+        assert np.allclose(u, 3.0)  # constant selected by the pin
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_identity_rows_on_constrained_dofs(self, seed):
+        a, b = self._system(seed=seed)
+        dofs = np.array([1, 4, 9])
+        am, _ = apply_dirichlet(a, b, dofs, 0.0)
+        dense = am.toarray()
+        for d in dofs:
+            row = np.zeros(a.shape[0])
+            row[d] = 1.0
+            assert np.allclose(dense[d], row)

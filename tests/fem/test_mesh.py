@@ -1,0 +1,207 @@
+"""Tests for structured box meshes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshError
+from repro.fem.mesh import (
+    ALL_FACES,
+    FACE_XMAX,
+    FACE_XMIN,
+    FACE_YMAX,
+    FACE_ZMAX,
+    StructuredBoxMesh,
+)
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+
+
+class TestConstruction:
+    def test_counts(self):
+        mesh = StructuredBoxMesh((3, 4, 5))
+        assert mesh.num_cells == 60
+        assert mesh.num_vertices == 4 * 5 * 6
+
+    def test_spacing_and_volume(self):
+        mesh = StructuredBoxMesh((2, 4, 5), lower=(0, 0, 0), upper=(2, 2, 10))
+        assert mesh.spacing == pytest.approx([1.0, 0.5, 2.0])
+        assert mesh.cell_volume == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("shape", [(0, 1, 1), (1, -2, 1), (1, 1, 0)])
+    def test_rejects_nonpositive_shape(self, shape):
+        with pytest.raises(MeshError):
+            StructuredBoxMesh(shape)
+
+    def test_rejects_inverted_box(self):
+        with pytest.raises(MeshError):
+            StructuredBoxMesh((2, 2, 2), lower=(0, 0, 0), upper=(1, -1, 1))
+
+    def test_repr_mentions_shape(self):
+        assert "2x3x4" in repr(StructuredBoxMesh((2, 3, 4)))
+
+
+class TestIndexing:
+    def test_cell_index_roundtrip(self):
+        mesh = StructuredBoxMesh((3, 4, 5))
+        for c in range(mesh.num_cells):
+            i, j, k = mesh.cell_coords(c)
+            assert mesh.cell_index(i, j, k) == c
+
+    def test_cell_index_out_of_range(self):
+        mesh = StructuredBoxMesh((2, 2, 2))
+        with pytest.raises(MeshError):
+            mesh.cell_index(2, 0, 0)
+
+    def test_vertex_index_x_fastest(self):
+        mesh = StructuredBoxMesh((2, 2, 2))
+        assert mesh.vertex_index(1, 0, 0) == 1
+        assert mesh.vertex_index(0, 1, 0) == 3
+        assert mesh.vertex_index(0, 0, 1) == 9
+
+    def test_vertex_out_of_range(self):
+        mesh = StructuredBoxMesh((2, 2, 2))
+        with pytest.raises(MeshError):
+            mesh.vertex_index(0, 0, 4)
+
+
+class TestGeometry:
+    def test_vertex_coords_corners(self):
+        mesh = StructuredBoxMesh((2, 2, 2), lower=(0, 0, 0), upper=(1, 2, 3))
+        coords = mesh.vertex_coords
+        assert coords[0] == pytest.approx([0, 0, 0])
+        assert coords[-1] == pytest.approx([1, 2, 3])
+
+    def test_cell_centers_of_unit_cube(self):
+        mesh = StructuredBoxMesh((2, 1, 1))
+        centers = mesh.cell_centers
+        assert centers[0] == pytest.approx([0.25, 0.5, 0.5])
+        assert centers[1] == pytest.approx([0.75, 0.5, 0.5])
+
+    @given(shape=shapes)
+    @settings(max_examples=20, deadline=None)
+    def test_cell_centers_average_of_cell_vertices(self, shape):
+        mesh = StructuredBoxMesh(shape)
+        verts = mesh.vertex_coords[mesh.cell_vertices]  # (nc, 8, 3)
+        assert np.allclose(verts.mean(axis=1), mesh.cell_centers)
+
+
+class TestConnectivity:
+    def test_cell_vertices_local_tensor_order(self):
+        mesh = StructuredBoxMesh((1, 1, 1))
+        cv = mesh.cell_vertices[0]
+        coords = mesh.vertex_coords[cv]
+        # x varies fastest: vertex 1 is +x of vertex 0, vertex 2 is +y.
+        assert coords[1] - coords[0] == pytest.approx([1, 0, 0])
+        assert coords[2] - coords[0] == pytest.approx([0, 1, 0])
+        assert coords[4] - coords[0] == pytest.approx([0, 0, 1])
+
+    def test_face_neighbors_interior(self):
+        mesh = StructuredBoxMesh((3, 3, 3))
+        center = mesh.cell_index(1, 1, 1)
+        neighbors = set(mesh.iter_cell_neighbors(center))
+        assert len(neighbors) == 6
+
+    def test_face_neighbors_corner(self):
+        mesh = StructuredBoxMesh((3, 3, 3))
+        corner = mesh.cell_index(0, 0, 0)
+        assert mesh.face_neighbor(corner, FACE_XMIN) is None
+        assert mesh.face_neighbor(corner, FACE_XMAX) == mesh.cell_index(1, 0, 0)
+        assert len(list(mesh.iter_cell_neighbors(corner))) == 3
+
+    def test_unknown_face_rejected(self):
+        mesh = StructuredBoxMesh((2, 2, 2))
+        with pytest.raises(MeshError):
+            mesh.face_neighbor(0, "w+")
+
+    @given(shape=shapes)
+    @settings(max_examples=20, deadline=None)
+    def test_dual_edge_count(self, shape):
+        nx, ny, nz = shape
+        mesh = StructuredBoxMesh(shape)
+        expected = (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1)
+        assert mesh.dual_edges.shape == (expected, 2)
+
+    @given(shape=shapes)
+    @settings(max_examples=20, deadline=None)
+    def test_dual_edges_sorted_unique(self, shape):
+        mesh = StructuredBoxMesh(shape)
+        edges = mesh.dual_edges
+        if edges.size:
+            assert np.all(edges[:, 0] < edges[:, 1])
+            assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+
+    def test_dual_edges_match_face_neighbors(self):
+        mesh = StructuredBoxMesh((2, 3, 2))
+        edges = {tuple(e) for e in mesh.dual_edges}
+        for c in range(mesh.num_cells):
+            for nb in mesh.iter_cell_neighbors(c):
+                assert (min(c, nb), max(c, nb)) in edges
+
+
+class TestBoundary:
+    @given(shape=shapes)
+    @settings(max_examples=20, deadline=None)
+    def test_boundary_vertex_count(self, shape):
+        nx, ny, nz = shape
+        mesh = StructuredBoxMesh(shape)
+        total = (nx + 1) * (ny + 1) * (nz + 1)
+        interior = max(nx - 1, 0) * max(ny - 1, 0) * max(nz - 1, 0)
+        assert len(mesh.boundary_vertices) == total - interior
+
+    def test_boundary_cells_per_face(self):
+        mesh = StructuredBoxMesh((3, 4, 5))
+        assert len(mesh.boundary_cells(FACE_XMAX)) == 4 * 5
+        assert len(mesh.boundary_cells(FACE_YMAX)) == 3 * 5
+        assert len(mesh.boundary_cells(FACE_ZMAX)) == 3 * 4
+
+    def test_boundary_cells_unknown_face(self):
+        with pytest.raises(MeshError):
+            StructuredBoxMesh((2, 2, 2)).boundary_cells("bogus")
+
+    def test_all_faces_cover_every_outer_cell(self):
+        mesh = StructuredBoxMesh((3, 3, 3))
+        covered = set()
+        for face in ALL_FACES:
+            covered.update(mesh.boundary_cells(face).tolist())
+        interior = {mesh.cell_index(1, 1, 1)}
+        assert covered == set(range(mesh.num_cells)) - interior
+
+
+class TestExtractBlock:
+    def test_block_geometry(self):
+        mesh = StructuredBoxMesh((4, 4, 4))
+        block = mesh.extract_block((0, 2), (2, 4), (0, 4))
+        assert block.shape == (2, 2, 4)
+        assert block.lower == pytest.approx([0.0, 0.5, 0.0])
+        assert block.upper == pytest.approx([0.5, 1.0, 1.0])
+
+    def test_block_spacing_preserved(self):
+        mesh = StructuredBoxMesh((4, 4, 4))
+        block = mesh.extract_block((1, 3), (0, 1), (0, 2))
+        assert np.allclose(block.spacing, mesh.spacing)
+
+    def test_invalid_block_rejected(self):
+        mesh = StructuredBoxMesh((4, 4, 4))
+        with pytest.raises(MeshError):
+            mesh.extract_block((0, 5), (0, 4), (0, 4))
+        with pytest.raises(MeshError):
+            mesh.extract_block((2, 2), (0, 4), (0, 4))
+
+    @given(shape=shapes, data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_blocks_tile_the_mesh_volume(self, shape, data):
+        nx, ny, nz = shape
+        mesh = StructuredBoxMesh(shape)
+        split = data.draw(st.integers(min_value=1, max_value=nx), label="split")
+        left = mesh.extract_block((0, split), (0, ny), (0, nz))
+        volume = left.num_cells * left.cell_volume
+        if split < nx:
+            right = mesh.extract_block((split, nx), (0, ny), (0, nz))
+            volume += right.num_cells * right.cell_volume
+        assert volume == pytest.approx(mesh.num_cells * mesh.cell_volume)

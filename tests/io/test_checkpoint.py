@@ -1,0 +1,158 @@
+"""Tests for the chunked checkpoint container (the HDF5 stand-in)."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.reaction_diffusion import RDProblem, RDSolver
+from repro.io.checkpoint import (
+    CheckpointData,
+    CheckpointError,
+    load_rd_state,
+    read_checkpoint,
+    save_rd_state,
+    write_checkpoint,
+)
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, tmp_path):
+        data = CheckpointData(
+            fields={"u": np.arange(100.0), "v": np.zeros(3)},
+            metadata={"t": 1.5, "note": "hello"},
+        )
+        path = tmp_path / "state.rprc"
+        nbytes = write_checkpoint(path, data)
+        assert nbytes == path.stat().st_size
+        loaded = read_checkpoint(path)
+        assert loaded == data
+
+    def test_empty_field(self, tmp_path):
+        data = CheckpointData(fields={"empty": np.empty(0)})
+        path = tmp_path / "e.rprc"
+        write_checkpoint(path, data)
+        loaded = read_checkpoint(path)
+        assert loaded.fields["empty"].size == 0
+
+    def test_multi_chunk_roundtrip(self, tmp_path):
+        arr = np.random.default_rng(0).standard_normal(10_000)
+        data = CheckpointData(fields={"big": arr})
+        path = tmp_path / "big.rprc"
+        write_checkpoint(path, data, chunk_elements=777)
+        assert np.array_equal(read_checkpoint(path).fields["big"], arr)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=4),
+        chunk=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, sizes, chunk, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        data = CheckpointData(
+            fields={f"f{i}": rng.standard_normal(n) for i, n in enumerate(sizes)},
+            metadata={"sizes": sizes},
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.rprc"
+            write_checkpoint(path, data, chunk_elements=chunk)
+            assert read_checkpoint(path) == data
+
+
+class TestValidation:
+    def test_rejects_2d_fields(self):
+        with pytest.raises(CheckpointError):
+            CheckpointData(fields={"m": np.zeros((2, 2))})
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            write_checkpoint(tmp_path / "x", CheckpointData(), chunk_elements=0)
+
+    def test_rejects_unserializable_metadata(self, tmp_path):
+        data = CheckpointData(metadata={"bad": object()})
+        with pytest.raises(CheckpointError):
+            write_checkpoint(tmp_path / "x", data)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(CheckpointError, match="magic"):
+            read_checkpoint(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"RPRC" + struct.pack("<II", 99, 2) + b"{}")
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)
+
+    def test_truncated_file(self, tmp_path):
+        data = CheckpointData(fields={"u": np.arange(1000.0)})
+        path = tmp_path / "t.rprc"
+        write_checkpoint(path, data)
+        path.write_bytes(path.read_bytes()[:-100])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_corruption_detected_by_crc(self, tmp_path):
+        data = CheckpointData(fields={"u": np.arange(1000.0)})
+        path = tmp_path / "c.rprc"
+        write_checkpoint(path, data)
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0xFF  # flip a payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            read_checkpoint(path)
+
+
+class TestSolverRestart:
+    def test_rd_checkpoint_restart_is_exact(self, tmp_path):
+        """Running 6 steps equals running 3, checkpointing, restarting,
+        and running 3 more."""
+        problem = RDProblem(mesh_shape=(4, 4, 4), num_steps=6)
+        straight = RDSolver(problem, assembly_mode="combine")
+        for _ in range(6):
+            straight.step()
+
+        first = RDSolver(problem, assembly_mode="combine")
+        for _ in range(3):
+            first.step()
+        path = tmp_path / "rd.rprc"
+        save_rd_state(path, first, extra_metadata={"run": "test"})
+
+        second = RDSolver(problem, assembly_mode="combine")
+        restored_t = load_rd_state(path, second)
+        assert restored_t == pytest.approx(first.t)
+        for _ in range(3):
+            second.step()
+
+        assert np.allclose(second.solution, straight.solution, atol=1e-12)
+        assert second.nodal_error() < 1e-9
+
+    def test_mesh_mismatch_rejected(self, tmp_path):
+        a = RDSolver(RDProblem(mesh_shape=(4, 4, 4)), assembly_mode="combine")
+        path = tmp_path / "rd.rprc"
+        save_rd_state(path, a)
+        b = RDSolver(RDProblem(mesh_shape=(5, 5, 5)), assembly_mode="combine")
+        with pytest.raises(CheckpointError, match="mesh shape"):
+            load_rd_state(path, b)
+
+    def test_discretization_mismatch_rejected(self, tmp_path):
+        a = RDSolver(RDProblem(mesh_shape=(4, 4, 4), order=2), assembly_mode="combine")
+        path = tmp_path / "rd.rprc"
+        save_rd_state(path, a)
+        b = RDSolver(RDProblem(mesh_shape=(4, 4, 4), order=1), assembly_mode="combine")
+        with pytest.raises(CheckpointError, match="discretization"):
+            load_rd_state(path, b)
+
+    def test_wrong_app_rejected(self, tmp_path):
+        path = tmp_path / "x.rprc"
+        write_checkpoint(path, CheckpointData(metadata={"app": "other"}))
+        solver = RDSolver(RDProblem(mesh_shape=(3, 3, 3)), assembly_mode="combine")
+        with pytest.raises(CheckpointError, match="not an RD checkpoint"):
+            load_rd_state(path, solver)

@@ -1,0 +1,93 @@
+"""Tests for the legacy VTK writer (step iv / ParaView handoff)."""
+
+import numpy as np
+import pytest
+
+from repro.fem.dofmap import DofMap
+from repro.fem.mesh import StructuredBoxMesh
+from repro.io.vtk import VTKError, parse_vtk_header, write_vtk
+
+
+@pytest.fixture
+def dm():
+    return DofMap(StructuredBoxMesh((3, 4, 5), upper=(1.0, 2.0, 2.5)), 1)
+
+
+class TestWriter:
+    def test_scalar_export_header(self, dm, tmp_path):
+        path = write_vtk(
+            tmp_path / "u.vtk", dm, scalars={"u": np.arange(float(dm.num_dofs))}
+        )
+        info = parse_vtk_header(path)
+        assert info["dimensions"] == (4, 5, 6)
+        assert info["num_points"] == dm.num_dofs
+        assert info["origin"] == (0.0, 0.0, 0.0)
+        assert info["spacing"] == pytest.approx((1 / 3, 0.5, 0.5))
+        assert info["fields"] == {"u": "scalar"}
+
+    def test_q2_lattice_spacing(self, tmp_path):
+        dm2 = DofMap(StructuredBoxMesh((2, 2, 2)), 2)
+        path = write_vtk(tmp_path / "q2.vtk", dm2, scalars={"u": np.zeros(dm2.num_dofs)})
+        info = parse_vtk_header(path)
+        assert info["dimensions"] == (5, 5, 5)
+        assert info["spacing"] == pytest.approx((0.25, 0.25, 0.25))
+
+    def test_vector_export(self, dm, tmp_path):
+        velocity = np.random.default_rng(0).standard_normal((dm.num_dofs, 3))
+        path = write_vtk(tmp_path / "v.vtk", dm, vectors={"velocity": velocity})
+        info = parse_vtk_header(path)
+        assert info["fields"] == {"velocity": "vector"}
+
+    def test_mixed_export_and_values_roundtrip(self, dm, tmp_path):
+        u = np.arange(float(dm.num_dofs))
+        v = np.ones((dm.num_dofs, 3))
+        path = write_vtk(tmp_path / "m.vtk", dm, scalars={"u": u}, vectors={"v": v})
+        text = path.read_text()
+        # Values appear in x-fastest order: the first few u values are 0 1 2...
+        after = text.split("LOOKUP_TABLE default\n", 1)[1]
+        first_line = after.splitlines()[0].split()
+        assert [float(x) for x in first_line] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert "VECTORS v double" in text
+
+    def test_empty_export_rejected(self, dm, tmp_path):
+        with pytest.raises(VTKError):
+            write_vtk(tmp_path / "e.vtk", dm)
+
+    def test_shape_validation(self, dm, tmp_path):
+        with pytest.raises(VTKError):
+            write_vtk(tmp_path / "b.vtk", dm, scalars={"u": np.zeros(3)})
+        with pytest.raises(VTKError):
+            write_vtk(tmp_path / "b.vtk", dm, vectors={"v": np.zeros(dm.num_dofs)})
+
+    def test_duplicate_name_rejected(self, dm, tmp_path):
+        with pytest.raises(VTKError):
+            write_vtk(
+                tmp_path / "d.vtk", dm,
+                scalars={"f": np.zeros(dm.num_dofs)},
+                vectors={"f": np.zeros((dm.num_dofs, 3))},
+            )
+
+    def test_parse_rejects_non_vtk(self, tmp_path):
+        path = tmp_path / "no.vtk"
+        path.write_text("hello\n")
+        with pytest.raises(VTKError):
+            parse_vtk_header(path)
+
+
+class TestEndToEnd:
+    def test_export_rd_solution(self, tmp_path):
+        """The figure-1 pipeline: solve, export, verify the file."""
+        from repro.apps.reaction_diffusion import RDProblem, RDSolver
+
+        solver = RDSolver(
+            RDProblem(mesh_shape=(4, 4, 4), num_steps=2), assembly_mode="combine"
+        )
+        solver.run()
+        path = write_vtk(
+            tmp_path / "rd.vtk", solver.dofmap,
+            scalars={"u": solver.solution},
+            title="RD solution (paper fig. 1)",
+        )
+        info = parse_vtk_header(path)
+        assert info["num_points"] == solver.dofmap.num_dofs
+        assert "u" in info["fields"]

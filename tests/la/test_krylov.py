@@ -1,0 +1,251 @@
+"""Tests for the from-scratch Krylov solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, SolverError
+from repro.fem.assembly import assemble_load, assemble_stiffness
+from repro.fem.boundary import apply_dirichlet
+from repro.fem.dofmap import DofMap
+from repro.fem.mesh import StructuredBoxMesh
+from repro.la.krylov import bicgstab, cg, gmres
+from repro.la.preconditioners import JacobiPreconditioner
+
+
+def laplacian_1d(n):
+    return sp.diags(
+        [2.0 * np.ones(n), -np.ones(n - 1), -np.ones(n - 1)], [0, -1, 1]
+    ).tocsr()
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=0.2, random_state=rng)
+    return (a @ a.T + sp.eye(n) * n).tocsr()
+
+
+def random_nonsym(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=0.25, random_state=rng)
+    return (a + sp.eye(n) * n).tocsr()
+
+
+@pytest.fixture(scope="module")
+def poisson_system():
+    dm = DofMap(StructuredBoxMesh((6, 6, 6)), 1)
+    k = assemble_stiffness(dm)
+    f = assemble_load(dm, 1.0)
+    return apply_dirichlet(k, f, dm.boundary_dofs, 0.0)
+
+
+class TestCG:
+    def test_solves_laplacian(self):
+        a = laplacian_1d(50)
+        b = np.ones(50)
+        res = cg(a, b, tol=1e-12)
+        assert res.converged
+        assert np.linalg.norm(a @ res.x - b) < 1e-9
+
+    def test_solves_fem_poisson(self, poisson_system):
+        a, b = poisson_system
+        res = cg(a, b, tol=1e-10, maxiter=500)
+        assert res.converged
+        assert np.linalg.norm(a @ res.x - b) <= 1e-10 * np.linalg.norm(b) * 1.01
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_spd_systems(self, seed):
+        n = 30
+        a = random_spd(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        res = cg(a, b, tol=1e-12, maxiter=200)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_zero_rhs(self):
+        res = cg(laplacian_1d(10), np.zeros(10))
+        assert res.converged
+        assert np.all(res.x == 0)
+        assert res.iterations == 0
+
+    def test_initial_guess_respected(self):
+        a = laplacian_1d(20)
+        b = np.ones(20)
+        exact = cg(a, b, tol=1e-13).x
+        res = cg(a, b, x0=exact, tol=1e-10)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_jacobi_preconditioning_reduces_iterations(self):
+        # Badly scaled SPD system: diagonal scaling should help a lot.
+        n = 100
+        scale = sp.diags(np.logspace(0, 4, n))
+        a = (scale @ laplacian_1d(n) @ scale).tocsr()
+        b = np.ones(n)
+        plain = cg(a, b, tol=1e-8, maxiter=10_000)
+        pre = cg(a, b, preconditioner=JacobiPreconditioner(a), tol=1e-8, maxiter=10_000)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_non_spd_raises_breakdown(self):
+        a = sp.diags([-1.0, 1.0, 1.0]).tocsr()
+        with pytest.raises(SolverError):
+            cg(a, np.ones(3), maxiter=10)
+
+    def test_strict_mode_raises(self):
+        a = laplacian_1d(200)
+        with pytest.raises(ConvergenceError) as exc:
+            cg(a, np.ones(200), maxiter=3, strict=True)
+        assert exc.value.iterations == 3
+
+    def test_residual_history_monotone_enough(self):
+        a = laplacian_1d(40)
+        res = cg(a, np.ones(40), tol=1e-12)
+        assert res.residuals[0] >= res.residuals[-1]
+        assert len(res.residuals) == res.iterations + 1
+
+    def test_counters_populated(self):
+        a = laplacian_1d(30)
+        res = cg(a, np.ones(30), tol=1e-10)
+        assert res.matvecs == res.iterations + 1
+        assert res.precond_applies == res.iterations + 1
+        assert res.dot_products > 0
+
+    def test_rejects_matrix_rhs(self):
+        with pytest.raises(SolverError):
+            cg(laplacian_1d(4), np.ones((4, 2)))
+
+    def test_rejects_bad_x0(self):
+        with pytest.raises(SolverError):
+            cg(laplacian_1d(4), np.ones(4), x0=np.ones(5))
+
+    def test_callable_operator(self):
+        a = laplacian_1d(20)
+        res = cg(lambda v: a @ v, np.ones(20), tol=1e-10)
+        assert res.converged
+
+
+class TestBiCGStab:
+    def test_solves_nonsymmetric(self):
+        a = random_nonsym(40, 3)
+        rng = np.random.default_rng(4)
+        x_true = rng.standard_normal(40)
+        res = bicgstab(a, a @ x_true, tol=1e-12, maxiter=200)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_random_systems(self, seed):
+        n = 25
+        a = random_nonsym(n, seed)
+        b = np.ones(n)
+        res = bicgstab(a, b, tol=1e-10, maxiter=300)
+        assert res.converged
+        assert np.linalg.norm(a @ res.x - b) < 1e-7 * n
+
+    def test_advection_diffusion_system(self):
+        """Upwind-ish non-symmetric operator, the NS momentum shape."""
+        n = 60
+        a = (laplacian_1d(n) + sp.diags([np.ones(n - 1)], [1]) * 0.5).tocsr()
+        b = np.ones(n)
+        res = bicgstab(a, b, tol=1e-11, maxiter=400)
+        assert res.converged
+        assert np.linalg.norm(a @ res.x - b) < 1e-8
+
+    def test_zero_rhs(self):
+        res = bicgstab(laplacian_1d(10), np.zeros(10))
+        assert res.converged and np.all(res.x == 0)
+
+    def test_strict_mode(self):
+        a = random_nonsym(100, 9)
+        with pytest.raises(ConvergenceError):
+            bicgstab(a, np.ones(100), maxiter=1, strict=True)
+
+    def test_preconditioned(self):
+        a = random_nonsym(50, 11)
+        b = np.ones(50)
+        res = bicgstab(a, b, preconditioner=JacobiPreconditioner(a), tol=1e-11)
+        assert res.converged
+        assert np.linalg.norm(a @ res.x - b) < 1e-7
+
+
+class TestGMRES:
+    def test_solves_nonsymmetric(self):
+        a = random_nonsym(40, 5)
+        rng = np.random.default_rng(6)
+        x_true = rng.standard_normal(40)
+        res = gmres(a, a @ x_true, tol=1e-12, maxiter=400, restart=20)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_full_gmres_exact_in_n_steps(self):
+        """Unrestarted GMRES on an n-dim system converges in <= n iterations."""
+        n = 15
+        a = random_nonsym(n, 7)
+        b = np.ones(n)
+        res = gmres(a, b, tol=1e-12, maxiter=n + 1, restart=n + 1)
+        assert res.converged
+        assert res.iterations <= n
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_random_systems_with_restart(self, seed):
+        n = 30
+        a = random_nonsym(n, seed)
+        b = np.arange(1.0, n + 1)
+        res = gmres(a, b, tol=1e-10, maxiter=500, restart=10)
+        assert res.converged
+        assert np.linalg.norm(a @ res.x - b) < 1e-6 * n
+
+    def test_preconditioned_gmres(self):
+        n = 80
+        scale = sp.diags(np.logspace(0, 3, n))
+        a = (scale @ laplacian_1d(n)).tocsr() + sp.eye(n)
+        b = np.ones(n)
+        plain = gmres(a, b, tol=1e-8, maxiter=2000, restart=30)
+        pre = gmres(
+            a, b, preconditioner=JacobiPreconditioner(a), tol=1e-8, maxiter=2000, restart=30
+        )
+        assert pre.converged
+        assert pre.iterations <= plain.iterations
+
+    def test_zero_rhs(self):
+        res = gmres(laplacian_1d(10), np.zeros(10))
+        assert res.converged and np.all(res.x == 0)
+
+    def test_rejects_bad_restart(self):
+        with pytest.raises(SolverError):
+            gmres(laplacian_1d(4), np.ones(4), restart=0)
+
+    def test_strict_mode(self):
+        a = laplacian_1d(300)
+        with pytest.raises(ConvergenceError):
+            gmres(a, np.ones(300), maxiter=2, strict=True)
+
+    def test_spd_agreement_with_cg(self, poisson_system):
+        a, b = poisson_system
+        x_cg = cg(a, b, tol=1e-12, maxiter=1000).x
+        x_gm = gmres(a, b, tol=1e-12, maxiter=1000, restart=50).x
+        assert np.allclose(x_cg, x_gm, atol=1e-7)
+
+
+class TestOperatorAdapters:
+    def test_unknown_operator_type_rejected(self):
+        with pytest.raises(SolverError):
+            cg(42, np.ones(3))
+
+    def test_unknown_preconditioner_type_rejected(self):
+        with pytest.raises(SolverError):
+            cg(laplacian_1d(3), np.ones(3), preconditioner=42)
+
+    def test_sparse_matrix_as_preconditioner(self):
+        a = laplacian_1d(20)
+        m_inv = sp.diags(1.0 / a.diagonal())
+        res = cg(a, np.ones(20), preconditioner=m_inv, tol=1e-10)
+        assert res.converged

@@ -1,0 +1,51 @@
+"""Tests for mass lumping."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SolverError
+from repro.fem.assembly import assemble_mass
+from repro.fem.dofmap import DofMap
+from repro.fem.mesh import StructuredBoxMesh
+from repro.la.preconditioners import lump_mass
+
+
+class TestLumpMass:
+    def test_conserves_total_mass(self):
+        dm = DofMap(StructuredBoxMesh((4, 4, 4), upper=(2.0, 1.0, 1.0)), 1)
+        m = assemble_mass(dm)
+        lumped = lump_mass(m)
+        assert lumped.sum() == pytest.approx(2.0, rel=1e-12)  # box volume
+
+    def test_positive_for_q1(self):
+        dm = DofMap(StructuredBoxMesh((3, 3, 3)), 1)
+        assert np.all(lump_mass(assemble_mass(dm)) > 0)
+
+    def test_lumped_projection_converges_to_consistent(self):
+        """Lumped-mass L2 projection of a smooth field approaches the
+        consistent one under refinement (why the cheap variant is usable)."""
+        from repro.la.krylov import cg
+
+        rels = []
+        for n in (6, 12):
+            dm = DofMap(StructuredBoxMesh((n, n, n)), 1)
+            m = assemble_mass(dm).tocsr()
+            rhs = m @ np.sin(np.pi * dm.dof_coords[:, 0])
+            consistent = cg(m, rhs, tol=1e-12).x
+            lumped = rhs / lump_mass(m)
+            diff = consistent - lumped
+            rels.append(
+                np.sqrt((diff @ (m @ diff)) / (consistent @ (m @ consistent)))
+            )
+        assert rels[1] < 0.5 * rels[0]
+        assert rels[1] < 0.05
+
+    def test_rejects_nonpositive_rows(self):
+        bad = sp.csr_matrix(np.array([[1.0, -2.0], [0.0, 1.0]]))
+        with pytest.raises(SolverError):
+            lump_mass(bad)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(SolverError):
+            lump_mass(sp.csr_matrix(np.ones((2, 3))))

@@ -1,0 +1,62 @@
+"""Tests for the unit helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTime:
+    def test_conversions(self):
+        assert units.microseconds(50) == pytest.approx(5e-5)
+        assert units.milliseconds(2) == pytest.approx(0.002)
+        assert units.minutes(3) == 180
+        assert units.hours(2) == 7200
+        assert units.to_hours(7200) == 2.0
+
+    @given(value=st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=20, deadline=None)
+    def test_hours_roundtrip(self, value):
+        assert units.to_hours(units.hours(value)) == pytest.approx(value)
+
+    def test_format_seconds_bands(self):
+        assert units.format_seconds(5e-7).endswith("us")
+        assert units.format_seconds(0.005).endswith("ms")
+        assert units.format_seconds(42.0) == "42.00s"
+        assert units.format_seconds(120).endswith("min")
+        assert units.format_seconds(7200).endswith("h")
+
+
+class TestDataRates:
+    def test_gbit_per_s(self):
+        assert units.gbit_per_s(8) == pytest.approx(1e9)
+
+    def test_mbyte_per_s(self):
+        assert units.mbyte_per_s(118) == pytest.approx(118e6)
+
+    def test_to_mib(self):
+        assert units.to_mib(1048576) == 1.0
+
+    def test_format_bytes(self):
+        assert units.format_bytes(512) == "512B"
+        assert units.format_bytes(2048) == "2.0KiB"
+        assert units.format_bytes(3 * 1024**2) == "3.0MiB"
+        assert units.format_bytes(5 * 1024**4).endswith("TiB")
+
+
+class TestMoney:
+    def test_cents(self):
+        assert units.cents(15) == pytest.approx(0.15)
+
+    def test_eur_default_rate_matches_paper(self):
+        """EUR 0.15/core-h -> the 19.19 cents of §VII.D."""
+        assert units.eur_to_usd(0.15) == pytest.approx(0.1919, abs=1e-4)
+
+    def test_format_dollars(self):
+        assert units.format_dollars(0.0032) == "$0.0032"
+        assert units.format_dollars(6.81) == "$6.81"
+        assert units.format_dollars(1234.5) == "$1,234.50"
+
+    def test_gflops(self):
+        assert units.gflops(2.3) == pytest.approx(2.3e9)
