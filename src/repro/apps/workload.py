@@ -13,7 +13,7 @@ face neighbour is one element-face layer of DOFs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -42,6 +42,9 @@ class AppWorkload:
     ``iter_growth`` — fractional iteration growth per unit of
     ``p^(1/3) - 1`` (block-Jacobi preconditioned CG degrades with the
     subdomain count; calibrated from executed distributed runs).
+    ``allreduces_per_iteration`` — blocking reduction rounds per Krylov
+    iteration: 3 for the classic solvers (two dots plus the norm), 1
+    for the fused Chronopoulos–Gear CG (see :meth:`with_fused_solver`).
     """
 
     name: str
@@ -52,6 +55,7 @@ class AppWorkload:
     solve_flops_per_dof_iter: float
     base_solver_iters: float
     iter_growth: float
+    allreduces_per_iteration: float = 3.0
 
     def __post_init__(self) -> None:
         if self.fields < 1 or self.order < 1:
@@ -156,7 +160,16 @@ class AppWorkload:
 
     def allreduce_count(self, num_ranks: int) -> float:
         """Latency-bound allreduces per time step (CG dots and norms)."""
-        return 3.0 * self.solver_iterations(num_ranks)
+        return self.allreduces_per_iteration * self.solver_iterations(num_ranks)
+
+    def with_fused_solver(self) -> "AppWorkload":
+        """This workload solved by the fused-allreduce CG variant.
+
+        The Chronopoulos–Gear recurrence batches the per-iteration
+        reductions into a single allreduce round, so the latency term of
+        the solve phase drops 3x while flops stay (essentially) put.
+        """
+        return replace(self, allreduces_per_iteration=1.0)
 
     def assembly_halo_bytes(self, elements_per_rank: int, num_ranks: int) -> float:
         """Assembly-phase communication: ghost data for coefficients."""

@@ -96,6 +96,129 @@ def constrain_operator(matrix: sp.csr_matrix, dofs: np.ndarray) -> sp.csr_matrix
     return (d_keep @ matrix @ d_keep + d_pin).tocsr()
 
 
+class DirichletPlan:
+    """Precomputed Dirichlet elimination for a fixed sparsity pattern.
+
+    :func:`apply_dirichlet` pays two sparse matrix products per call to
+    zero rows and columns; inside a time loop the operator pattern never
+    changes, so the positions of the entries to clear and of the
+    constrained diagonal can be computed once.  ``apply`` then edits the
+    CSR ``data`` array in place — no allocation, no pattern work — and
+    produces values bit-identical to :func:`apply_dirichlet`.
+
+    With ``symmetric=True`` (default) columns are eliminated into the
+    right-hand side before rows *and* columns are zeroed (SPD preserved);
+    with ``symmetric=False`` only rows are replaced.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.csr_matrix,
+        dofs: np.ndarray,
+        symmetric: bool = True,
+    ):
+        n = matrix.shape[0]
+        if matrix.shape != (n, n):
+            raise AssemblyError(f"matrix must be square, got {matrix.shape}")
+        csr = matrix.tocsr()
+        if csr.has_sorted_indices is False:
+            csr.sort_indices()
+        dofs = np.asarray(dofs, dtype=np.int64)
+        if dofs.size and (dofs.min() < 0 or dofs.max() >= n):
+            raise AssemblyError("Dirichlet dof index out of range")
+        if np.unique(dofs).size != dofs.size:
+            raise AssemblyError("duplicate Dirichlet dofs")
+        self.n = n
+        self.dofs = dofs
+        self.symmetric = symmetric
+        self._indptr = csr.indptr.copy()
+        self._indices = csr.indices.copy()
+
+        row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+        constrained = np.zeros(n, dtype=bool)
+        constrained[dofs] = True
+        if symmetric:
+            zero_mask = constrained[row_ids] | constrained[csr.indices]
+        else:
+            zero_mask = constrained[row_ids]
+        diag_mask = (row_ids == csr.indices) & constrained[row_ids]
+        if int(diag_mask.sum()) != dofs.size:
+            raise AssemblyError(
+                "every constrained dof needs a structural diagonal entry "
+                "(pattern is missing some)"
+            )
+        self._zero_positions = np.nonzero(zero_mask)[0]
+        self._diag_positions = np.nonzero(diag_mask)[0]
+        # Identity of the last index array that passed the comparison:
+        # time loops re-apply the plan to the same cached pattern, so
+        # revalidation is a pointer check, not an O(nnz) compare.
+        self._validated_indices = None
+
+    def _check_pattern(self, matrix: sp.csr_matrix) -> sp.csr_matrix:
+        csr = matrix.tocsr() if not sp.issparse(matrix) else matrix
+        if csr.shape != (self.n, self.n) or csr.nnz != self._indices.size:
+            raise AssemblyError("matrix does not match the planned pattern")
+        if csr.indices is self._validated_indices:
+            return csr
+        if csr.indices is not self._indices and not (
+            np.array_equal(csr.indptr, self._indptr)
+            and np.array_equal(csr.indices, self._indices)
+        ):
+            raise AssemblyError("matrix sparsity pattern changed since planning")
+        self._validated_indices = csr.indices
+        return csr
+
+    def lift(self, matrix: sp.csr_matrix, values: np.ndarray | float) -> np.ndarray:
+        """RHS correction ``-A @ g`` (call *before* :meth:`constrain_matrix`)."""
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim == 0:
+            vals = np.full(self.dofs.shape, float(vals))
+        g = np.zeros(self.n)
+        g[self.dofs] = vals
+        return -(matrix @ g)
+
+    def constrain_matrix(self, matrix: sp.csr_matrix) -> sp.csr_matrix:
+        """Zero the planned rows/columns and unit the constrained diagonal.
+
+        In place on ``matrix.data``; returns ``matrix``.
+        """
+        csr = self._check_pattern(matrix)
+        csr.data[self._zero_positions] = 0.0
+        csr.data[self._diag_positions] = 1.0
+        return csr
+
+    def set_rhs(self, rhs: np.ndarray, values: np.ndarray | float) -> np.ndarray:
+        """Write the boundary values into the RHS (in place; returns it)."""
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim == 0:
+            vals = np.full(self.dofs.shape, float(vals))
+        if vals.shape != self.dofs.shape:
+            raise AssemblyError(
+                f"values shape {vals.shape} != dofs shape {self.dofs.shape}"
+            )
+        rhs[self.dofs] = vals
+        return rhs
+
+    def apply(
+        self,
+        matrix: sp.csr_matrix,
+        rhs: np.ndarray,
+        values: np.ndarray | float,
+    ) -> tuple[sp.csr_matrix, np.ndarray]:
+        """Impose ``u[dofs] = values``, editing ``matrix.data`` in place.
+
+        Equivalent to :func:`apply_dirichlet` on the planned pattern, at
+        a fraction of the cost.  The RHS is returned as a new array.
+        """
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (self.n,):
+            raise AssemblyError(f"rhs shape {rhs.shape} != ({self.n},)")
+        new_rhs = rhs + self.lift(matrix, values) if self.symmetric else rhs.copy()
+        self.constrain_matrix(matrix)
+        self.set_rhs(new_rhs, values)
+        return matrix, new_rhs
+
+
 def pin_dof(matrix: sp.csr_matrix, rhs: np.ndarray, dof: int, value: float = 0.0):
     """Pin a single DOF — used to fix the pressure nullspace in NS.
 

@@ -41,6 +41,7 @@ class SolveResult:
     precond_applies: int = 0
     dot_products: int = 0
     axpys: int = 0
+    allreduce_rounds: int = 0
 
     def __repr__(self) -> str:
         status = "converged" if self.converged else "NOT converged"

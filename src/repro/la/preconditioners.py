@@ -6,7 +6,16 @@ figures.  All preconditioners expose:
 
 * ``setup_flops`` — estimated flops spent in construction,
 * ``apply(v)`` — apply M^{-1} to a vector,
-* ``apply_flops`` — estimated flops per application.
+* ``apply_flops`` — estimated flops per application,
+* ``update(matrix)`` — refresh for new operator *values* on the same
+  sparsity pattern, reusing every piece of symbolic structure
+  (factor patterns, elimination schedules, position maps) built in
+  ``__init__``.  Raises :class:`SolverError` if the pattern changed —
+  callers must rebuild in that case.
+
+The update protocol is what lets the time-stepping loops stop paying
+full preconditioner setup every step: a BDF step changes only the
+operator's ``data`` array, never its pattern.
 """
 
 from __future__ import annotations
@@ -26,6 +35,56 @@ def _require_square_csr(matrix) -> sp.csr_matrix:
     return csr
 
 
+def _entry_keys(csr: sp.csr_matrix) -> np.ndarray:
+    """Row-major (row, col) keys; ascending for a canonical CSR."""
+    n_rows, n_cols = csr.shape
+    row_ids = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(csr.indptr))
+    return row_ids * np.int64(n_cols) + csr.indices.astype(np.int64)
+
+
+class _PatternGuard:
+    """Remembers a sparsity pattern and validates refresh candidates."""
+
+    def __init__(self, csr: sp.csr_matrix, who: str):
+        self.shape = csr.shape
+        self.indptr = csr.indptr.copy()
+        self.indices = csr.indices.copy()
+        self.who = who
+        # Identity of the last index arrays that passed the full
+        # comparison: a time loop refreshing from the same cached
+        # pattern (CompositeOperator.combine) revalidates by `is` alone.
+        self._validated_indices = None
+
+    def check(self, matrix) -> sp.csr_matrix:
+        """Return ``matrix`` as canonical CSR or raise on a pattern change."""
+        csr = _require_square_csr(matrix)
+        if not csr.has_sorted_indices:
+            csr = csr.copy()
+            csr.sum_duplicates()
+            csr.sort_indices()
+        if csr.shape == self.shape and csr.indices is self._validated_indices:
+            return csr
+        same = (
+            csr.shape == self.shape
+            and csr.nnz == self.indices.size
+            and (
+                csr.indices is self.indices
+                or (
+                    np.array_equal(csr.indptr, self.indptr)
+                    and np.array_equal(csr.indices, self.indices)
+                )
+            )
+        )
+        if same:
+            self._validated_indices = csr.indices
+        if not same:
+            raise SolverError(
+                f"{self.who}.update: sparsity pattern changed since setup; "
+                f"rebuild the preconditioner instead"
+            )
+        return csr
+
+
 class IdentityPreconditioner:
     """No preconditioning; useful as a baseline in ablations."""
 
@@ -36,18 +95,31 @@ class IdentityPreconditioner:
     def apply(self, v: np.ndarray) -> np.ndarray:
         return v
 
+    def update(self, matrix=None) -> "IdentityPreconditioner":
+        """Nothing to refresh."""
+        return self
+
 
 class JacobiPreconditioner:
     """Diagonal scaling: M = diag(A)."""
 
     def __init__(self, matrix):
         csr = _require_square_csr(matrix)
+        self._guard = _PatternGuard(csr, "JacobiPreconditioner")
+        self.setup_flops = csr.shape[0]
+        self.apply_flops = csr.shape[0]
+        self._refresh(csr)
+
+    def _refresh(self, csr: sp.csr_matrix) -> None:
         diag = csr.diagonal()
         if np.any(diag == 0.0):
             raise SolverError("Jacobi preconditioner: zero on the diagonal")
         self._inv_diag = 1.0 / diag
-        self.setup_flops = csr.shape[0]
-        self.apply_flops = csr.shape[0]
+
+    def update(self, matrix) -> "JacobiPreconditioner":
+        """Refresh the inverse diagonal for new values, same pattern."""
+        self._refresh(self._guard.check(matrix))
+        return self
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         return self._inv_diag * v
@@ -63,6 +135,11 @@ class SSORPreconditioner:
         if not (0.0 < omega < 2.0):
             raise SolverError(f"SSOR relaxation must be in (0, 2), got {omega}")
         csr = _require_square_csr(matrix)
+        if not csr.has_sorted_indices:
+            csr = csr.copy()
+            csr.sum_duplicates()
+            csr.sort_indices()
+        self._guard = _PatternGuard(csr, "SSORPreconditioner")
         n = csr.shape[0]
         diag = csr.diagonal()
         if np.any(diag == 0.0):
@@ -73,10 +150,41 @@ class SSORPreconditioner:
         upper = sp.triu(csr, k=1)
         self._lower_factor = (d_over_w + lower).tocsr()
         self._upper_factor = (d_over_w + upper).tocsr()
+        self._lower_factor.sort_indices()
+        self._upper_factor.sort_indices()
         self._scale = omega / (2.0 - omega)
         self._diag_over_w = diag / omega
         self.setup_flops = 2 * csr.nnz
         self.apply_flops = 4 * csr.nnz
+
+        # Position maps so update() can refill the factor data arrays in
+        # place: where each strict-triangle entry of A lands in its
+        # factor, and where the factor diagonals sit.
+        row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+        cols = csr.indices.astype(np.int64)
+        self._strict_lower_src = np.nonzero(cols < row_ids)[0]
+        self._strict_upper_src = np.nonzero(cols > row_ids)[0]
+        keys = _entry_keys(csr)
+        lower_keys = _entry_keys(self._lower_factor)
+        upper_keys = _entry_keys(self._upper_factor)
+        diag_keys = np.arange(n, dtype=np.int64) * np.int64(n + 1)
+        self._lower_tri_pos = np.searchsorted(lower_keys, keys[self._strict_lower_src])
+        self._upper_tri_pos = np.searchsorted(upper_keys, keys[self._strict_upper_src])
+        self._lower_diag_pos = np.searchsorted(lower_keys, diag_keys)
+        self._upper_diag_pos = np.searchsorted(upper_keys, diag_keys)
+
+    def update(self, matrix) -> "SSORPreconditioner":
+        """Refill the triangular factors for new values, same pattern."""
+        csr = self._guard.check(matrix)
+        diag = csr.diagonal()
+        if np.any(diag == 0.0):
+            raise SolverError("SSOR preconditioner: zero on the diagonal")
+        self._diag_over_w = diag / self.omega
+        self._lower_factor.data[self._lower_tri_pos] = csr.data[self._strict_lower_src]
+        self._upper_factor.data[self._upper_tri_pos] = csr.data[self._strict_upper_src]
+        self._lower_factor.data[self._lower_diag_pos] = self._diag_over_w
+        self._upper_factor.data[self._upper_diag_pos] = self._diag_over_w
+        return self
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         y = sp.linalg.spsolve_triangular(self._lower_factor, v, lower=True)
@@ -94,23 +202,24 @@ class ILU0Preconditioner:
 
     def __init__(self, matrix):
         csr = _require_square_csr(matrix).copy()
+        csr.sum_duplicates()
         csr.sort_indices()
+        self._guard = _PatternGuard(csr, "ILU0Preconditioner")
         n = csr.shape[0]
-        data = csr.data.astype(float).copy()
         indices = csr.indices
         indptr = csr.indptr
 
-        diag_pos = np.full(n, -1, dtype=np.int64)
-        for i in range(n):
-            for pos in range(indptr[i], indptr[i + 1]):
-                if indices[pos] == i:
-                    diag_pos[i] = pos
-                    break
-        if np.any(diag_pos < 0):
+        keys = _entry_keys(csr)
+        diag_keys = np.arange(n, dtype=np.int64) * np.int64(n + 1)
+        diag_pos = np.searchsorted(keys, diag_keys)
+        present = (diag_pos < keys.size) & (keys[np.minimum(diag_pos, keys.size - 1)] == diag_keys)
+        if not np.all(present):
             raise SolverError("ILU(0): structurally zero diagonal entry")
 
+        # Symbolic phase: record every elimination step as CSR positions
+        # once, so refreshes replay pure array arithmetic.
         flops = 0
-        # IKJ Gaussian elimination restricted to the pattern.
+        schedule: list[tuple[int, int, np.ndarray, np.ndarray]] = []
         for i in range(1, n):
             row_start, row_end = indptr[i], indptr[i + 1]
             row_cols = indices[row_start:row_end]
@@ -120,24 +229,34 @@ class ILU0Preconditioner:
                 k = indices[pos]
                 if k >= i:
                     break
-                pivot = data[diag_pos[k]]
-                if pivot == 0.0:
-                    raise SolverError(f"ILU(0): zero pivot at row {k}")
-                lik = data[pos] / pivot
-                data[pos] = lik
-                flops += 1
+                tgts = []
+                srcs = []
                 # subtract lik * U[k, j] for j in pattern of row i, j > k
                 for kpos in range(diag_pos[k] + 1, indptr[k + 1]):
                     j = int(indices[kpos])
                     tgt = col_to_pos.get(j)
                     if tgt is not None:
-                        data[tgt] -= lik * data[kpos]
-                        flops += 2
+                        tgts.append(tgt)
+                        srcs.append(kpos)
+                schedule.append(
+                    (
+                        int(pos),
+                        int(diag_pos[k]),
+                        np.asarray(tgts, dtype=np.int64),
+                        np.asarray(srcs, dtype=np.int64),
+                    )
+                )
+                flops += 1 + 2 * len(tgts)
 
-        self._factors = sp.csr_matrix((data, indices.copy(), indptr.copy()), shape=(n, n))
+        self._schedule = schedule
         self._diag_pos = diag_pos
         self._n = n
         self.setup_flops = flops
+
+        data = self._numeric(csr.data.astype(float).copy())
+        self._factors = sp.csr_matrix(
+            (data, indices.copy(), indptr.copy()), shape=(n, n)
+        )
         self.apply_flops = 2 * self._factors.nnz
 
         # Split into strictly-lower-with-unit-diagonal L and upper U once.
@@ -145,6 +264,39 @@ class ILU0Preconditioner:
         upper = sp.triu(self._factors, k=0)
         self._lower = lower.tocsr()
         self._upper = upper.tocsr()
+        self._lower.sort_indices()
+        self._upper.sort_indices()
+
+        # Refill maps: factor entries -> positions in the split triangles.
+        row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        cols = indices.astype(np.int64)
+        self._strict_lower_src = np.nonzero(cols < row_ids)[0]
+        self._upper_src = np.nonzero(cols >= row_ids)[0]
+        lower_keys = _entry_keys(self._lower)
+        upper_keys = _entry_keys(self._upper)
+        self._lower_tgt = np.searchsorted(lower_keys, keys[self._strict_lower_src])
+        self._upper_tgt = np.searchsorted(upper_keys, keys[self._upper_src])
+
+    def _numeric(self, data: np.ndarray) -> np.ndarray:
+        """Replay the elimination schedule on a fresh data array."""
+        for pos, dpos, tgts, srcs in self._schedule:
+            pivot = data[dpos]
+            if pivot == 0.0:
+                raise SolverError("ILU(0): zero pivot during factorization")
+            lik = data[pos] / pivot
+            data[pos] = lik
+            if tgts.size:
+                data[tgts] -= lik * data[srcs]
+        return data
+
+    def update(self, matrix) -> "ILU0Preconditioner":
+        """Re-run the numeric factorization on the cached symbolic schedule."""
+        csr = self._guard.check(matrix)
+        data = self._numeric(csr.data.astype(float).copy())
+        self._factors.data[:] = data
+        self._lower.data[self._lower_tgt] = data[self._strict_lower_src]
+        self._upper.data[self._upper_tgt] = data[self._upper_src]
+        return self
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         y = sp.linalg.spsolve_triangular(self._lower, v, lower=True, unit_diagonal=True)
@@ -171,6 +323,7 @@ class BlockJacobiPreconditioner:
             )
         if local_factory is None:
             local_factory = ILU0Preconditioner
+        self._local_factory = local_factory
         self._blocks = [np.asarray(b, dtype=np.int64) for b in blocks]
         self._local = []
         self.setup_flops = 0
@@ -181,6 +334,23 @@ class BlockJacobiPreconditioner:
             self._local.append(solver)
             self.setup_flops += solver.setup_flops
             self.apply_flops += solver.apply_flops
+
+    def update(self, matrix) -> "BlockJacobiPreconditioner":
+        """Refresh every local block solver for new operator values."""
+        csr = _require_square_csr(matrix)
+        self.setup_flops = 0
+        self.apply_flops = 0
+        for i, idx in enumerate(self._blocks):
+            sub = csr[idx][:, idx].tocsr()
+            solver = self._local[i]
+            if hasattr(solver, "update"):
+                solver.update(sub)
+            else:
+                solver = self._local_factory(sub)
+                self._local[i] = solver
+            self.setup_flops += solver.setup_flops
+            self.apply_flops += solver.apply_flops
+        return self
 
     @property
     def num_blocks(self) -> int:

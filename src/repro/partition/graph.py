@@ -171,6 +171,11 @@ def _kl_refine_pass(adjacency, assignment: np.ndarray, num_parts: int) -> int:
         gain = best_links - internal
         if gain <= 0:
             continue
+        if sizes[here] == 1:
+            # Moving the last cell would empty the part: when num_parts
+            # does not divide the cell count, singleton parts are legal
+            # and must never be drained for a cut improvement.
+            continue
         if sizes[best_part] + 1 > sizes[here] - 1 + 2:
             # Destination would exceed source by more than one cell: the
             # move trades balance for cut, so skip it.

@@ -72,11 +72,18 @@ class PhaseModel:
         elements_per_rank: int = 20**3,
         time_scale: float = 1.0,
         topology: ClusterTopology | None = None,
+        fused_solver: bool = False,
     ):
         if elements_per_rank < 1:
             raise ExperimentError("elements_per_rank must be >= 1")
         if time_scale <= 0:
             raise ExperimentError("time_scale must be positive")
+        if fused_solver:
+            # Chronopoulos–Gear CG: one batched allreduce round per
+            # iteration instead of three — the latency term of the solve
+            # phase shrinks accordingly.
+            workload = workload.with_fused_solver()
+        self.fused_solver = fused_solver
         self.workload = workload
         self.platform = platform
         self.elements_per_rank = elements_per_rank

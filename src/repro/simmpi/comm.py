@@ -13,6 +13,8 @@ its log2(p) hops is.
 
 from __future__ import annotations
 
+import functools
+from collections import defaultdict
 from contextlib import contextmanager
 from typing import Any
 
@@ -39,6 +41,29 @@ RECV_OVERHEAD = 0.5e-6
 # Collective operations use a reserved tag space above user tags.
 _COLL_TAG_BASE = 1 << 20
 _MAX_USER_TAG = _COLL_TAG_BASE - 1
+
+
+def _traced_collective(method):
+    """Record a "collective" trace event and bump the per-comm counter.
+
+    This is what makes communication-avoiding solver variants auditable:
+    the fused-allreduce CG claims one round per iteration, and
+    ``Tracer.collective_count(label="allreduce")`` proves it.
+    """
+
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        start = self.clock.time
+        result = method(self, *args, **kwargs)
+        self.collective_counts[name] += 1
+        self.tracer.record(
+            TraceRecord(self.rank, "collective", start, self.clock.time, label=name)
+        )
+        return result
+
+    return wrapper
 
 
 class Request:
@@ -113,6 +138,7 @@ class Communicator:
         self.nic_concurrency = max(1.0, float(nic_concurrency))
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.collective_counts: dict[str, int] = defaultdict(int)
         self._coll_seq = 0
 
     # -- identity -------------------------------------------------------------
@@ -314,6 +340,7 @@ class Communicator:
         self._coll_seq += 1
         return _COLL_TAG_BASE + (self._coll_seq % (1 << 20))
 
+    @_traced_collective
     def barrier(self) -> None:
         """Dissemination barrier; synchronizes virtual clocks."""
         tag = self._next_coll_tag()
@@ -325,6 +352,7 @@ class Communicator:
             )
             self._absorb(msg)
 
+    @_traced_collective
     def bcast(self, payload: Any, root: int = 0, algorithm: str = "binomial") -> Any:
         """Broadcast; every rank returns the payload.
 
@@ -359,6 +387,7 @@ class Communicator:
             return msg.payload
         raise CommunicatorError(f"unknown bcast algorithm {algorithm!r}")
 
+    @_traced_collective
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0,
                algorithm: str = "binomial") -> Any:
         """Reduction; the result lands on ``root`` (None elsewhere).
@@ -398,6 +427,7 @@ class Communicator:
             return accum
         raise CommunicatorError(f"unknown reduce algorithm {algorithm!r}")
 
+    @_traced_collective
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Recursive-doubling allreduce (with fold for non-powers-of-two)."""
         tag = self._next_coll_tag()
@@ -436,6 +466,7 @@ class Communicator:
             self._send_impl(accum, self.rank + pof2, tag, internal=True)
         return accum
 
+    @_traced_collective
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         """Linear gather to ``root``; returns the list there, None elsewhere."""
         self._check_peer(root)
@@ -455,6 +486,7 @@ class Communicator:
             out[self._world_to_local[msg.source]] = msg.payload
         return out
 
+    @_traced_collective
     def allgather(self, value: Any) -> list[Any]:
         """Ring allgather; every rank returns the full list."""
         tag = self._next_coll_tag()
@@ -472,6 +504,7 @@ class Communicator:
             out[carry_index] = payload
         return out
 
+    @_traced_collective
     def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
         """Linear scatter from ``root``; each rank returns its slice."""
         self._check_peer(root)
@@ -491,6 +524,7 @@ class Communicator:
         self._absorb(msg)
         return msg.payload
 
+    @_traced_collective
     def alltoall(self, values: list[Any]) -> list[Any]:
         """Pairwise-exchange all-to-all."""
         if len(values) != self.size:
@@ -511,6 +545,7 @@ class Communicator:
             out[self._world_to_local[msg.source]] = msg.payload
         return out
 
+    @_traced_collective
     def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Inclusive prefix scan along the rank chain."""
         tag = self._next_coll_tag()
@@ -525,6 +560,7 @@ class Communicator:
             self._send_impl(accum, self.rank + 1, tag, internal=True)
         return accum
 
+    @_traced_collective
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix scan; rank 0 receives None.
 
@@ -544,6 +580,7 @@ class Communicator:
             self._send_impl(carry, self.rank + 1, tag, internal=True)
         return prefix
 
+    @_traced_collective
     def reduce_scatter_block(self, values: list[Any], op: ReduceOp = SUM) -> Any:
         """Reduce ``values`` elementwise across ranks, scatter one block each.
 

@@ -69,6 +69,32 @@ class Tracer:
         with self._lock:
             return sum(1 for r in self.records if r.kind == kind)
 
+    def collective_count(self, label: str | None = None, rank: int | None = None) -> int:
+        """Number of collective rounds, optionally for one label / one rank.
+
+        Each rank records one "collective" event per round it joins, so
+        ``collective_count(label="allreduce", rank=0)`` is the number of
+        allreduce rounds rank 0 participated in — the counter the
+        communication-reduced CG variant is measured against.
+        """
+        with self._lock:
+            return sum(
+                1
+                for r in self.records
+                if r.kind == "collective"
+                and (label is None or r.label == label)
+                and (rank is None or r.rank == rank)
+            )
+
+    def collective_counts_by_label(self, rank: int | None = None) -> dict[str, int]:
+        """Collective round counts keyed by operation name."""
+        out: dict[str, int] = defaultdict(int)
+        with self._lock:
+            for r in self.records:
+                if r.kind == "collective" and (rank is None or r.rank == rank):
+                    out[r.label] += 1
+        return dict(out)
+
     def time_by_label(self) -> dict[str, float]:
         """Total virtual duration per label, summed over ranks."""
         out: dict[str, float] = defaultdict(float)

@@ -54,6 +54,22 @@ class TestRDSequential:
         b.run()
         assert np.allclose(a.solution, b.solution, atol=1e-9)
 
+    def test_load_cache_bit_identical(self):
+        """Regression for the cached constant-source load vector: the
+        cached and uncached paths must agree bit-for-bit, not just to
+        tolerance — the cache returns the same assembled vector, so any
+        divergence would indicate unwanted mutation of the cache."""
+        prob = RDProblem(mesh_shape=(4, 4, 4), num_steps=3)
+        cached = RDSolver(prob, assembly_mode="combine")
+        uncached = RDSolver(prob, assembly_mode="combine")
+        uncached._use_load_cache = False
+        cached.run()
+        uncached.run()
+        assert cached.nodal_error() == uncached.nodal_error()
+        np.testing.assert_array_equal(cached.solution, uncached.solution)
+        assert cached._cached_load is not None
+        assert uncached._cached_load is None
+
     def test_q1_is_not_exact(self):
         """Q1 cannot represent |x|^2: the L2 error sits at the O(h^2)
         interpolation level (nodal values can be superconvergent on the
