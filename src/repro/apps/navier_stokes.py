@@ -107,6 +107,7 @@ class NSSolver:
         self.log = PhaseLog(discard=discard)
         self.momentum_iterations: list[int] = []
         self.pressure_iterations: list[int] = []
+        self.steps_taken = 0
 
         dm = self.dofmap
         self.rule = default_rule_for_order(1)
@@ -302,6 +303,7 @@ class NSSolver:
         else:
             self.pressure = self.pressure + phi
         self.t = t_new
+        self.steps_taken += 1
         phases = self.clock.finish_iteration()
         self.log.append(phases)
         return phases

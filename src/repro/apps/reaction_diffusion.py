@@ -105,6 +105,8 @@ class RDSolver:
         self.clock = PhaseClock()
         self.log = PhaseLog(discard=discard)
         self.solve_iterations: list[int] = []
+        self.residual_norms: list[float] = []
+        self.steps_taken = 0
 
         self.bdf = BDF(problem.bdf_order, problem.dt)
         coords = self.dofmap.dof_coords
@@ -190,8 +192,10 @@ class RDSolver:
                 tol=self.tol, maxiter=5000, strict=True,
             )
         self.solve_iterations.append(result.iterations)
+        self.residual_norms.append(result.residual_norm)
         self.bdf.advance(result.x)
         self.t = t_new
+        self.steps_taken += 1
         phases = self.clock.finish_iteration()
         self.log.append(phases)
         return phases

@@ -35,6 +35,7 @@ class InterruptedRunOutcome:
     wall_seconds: float
     interruptions: int
     cost: float
+    reclaim_rounds: tuple = ()  # 0-based wall-clock interval indices with a reclaim
 
     @property
     def overhead_fraction(self) -> float:
@@ -130,20 +131,19 @@ class CloudCluster:
         """Run for ``seconds`` of useful work under spot-reclaim risk.
 
         Each checkpoint interval, every spot instance may be reclaimed
-        (probability from the market's spike model).  A reclaim voids
-        the interval's progress for the whole bulk-synchronous job; the
-        lost instance is replaced by an on-demand one (the paper's
-        experience of topping up with regularly-priced hosts).  Billing
-        accrues through the normal engine, including the wasted
-        intervals.
+        (probability from the market's spike model, drawn through the
+        market's :meth:`~repro.cloud.spot.SpotMarket.reclaim_sampler` —
+        the same seeded trajectory the resilience layer turns into rank
+        kills).  A reclaim voids the interval's progress for the whole
+        bulk-synchronous job; the lost instance is replaced by an
+        on-demand one (the paper's experience of topping up with
+        regularly-priced hosts).  Billing accrues through the normal
+        engine, including the wasted intervals.
         """
-        import numpy as np
-
         from repro.errors import CloudError
 
         if seconds <= 0 or checkpoint_interval_s <= 0:
             raise CloudError("run length and checkpoint interval must be positive")
-        rng = np.random.default_rng(seed)
         interval_h = checkpoint_interval_s / 3600.0
         useful = 0.0
         wall = 0.0
@@ -151,20 +151,20 @@ class CloudCluster:
         spot_ids = [
             inst.instance_id for inst in self.instances if inst.pricing == "spot"
         ]
+        sampler = spot_market.reclaim_sampler(len(spot_ids), interval_h, seed)
+        reclaim_rounds: list[int] = []
         while useful < seconds:
             chunk = min(checkpoint_interval_s, seconds - useful)
             self.billing.accrue_all(chunk)
             wall += chunk
-            reclaimed = [
-                iid
-                for iid in spot_ids
-                if rng.random() < spot_market.interruption_probability(interval_h)
-            ]
-            if reclaimed:
-                interruptions += len(reclaimed)
-                for iid in reclaimed:
+            round_index = sampler.round_index
+            reclaimed_slots = sampler.next_round()
+            if reclaimed_slots:
+                reclaim_rounds.append(round_index)
+                interruptions += len(reclaimed_slots)
+                for slot in reclaimed_slots:
+                    iid = spot_ids[slot]
                     self.billing.bills[iid].stop()
-                    spot_ids.remove(iid)
                     # Replacement on-demand instance joins the assembly.
                     self.billing.open_bill(
                         f"{iid}-replacement",
@@ -179,6 +179,7 @@ class CloudCluster:
             wall_seconds=wall,
             interruptions=interruptions,
             cost=self.billing.total_cost(),
+            reclaim_rounds=tuple(reclaim_rounds),
         )
 
 

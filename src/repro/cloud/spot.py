@@ -125,3 +125,79 @@ class SpotMarket:
         if horizon_hours < 0:
             raise CloudError("horizon must be >= 0")
         return float(1.0 - (1.0 - self.spike_probability) ** horizon_hours)
+
+    def reclaim_sampler(
+        self,
+        num_slots: int,
+        interval_hours: float,
+        seed: int | np.random.Generator = 0,
+        replenish: bool = False,
+    ) -> "ReclaimSampler":
+        """A seeded reclaim trajectory over ``num_slots`` spot instances.
+
+        This is the single source of truth for *which* spot slots die
+        *when*: :meth:`CloudCluster.run_with_interruptions` draws billing
+        outcomes from it, and :meth:`repro.resilience.FaultPlan.from_spot_market`
+        derives the matching rank-kill events from an identically-seeded
+        sampler — so the dollars and the dead ranks always agree.
+        """
+        return ReclaimSampler(
+            num_slots=num_slots,
+            probability_per_round=self.interruption_probability(interval_hours),
+            seed=seed,
+            replenish=replenish,
+        )
+
+
+class ReclaimSampler:
+    """Seeded per-round Bernoulli reclaim draws over an evolving slot set.
+
+    Each :meth:`next_round` draws one Bernoulli per alive slot, in
+    ascending slot order, against ``probability_per_round``.  Reclaimed
+    slots leave the pool (the paper's replacements are on-demand, hence
+    unreclaimable) unless ``replenish=True``, which models strategies
+    that re-enter the spot market after every reclaim.
+
+    The draw sequence is fully determined by ``(num_slots,
+    probability_per_round, seed)``, so two identically-constructed
+    samplers replay the same trajectory — the invariant the resilience
+    layer's billing/fault-injection agreement rests on.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        probability_per_round: float,
+        seed: int | np.random.Generator = 0,
+        replenish: bool = False,
+    ):
+        if num_slots < 0:
+            raise CloudError(f"num_slots must be >= 0, got {num_slots}")
+        if not 0.0 <= probability_per_round <= 1.0:
+            raise CloudError(
+                f"probability_per_round must be in [0, 1], got {probability_per_round}"
+            )
+        self.num_slots = num_slots
+        self.probability_per_round = probability_per_round
+        self.replenish = replenish
+        self._rng = np.random.default_rng(seed)
+        self._alive = list(range(num_slots))
+        self.round_index = 0
+
+    @property
+    def alive_slots(self) -> tuple[int, ...]:
+        """Slots still in the spot pool."""
+        return tuple(self._alive)
+
+    def next_round(self) -> tuple[int, ...]:
+        """Advance one interval; returns the slots reclaimed this round."""
+        reclaimed = tuple(
+            slot
+            for slot in self._alive
+            if self._rng.random() < self.probability_per_round
+        )
+        if not self.replenish:
+            for slot in reclaimed:
+                self._alive.remove(slot)
+        self.round_index += 1
+        return reclaimed

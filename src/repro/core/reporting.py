@@ -99,6 +99,40 @@ def ascii_chart(
     return out.getvalue()
 
 
+def render_resilience_table(report) -> str:
+    """Restart statistics next to the cost columns, as fixed-width text.
+
+    ``report`` is a :class:`~repro.harness.experiments.ResilienceReport`;
+    the executed restart accounting (restarts, lost steps, measured
+    overhead) sits beside the billed dollars and the model's predicted
+    overhead, because the §VII.D cost argument only holds when all three
+    agree on how expensive failure actually is.
+    """
+    headers = [
+        "ranks", "steps", "restarts", "lost steps", "overhead",
+        "interrupts", "mix cost $", "on-dem $", "model ovh", "opt ckpt s",
+    ]
+    rows = [[
+        report.num_ranks,
+        report.num_steps,
+        report.restarts,
+        report.lost_steps,
+        report.overhead_fraction,
+        report.interruptions,
+        report.mix_cost,
+        report.on_demand_cost,
+        report.model_overhead_fraction,
+        report.optimal_interval_s,
+    ]]
+    table = ascii_table(headers, rows)
+    return (
+        table
+        + f"spot ranks: {list(report.spot_ranks)}  "
+        + f"reclaim rounds: {list(report.reclaim_rounds)}  "
+        + f"nodal error: {report.nodal_error:.3e}\n"
+    )
+
+
 def rows_to_csv(headers: list[str], rows: list[list]) -> str:
     """Minimal CSV rendering (no quoting needs in our data)."""
     lines = [",".join(headers)]

@@ -45,13 +45,17 @@ class StrategyOutcome:
 def _interruption_penalty(market: SpotMarket, run_hours: float, rng) -> float:
     """Sampled rerun factor for a spot run: reclaimed runs restart.
 
-    Returns a multiplier >= 1 on the run time (and spot cost).
+    Draws through the market's reclaim sampler (the same seam the
+    billing engine and the resilience fault injector consume), treating
+    the whole assembly as one slot that re-enters the market after every
+    reclaim.  Returns a multiplier >= 1 on the run time (and spot cost).
     """
+    sampler = market.reclaim_sampler(1, run_hours, seed=rng, replenish=True)
     factor = 1.0
     # Up to 3 reclaim-and-restart cycles; beyond that the strategy would
     # be abandoned in practice.
     for _ in range(3):
-        if rng.random() < market.interruption_probability(run_hours):
+        if sampler.next_round():
             # Lose a uniformly distributed fraction of the run.
             factor += float(rng.uniform(0.2, 1.0))
         else:

@@ -53,6 +53,23 @@ class DeadlockError(SimMPIError):
     """The runtime detected that all live ranks are blocked on receives."""
 
 
+class RankFailedError(SimMPIError):
+    """An injected fault killed a rank mid-run (the spot-reclaim analogue).
+
+    Raised out of the failing rank's next communication operation so that
+    in-flight collectives (CG allreduces, assembly exchanges) abort
+    cleanly instead of hanging; the launcher re-raises it as the run's
+    root cause on every surviving rank's behalf.
+    """
+
+    def __init__(self, message: str, rank: int, step: int | None = None,
+                 phase: str | None = None):
+        super().__init__(message)
+        self.rank = rank
+        self.step = step
+        self.phase = phase
+
+
 class LaunchError(SimMPIError):
     """The SPMD launcher could not start (or lost) ranks.
 
@@ -108,3 +125,16 @@ class CostModelError(ReproError):
 
 class ExperimentError(ReproError):
     """Harness-level error: malformed experiment definition or results."""
+
+
+class ResilienceError(ReproError):
+    """Fault-plan or restart-protocol misuse (bad event, missing state)."""
+
+
+class RetriesExhaustedError(ResilienceError):
+    """The resilient runner's retry budget ran out before completion."""
+
+    def __init__(self, message: str, attempts: int, failed_ranks: list[int]):
+        super().__init__(message)
+        self.attempts = attempts
+        self.failed_ranks = failed_ranks

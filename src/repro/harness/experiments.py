@@ -10,11 +10,13 @@ T2     Table II — EC2 full vs mix assemblies (time and cost)
 F5     Figure 5 — NS weak scaling
 F6     Figure 6 — RD per-iteration costs (incl. the mix curve)
 F7     Figure 7 — NS per-iteration costs
+R      resilience: a mix assembly surviving spot reclaims
 ====== =======================================================
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -196,3 +198,130 @@ def experiment_fig6_rd_costs() -> WeakScalingTable:
 def experiment_fig7_ns_costs() -> WeakScalingTable:
     """Figure 7: NS per-iteration cost curves."""
     return _cost_table(NS_WORKLOAD)
+
+
+# ---------------------------------------------------------------------------
+# R — resilience under spot reclaims
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """One volatile-market mix-assembly run, end to end.
+
+    Execution (the resilient runner), billing (the interruption-aware
+    bill) and prediction (the checkpoint/restart model) all consume the
+    *same* seeded market trajectory, so the report's columns are
+    mutually consistent by construction.
+    """
+
+    num_ranks: int
+    num_steps: int
+    spot_ranks: tuple[int, ...]
+    restarts: int
+    lost_steps: int
+    executed_steps: int
+    checkpoints_written: int
+    overhead_fraction: float
+    nodal_error: float
+    interruptions: int
+    reclaim_rounds: tuple[int, ...]
+    mix_cost: float
+    on_demand_cost: float
+    model_overhead_fraction: float
+    optimal_interval_s: float
+
+
+def experiment_resilience(
+    checkpoint_dir=None,
+    num_ranks: int = 2,
+    num_steps: int = 8,
+    seed: int = 5,
+    spike_probability: float = 0.5,
+    step_hours: float = 1.0,
+    checkpoint_seconds: float = 30.0,
+    restart_seconds: float = 120.0,
+) -> ResilienceReport:
+    """A mix assembly on a volatile spot market, run to completion.
+
+    The defaults model the §VII.B nightmare scenario: a market spiking
+    every other hour, a mostly-spot assembly, one time step per billing
+    interval.  One seeded market drives three views of the same run:
+
+    1. the :class:`~repro.resilience.ResilientRunner` executes the RD
+       loop with reclaim-derived rank kills and restarts from
+       checkpoints (restart statistics, verified physics);
+    2. the cluster's interruption-aware billing accrues the dollars,
+       including wasted intervals and on-demand replacements;
+    3. the :class:`~repro.perfmodel.resilience.CheckpointRestartModel`
+       predicts the overhead from the same failure rate.
+    """
+    from repro.apps.reaction_diffusion import RDProblem
+    from repro.cloud.spot import SpotMarket
+    from repro.perfmodel.resilience import (
+        CheckpointRestartModel,
+        failure_rate_from_market,
+    )
+    from repro.resilience import FaultPlan, ResilientRunner
+
+    market = SpotMarket(
+        CC2_8XLARGE, spike_probability=spike_probability, seed=seed
+    )
+    service = EC2Service(spot_market=market, seed=seed)
+    cluster = service.assemble_mix(num_ranks, seed=seed)
+    spot_ranks = tuple(
+        i for i, inst in enumerate(cluster.instances) if inst.pricing == "spot"
+    )
+
+    plan = FaultPlan.from_spot_market(
+        market, num_steps, step_hours, list(spot_ranks), seed=seed
+    )
+    problem = RDProblem(mesh_shape=(4, 4, 4), num_steps=num_steps)
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory()
+        checkpoint_dir = tmp.name
+    runner = ResilientRunner(
+        problem,
+        num_ranks,
+        plan=plan,
+        checkpoint_every=2,
+        checkpoint_dir=checkpoint_dir,
+        max_retries=len(spot_ranks) + 2,
+    )
+    result = runner.run()
+
+    run_seconds = num_steps * step_hours * 3600.0
+    outcome = cluster.run_with_interruptions(
+        run_seconds, market, seed=seed, checkpoint_interval_s=step_hours * 3600.0
+    )
+    cluster.terminate()
+    on_demand_cost = (
+        num_ranks * CC2_8XLARGE.on_demand_hourly * run_seconds / 3600.0
+    )
+
+    model = CheckpointRestartModel(
+        checkpoint_seconds=checkpoint_seconds,
+        restart_seconds=restart_seconds,
+        failure_rate_per_hour=failure_rate_from_market(market, len(spot_ranks)),
+    )
+    interval_s = step_hours * 3600.0
+
+    return ResilienceReport(
+        num_ranks=num_ranks,
+        num_steps=num_steps,
+        spot_ranks=spot_ranks,
+        restarts=result.stats.restarts,
+        lost_steps=result.stats.lost_steps,
+        executed_steps=result.stats.executed_steps,
+        checkpoints_written=result.stats.checkpoints_written,
+        overhead_fraction=result.stats.overhead_fraction,
+        nodal_error=result.nodal_error,
+        interruptions=outcome.interruptions,
+        reclaim_rounds=outcome.reclaim_rounds,
+        mix_cost=outcome.cost,
+        on_demand_cost=on_demand_cost,
+        model_overhead_fraction=model.expected_overhead_fraction(
+            run_seconds, interval_s
+        ),
+        optimal_interval_s=model.optimal_interval_seconds(),
+    )

@@ -16,6 +16,12 @@ The header records metadata (time, mesh shape, anything JSON-able) and
 per-field lengths.  Chunking plus per-chunk CRCs gives what the paper's
 runs needed HDF5 for: large arrays written incrementally and read back
 with integrity checking.
+
+Format v2 (current) keeps the byte layout of v1 unchanged and adds the
+*restart contract* on top: a checkpoint carries the full BDF history,
+the step index, and the solver-state counters (iterations, residual
+histories, RNG state) needed for bit-exact resume — see
+``docs/resilience.md``.  v1 files remain readable.
 """
 
 from __future__ import annotations
@@ -31,7 +37,8 @@ import numpy as np
 from repro.errors import ReproError
 
 MAGIC = b"RPRC"
-VERSION = 1
+VERSION = 2
+READABLE_VERSIONS = (1, 2)
 DEFAULT_CHUNK_ELEMENTS = 65536
 
 
@@ -113,7 +120,7 @@ def read_checkpoint(path: str | Path) -> CheckpointData:
     if len(raw) < 12 or raw[:4] != MAGIC:
         raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
     version, hlen = struct.unpack_from("<II", raw, 4)
-    if version != VERSION:
+    if version not in READABLE_VERSIONS:
         raise CheckpointError(f"{path}: unsupported checkpoint version {version}")
     offset = 12
     if offset + hlen > len(raw):
@@ -155,45 +162,212 @@ def read_checkpoint(path: str | Path) -> CheckpointData:
     return CheckpointData(fields=fields, metadata=header.get("metadata", {}))
 
 
-def save_rd_state(path: str | Path, solver, extra_metadata: dict | None = None) -> int:
-    """Checkpoint an RD solver: current + previous state and the clock.
+# ---------------------------------------------------------------------------
+# v2 restart contract: BDF history + solver state
+# ---------------------------------------------------------------------------
 
-    Restart with :func:`load_rd_state`, which reinitializes the BDF
-    history so the restarted trajectory continues exactly.
+
+def rng_state_to_json(rng: np.random.Generator) -> dict:
+    """A numpy Generator's bit-generator state as JSON-able data."""
+    return rng.bit_generator.state
+
+
+def restore_rng(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a Generator from :func:`rng_state_to_json` output in place."""
+    rng.bit_generator.state = state
+    return rng
+
+
+def save_history_state(
+    path: str | Path,
+    app: str,
+    states: list[np.ndarray],
+    t: float,
+    step: int,
+    discretization: dict,
+    solver_state: dict | None = None,
+    rng_state: dict | None = None,
+    extra_metadata: dict | None = None,
+) -> int:
+    """Write a v2 restart checkpoint: time-stepper history + solver state.
+
+    ``states`` is the BDF history *newest first* (as the scheme stores
+    it); ``solver_state`` carries JSON-able per-step diagnostics —
+    iteration counts, residual histories, collective counters — so a
+    resumed run continues them seamlessly; ``rng_state`` (from
+    :func:`rng_state_to_json`) makes stochastic components resume on the
+    exact same draw sequence.
     """
-    history = solver.bdf._history  # newest first
     metadata = {
-        "app": "reaction-diffusion",
-        "t": solver.t,
-        "dt": solver.problem.dt,
-        "mesh_shape": list(solver.problem.mesh_shape),
-        "order": solver.problem.order,
-        "bdf_order": solver.problem.bdf_order,
+        "app": app,
+        "format": 2,
+        "t": float(t),
+        "step": int(step),
+        "num_states": len(states),
+        "discretization": dict(discretization),
+        "solver_state": dict(solver_state or {}),
     }
+    if rng_state is not None:
+        metadata["rng_state"] = rng_state
     if extra_metadata:
         metadata.update(extra_metadata)
-    fields = {f"state_{i}": state for i, state in enumerate(history)}
+    fields = {
+        f"state_{i}": np.asarray(state, dtype=np.float64).ravel()
+        for i, state in enumerate(states)
+    }
     return write_checkpoint(path, CheckpointData(fields=fields, metadata=metadata))
+
+
+def load_history_state(
+    path: str | Path, app: str, discretization: dict | None = None
+) -> tuple[list[np.ndarray], float, int, dict]:
+    """Read a restart checkpoint back; returns (states, t, step, metadata).
+
+    ``states`` come back newest first, exactly as saved.  When
+    ``discretization`` is given, every entry must match the checkpoint's
+    (mesh shape, element order, BDF order, ...) — resuming onto a
+    different discretization can never be bit-exact, so it is an error.
+    """
+    data = read_checkpoint(path)
+    meta = data.metadata
+    if meta.get("app") != app:
+        raise CheckpointError(
+            f"{path}: app mismatch (checkpoint {meta.get('app')!r}, wanted {app!r})"
+        )
+    saved_disc = meta.get("discretization", {})
+    if discretization is not None:
+        for key, wanted in discretization.items():
+            have = saved_disc.get(key)
+            if _normalize(have) != _normalize(wanted):
+                raise CheckpointError(
+                    f"{path}: discretization mismatch on {key!r} "
+                    f"(checkpoint {have!r}, solver {wanted!r})"
+                )
+    num_states = int(meta.get("num_states", 0))
+    try:
+        states = [data.fields[f"state_{i}"] for i in range(num_states)]
+    except KeyError as exc:
+        raise CheckpointError(f"{path}: missing history field {exc}") from exc
+    return states, float(meta["t"]), int(meta.get("step", 0)), meta
+
+
+def _normalize(value):
+    """JSON round-trips tuples to lists; compare them as equals."""
+    if isinstance(value, (tuple, list)):
+        return [_normalize(v) for v in value]
+    return value
+
+
+def save_rd_state(path: str | Path, solver, extra_metadata: dict | None = None,
+                  rng_state: dict | None = None) -> int:
+    """Checkpoint an RD solver: BDF history, clock, and solver counters.
+
+    Restart with :func:`load_rd_state`, which reinitializes the BDF
+    history and the per-step diagnostics so the restarted trajectory
+    continues *bit-exactly* (asserted by the golden resume tests).
+    """
+    return save_history_state(
+        path,
+        app="reaction-diffusion",
+        states=solver.bdf._history,  # newest first
+        t=solver.t,
+        step=getattr(solver, "steps_taken", 0),
+        discretization={
+            "mesh_shape": list(solver.problem.mesh_shape),
+            "order": solver.problem.order,
+            "bdf_order": solver.problem.bdf_order,
+            "dt": solver.problem.dt,
+        },
+        solver_state={
+            "solve_iterations": list(solver.solve_iterations),
+            "residual_norms": list(getattr(solver, "residual_norms", [])),
+        },
+        rng_state=rng_state,
+        extra_metadata=extra_metadata,
+    )
 
 
 def load_rd_state(path: str | Path, solver) -> float:
     """Restore an RD solver from a checkpoint; returns the restored time.
 
     The solver must be configured with the same problem discretization
-    (validated against the checkpoint metadata).
+    (validated against the checkpoint metadata); iteration and residual
+    histories continue from the checkpointed values.
     """
-    data = read_checkpoint(path)
-    meta = data.metadata
-    if meta.get("app") != "reaction-diffusion":
-        raise CheckpointError(f"{path}: not an RD checkpoint")
-    if tuple(meta["mesh_shape"]) != solver.problem.mesh_shape:
+    states, t, step, meta = load_history_state(
+        path,
+        app="reaction-diffusion",
+        discretization={
+            "mesh_shape": list(solver.problem.mesh_shape),
+            "order": solver.problem.order,
+            "bdf_order": solver.problem.bdf_order,
+        },
+    )
+    if len(states) != solver.problem.bdf_order:
         raise CheckpointError(
-            f"{path}: mesh shape {meta['mesh_shape']} != solver's "
-            f"{list(solver.problem.mesh_shape)}"
+            f"{path}: {len(states)} history states for "
+            f"BDF{solver.problem.bdf_order}"
         )
-    if meta["order"] != solver.problem.order or meta["bdf_order"] != solver.problem.bdf_order:
-        raise CheckpointError(f"{path}: discretization mismatch")
-    states = [data.fields[f"state_{i}"] for i in range(solver.problem.bdf_order)]
     solver.bdf.initialize(list(reversed(states)))  # oldest first
-    solver.t = float(meta["t"])
+    solver.t = t
+    solver.steps_taken = step
+    solver_state = meta.get("solver_state", {})
+    solver.solve_iterations = list(solver_state.get("solve_iterations", []))
+    solver.residual_norms = list(solver_state.get("residual_norms", []))
+    return solver.t
+
+
+def save_ns_state(path: str | Path, solver, extra_metadata: dict | None = None) -> int:
+    """Checkpoint an NS solver: 3 velocity BDF histories + pressure + clock."""
+    order = solver.problem.bdf_order
+    states: list[np.ndarray] = []
+    for comp in range(3):
+        states.extend(solver.bdf[comp]._history)  # newest first per component
+    states.append(solver.pressure)
+    return save_history_state(
+        path,
+        app="navier-stokes",
+        states=states,
+        t=solver.t,
+        step=getattr(solver, "steps_taken", 0),
+        discretization={
+            "mesh_shape": list(solver.problem.mesh_shape),
+            "bdf_order": order,
+            "dt": solver.problem.dt,
+            "nu": solver.problem.nu,
+        },
+        solver_state={
+            "momentum_iterations": list(solver.momentum_iterations),
+            "pressure_iterations": list(solver.pressure_iterations),
+        },
+        extra_metadata=extra_metadata,
+    )
+
+
+def load_ns_state(path: str | Path, solver) -> float:
+    """Restore an NS solver from a checkpoint; returns the restored time."""
+    order = solver.problem.bdf_order
+    states, t, step, meta = load_history_state(
+        path,
+        app="navier-stokes",
+        discretization={
+            "mesh_shape": list(solver.problem.mesh_shape),
+            "bdf_order": order,
+            "nu": solver.problem.nu,
+        },
+    )
+    if len(states) != 3 * order + 1:
+        raise CheckpointError(
+            f"{path}: expected {3 * order + 1} states (3 velocity histories "
+            f"+ pressure), got {len(states)}"
+        )
+    for comp in range(3):
+        history = states[comp * order : (comp + 1) * order]  # newest first
+        solver.bdf[comp].initialize(list(reversed(history)))
+    solver.pressure = states[3 * order]
+    solver.t = t
+    solver.steps_taken = step
+    solver_state = meta.get("solver_state", {})
+    solver.momentum_iterations = list(solver_state.get("momentum_iterations", []))
+    solver.pressure_iterations = list(solver_state.get("pressure_iterations", []))
     return solver.t

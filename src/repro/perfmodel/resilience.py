@@ -1,0 +1,145 @@
+"""Checkpoint overhead and expected rework in the performance model.
+
+The §VII.D cost trade is incomplete without the price of surviving spot
+reclaims: checkpointing steals time from every interval, and each
+failure throws away half an interval on average plus the restart cost.
+The classic first-order model (Young 1974):
+
+* writing a checkpoint every ``tau`` seconds costs a fraction ``c/tau``
+  of the run (``c`` = seconds per checkpoint);
+* with failures arriving at rate ``lambda``, each failure loses on
+  average ``tau/2`` of progress plus the restart time ``R``, so the
+  expected wall-clock inflation is::
+
+      wall = base * (1 + c/tau) / (1 - lambda * (tau/2 + R))
+
+  valid while ``lambda * (tau/2 + R) < 1`` (beyond that the run makes
+  no forward progress — the model raises);
+* the interval minimizing total overhead is Young's
+  ``tau* = sqrt(2 * c / lambda)``.
+
+``failure_rate_from_market`` ties ``lambda`` to the same
+:class:`~repro.cloud.spot.SpotMarket` spike model that drives billing
+and fault injection, closing the loop: one market parameterization
+yields consistent dollars, dead ranks, and model predictions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+
+
+def failure_rate_from_market(market, num_spot_instances: int) -> float:
+    """Cluster-level failures per hour from the market's spike model.
+
+    A bulk-synchronous job restarts when *any* of its spot instances is
+    reclaimed, so the cluster failure rate is (to first order) the
+    per-instance spike rate times the spot instance count.
+    """
+    if num_spot_instances < 0:
+        raise CostModelError("num_spot_instances must be >= 0")
+    return market.spike_probability * num_spot_instances
+
+
+@dataclass(frozen=True)
+class CheckpointRestartModel:
+    """First-order checkpoint/restart overhead model.
+
+    ``checkpoint_seconds``: time to write one checkpoint (steals from
+    every interval).  ``restart_seconds``: re-assembly + restore after a
+    failure.  ``failure_rate_per_hour``: cluster-level reclaim rate.
+    """
+
+    checkpoint_seconds: float
+    restart_seconds: float
+    failure_rate_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_seconds < 0 or self.restart_seconds < 0:
+            raise CostModelError("checkpoint and restart times must be >= 0")
+        if self.failure_rate_per_hour < 0:
+            raise CostModelError("failure rate must be >= 0")
+
+    @property
+    def failure_rate_per_second(self) -> float:
+        """``lambda`` in 1/s."""
+        return self.failure_rate_per_hour / 3600.0
+
+    def checkpoint_overhead_fraction(self, interval_seconds: float) -> float:
+        """Fraction of useful time spent writing checkpoints (``c/tau``)."""
+        if interval_seconds <= 0:
+            raise CostModelError("checkpoint interval must be positive")
+        return self.checkpoint_seconds / interval_seconds
+
+    def expected_rework_seconds(self, interval_seconds: float) -> float:
+        """Mean seconds lost per failure: half an interval plus restart."""
+        if interval_seconds <= 0:
+            raise CostModelError("checkpoint interval must be positive")
+        return interval_seconds / 2.0 + self.restart_seconds
+
+    def expected_wall_seconds(
+        self, base_seconds: float, interval_seconds: float
+    ) -> float:
+        """Expected wall clock for ``base_seconds`` of useful work."""
+        if base_seconds <= 0:
+            raise CostModelError("base run time must be positive")
+        lam = self.failure_rate_per_second
+        loss = lam * self.expected_rework_seconds(interval_seconds)
+        if loss >= 1.0:
+            raise CostModelError(
+                f"failure rate too high for interval {interval_seconds:.0f}s: "
+                f"expected rework ({loss:.2f}) consumes all forward progress"
+            )
+        inflation = (
+            1.0 + self.checkpoint_overhead_fraction(interval_seconds)
+        ) / (1.0 - loss)
+        return base_seconds * inflation
+
+    def expected_overhead_fraction(
+        self, base_seconds: float, interval_seconds: float
+    ) -> float:
+        """Total expected inflation: wall / base - 1."""
+        return self.expected_wall_seconds(base_seconds, interval_seconds) / base_seconds - 1.0
+
+    def optimal_interval_seconds(self) -> float:
+        """Young's optimal checkpoint interval ``sqrt(2 c / lambda)``.
+
+        Infinite (checkpointing is pure overhead) when failures never
+        happen or checkpoints are free.
+        """
+        lam = self.failure_rate_per_second
+        if lam == 0.0 or self.checkpoint_seconds == 0.0:
+            return math.inf
+        return math.sqrt(2.0 * self.checkpoint_seconds / lam)
+
+
+def spot_run_cost(
+    base_seconds: float,
+    interval_seconds: float,
+    model: CheckpointRestartModel,
+    hourly_price: float,
+) -> float:
+    """Expected dollars for a run under reclaim risk: price x expected wall."""
+    if hourly_price < 0:
+        raise CostModelError("hourly price must be >= 0")
+    wall = model.expected_wall_seconds(base_seconds, interval_seconds)
+    return hourly_price * wall / 3600.0
+
+
+def spot_break_even_discount(
+    base_seconds: float,
+    interval_seconds: float,
+    model: CheckpointRestartModel,
+) -> float:
+    """Spot discount needed to break even with failure-free on-demand.
+
+    On-demand pays ``base_seconds`` at full price; spot pays the
+    inflated expected wall at the discounted price.  Returns the
+    maximum spot/on-demand price ratio at which spot still wins —
+    the resilience analogue of the paper's 4.4x observation.
+    """
+    wall = model.expected_wall_seconds(base_seconds, interval_seconds)
+    return base_seconds / wall

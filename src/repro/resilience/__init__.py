@@ -1,0 +1,34 @@
+"""Fault injection and checkpoint/restart for the simulated platforms.
+
+The paper's spot-instance experience — partial fulfillment, reclaims
+mid-run, on-demand replacements — becomes executable here: seeded
+:class:`FaultPlan` trajectories kill simmpi ranks and perturb messages,
+and the :class:`ResilientRunner` survives them by checkpointing at step
+boundaries and resuming bit-exactly.  See ``docs/resilience.md``.
+"""
+
+from repro.resilience.faults import (
+    KILL_KINDS,
+    MESSAGE_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.resilience.runner import (
+    ResilientRunner,
+    ResilientRunResult,
+    RestartStats,
+    StepRecord,
+)
+
+__all__ = [
+    "KILL_KINDS",
+    "MESSAGE_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ResilientRunner",
+    "ResilientRunResult",
+    "RestartStats",
+    "StepRecord",
+]

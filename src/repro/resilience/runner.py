@@ -1,0 +1,417 @@
+"""Checkpoint/restart execution of the distributed RD time loop.
+
+The paper ran bulk-synchronous FEM time loops on spot instances that
+could vanish mid-run; the only recovery available in 2012 was the
+classic one: checkpoint at step boundaries, and when a rank dies,
+re-assemble the machine and resume from the latest checkpoint.  The
+:class:`ResilientRunner` executes exactly that protocol against the
+simmpi runtime:
+
+1. run the distributed RD loop with a :class:`~repro.resilience.FaultInjector`
+   installed in the transport;
+2. rank 0 writes a v2 restart checkpoint (BDF history + clock + solver
+   counters, :func:`repro.io.checkpoint.save_history_state`) every
+   ``checkpoint_every`` steps, *before* the step's kill gate — so a kill
+   at step ``s`` always finds the state at ``s`` persisted;
+3. a kill surfaces as :class:`~repro.errors.RankFailedError` out of
+   ``run_spmd``; the runner "replaces the host" (revives the rank id),
+   applies capped exponential backoff (modeled, not slept), restores
+   from the checkpoint and resumes;
+4. when the retry budget runs out, a typed
+   :class:`~repro.errors.RetriesExhaustedError` carries the attempt
+   count and the failed ranks.
+
+Restart accounting (restarts, lost step-executions, overhead fraction)
+feeds :mod:`repro.core.reporting`; the golden tests in
+``tests/resilience`` assert the resumed trajectory is *bit-exact*
+against an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import RankFailedError, ReproError, RetriesExhaustedError
+from repro.apps.exact import RDManufacturedSolution
+from repro.apps.phases import PhaseClock
+from repro.apps.reaction_diffusion import RDProblem, slab_ownership
+from repro.fem.assembly import (
+    CompositeOperator,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+)
+from repro.fem.bdf import BDF
+from repro.fem.boundary import DirichletPlan
+from repro.fem.dofmap import DofMap
+from repro.io.checkpoint import load_history_state, save_history_state
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.simmpi.launcher import run_spmd
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything one completed time step leaves behind.
+
+    The golden bit-exact-resume tests compare these between a straight
+    run and a killed-and-resumed run: for a truly transparent restart,
+    every field must match for every overlapping step — including the
+    full residual history and the per-step allreduce count.
+    """
+
+    step: int
+    t: float
+    iterations: int
+    residual_norm: float
+    allreduce_rounds: int
+    residuals: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "t": self.t,
+            "iterations": self.iterations,
+            "residual_norm": self.residual_norm,
+            "allreduce_rounds": self.allreduce_rounds,
+            "residuals": list(self.residuals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StepRecord":
+        return cls(
+            step=int(data["step"]),
+            t=float(data["t"]),
+            iterations=int(data["iterations"]),
+            residual_norm=float(data["residual_norm"]),
+            allreduce_rounds=int(data["allreduce_rounds"]),
+            residuals=tuple(float(r) for r in data["residuals"]),
+        )
+
+
+@dataclass
+class RestartStats:
+    """Restart accounting for one resilient run."""
+
+    attempts: int = 0
+    restarts: int = 0
+    completed_steps: int = 0
+    executed_steps: int = 0  # step-executions, including redone ones
+    checkpoints_written: int = 0
+    backoff_seconds: list[float] = field(default_factory=list)
+    failed_ranks: list[int] = field(default_factory=list)
+
+    @property
+    def lost_steps(self) -> int:
+        """Step-executions whose progress a failure threw away."""
+        return self.executed_steps - self.completed_steps
+
+    @property
+    def replacements(self) -> int:
+        """Replacement hosts brought in (one per failed rank)."""
+        return len(self.failed_ranks)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra step-executions per useful step (0.0 = failure-free)."""
+        if self.completed_steps == 0:
+            return 0.0
+        return self.lost_steps / self.completed_steps
+
+
+@dataclass(frozen=True)
+class ResilientRunResult:
+    """Outcome of a resilient run: the physics plus the restart ledger."""
+
+    solution: np.ndarray
+    t: float
+    records: list[StepRecord]
+    stats: RestartStats
+    nodal_error: float
+
+
+class ResilientRunner:
+    """Run the distributed RD loop to completion despite injected faults.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.apps.reaction_diffusion.RDProblem` to solve.
+    num_ranks:
+        SPMD width (bounded by the mesh's z-plane count, as for
+        :func:`~repro.apps.reaction_diffusion.run_rd_distributed`).
+    plan:
+        The :class:`FaultPlan` to execute; ``None`` means a fault-free
+        run (the protocol still checkpoints).
+    checkpoint_every:
+        Step cadence of rank 0's restart checkpoints.
+    checkpoint_dir:
+        Directory for the checkpoint file (required; tests pass tmp_path).
+    max_retries:
+        Restart budget: how many failures may be absorbed before
+        :class:`~repro.errors.RetriesExhaustedError`.
+    backoff_base_s / backoff_cap_s:
+        Capped exponential backoff between restart attempts.  The delay
+        is *modeled* (recorded in :class:`RestartStats`), never slept —
+        virtual time is the only clock the experiments read.
+    """
+
+    def __init__(
+        self,
+        problem: RDProblem,
+        num_ranks: int,
+        plan: FaultPlan | None = None,
+        checkpoint_every: int = 2,
+        checkpoint_dir: str | Path | None = None,
+        max_retries: int = 5,
+        backoff_base_s: float = 1.0,
+        backoff_cap_s: float = 60.0,
+        preconditioner: str = "block-jacobi",
+        tol: float = 1e-12,
+        cpu_speed_factor: float = 1.0,
+        topology=None,
+        real_timeout: float = 120.0,
+    ):
+        if checkpoint_every < 1:
+            raise ReproError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        if checkpoint_dir is None:
+            raise ReproError("ResilientRunner needs a checkpoint_dir")
+        self.problem = problem
+        self.num_ranks = num_ranks
+        self.plan = plan or FaultPlan()
+        self.injector = FaultInjector(self.plan)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = Path(checkpoint_dir) / "rd-restart.ckpt"
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.preconditioner = preconditioner
+        self.tol = tol
+        self.cpu_speed_factor = cpu_speed_factor
+        self.topology = topology
+        self.real_timeout = real_timeout
+
+    # -- restart driver -----------------------------------------------------
+
+    def run(self) -> ResilientRunResult:
+        """Drive attempts until the time loop completes or the budget dies."""
+        stats = RestartStats()
+        # Each run() is a fresh computation: a checkpoint left behind by
+        # a previous run in the same directory must not hijack attempt 1.
+        self.checkpoint_path.unlink(missing_ok=True)
+        # Shared across attempts (rank threads live in this process):
+        # per-step records survive a failed attempt, so only the steps
+        # after the last checkpoint are ever recomputed.
+        shared: dict = {"records": {}, "final": None}
+        while True:
+            stats.attempts += 1
+            try:
+                run_spmd(
+                    target=self._rd_body,
+                    num_ranks=self.num_ranks,
+                    topology=self.topology,
+                    args=(shared, stats),
+                    fault_injector=self.injector,
+                    real_timeout=self.real_timeout,
+                )
+            except RankFailedError as exc:
+                stats.failed_ranks.append(exc.rank)
+                if stats.restarts >= self.max_retries:
+                    raise RetriesExhaustedError(
+                        f"retry budget of {self.max_retries} exhausted after "
+                        f"{stats.attempts} attempts (failed ranks: "
+                        f"{stats.failed_ranks})",
+                        attempts=stats.attempts,
+                        failed_ranks=list(stats.failed_ranks),
+                    ) from exc
+                stats.restarts += 1
+                stats.backoff_seconds.append(
+                    min(
+                        self.backoff_base_s * 2.0 ** (stats.restarts - 1),
+                        self.backoff_cap_s,
+                    )
+                )
+                # "Replace the host": the rank id is reused by a fresh
+                # instance; consumed fault events stay consumed.
+                self.injector.reset_liveness()
+                continue
+            break
+
+        solution, t, nodal_error = shared["final"]
+        records = [shared["records"][s] for s in range(self.problem.num_steps)]
+        stats.completed_steps = self.problem.num_steps
+        return ResilientRunResult(
+            solution=solution,
+            t=t,
+            records=records,
+            stats=stats,
+            nodal_error=nodal_error,
+        )
+
+    # -- the SPMD body (one attempt) ----------------------------------------
+
+    def _discretization(self) -> dict:
+        return {
+            "mesh_shape": list(self.problem.mesh_shape),
+            "order": self.problem.order,
+            "bdf_order": self.problem.bdf_order,
+            "dt": self.problem.dt,
+        }
+
+    def _rd_body(self, comm, shared: dict, stats: RestartStats):
+        """One attempt of the distributed RD loop with fault hooks.
+
+        Mirrors :func:`~repro.apps.reaction_diffusion.run_rd_distributed`
+        step for step (same operators, same fused CG, same gather/bcast)
+        so a fault-free resilient run is bit-identical to the plain one;
+        adds the injector's step/phase gates and rank 0's checkpoint
+        writes.
+        """
+        from repro.la.distributed import (
+            DistBlockJacobiPreconditioner,
+            DistJacobiPreconditioner,
+            DistMatrix,
+            dist_cg_fused,
+        )
+
+        problem = self.problem
+        injector = self.injector
+        rank = comm.rank
+
+        exact = RDManufacturedSolution()
+        dofmap = DofMap(problem.mesh(), problem.order)
+        ownership = slab_ownership(dofmap, comm.size)
+        coords = dofmap.dof_coords
+        bdf = BDF(problem.bdf_order, problem.dt)
+
+        # Resume point: every rank reads the (process-local) checkpoint
+        # file; BDF state is replicated, so no broadcast is needed and
+        # the restored trajectory is identical on all ranks.
+        if self.checkpoint_path.exists():
+            states, t, start_step, _meta = load_history_state(
+                self.checkpoint_path,
+                app="reaction-diffusion",
+                discretization=self._discretization(),
+            )
+            bdf.initialize(list(reversed(states)))  # oldest first
+        else:
+            times = [problem.t0 + i * problem.dt for i in range(problem.bdf_order)]
+            bdf.initialize([exact(coords, tt) for tt in times])
+            t = times[-1]
+            start_step = 0
+
+        mass = assemble_mass(dofmap)
+        stiffness = assemble_stiffness(dofmap)
+        composite = CompositeOperator({"mass": mass, "stiffness": stiffness})
+        cached_load = assemble_load(dofmap, exact.SOURCE_VALUE)
+        boundary = dofmap.boundary_dofs
+        combined = None
+        plan = None
+        dist = None
+        precond = None
+        clock = PhaseClock(now=lambda: comm.time)
+
+        def charge(real_seconds: float) -> None:
+            comm.compute(real_seconds / self.cpu_speed_factor)
+
+        solution = bdf.latest()
+        for s in range(start_step, problem.num_steps):
+            if rank == 0 and s % self.checkpoint_every == 0:
+                # Persist BEFORE the kill gate: a reclaim at step s must
+                # still find the state entering step s on disk.
+                self._write_checkpoint(bdf, t, s, shared)
+                stats.checkpoints_written += 1
+            injector.begin_step(s, rank)
+
+            t_new = t + problem.dt
+            alpha0 = bdf.alpha0
+
+            injector.enter_phase(rank, "assembly")
+            with clock.phase("assembly"):
+                start = time.perf_counter()
+                mass_coeff = alpha0 / problem.dt - 2.0 / t_new
+                combined = composite.combine(
+                    {"mass": mass_coeff, "stiffness": 1.0 / t_new**2}, out=combined
+                )
+                rhs = cached_load + mass @ (bdf.history_rhs() / problem.dt)
+                values = exact(coords[boundary], t_new)
+                if plan is None:
+                    plan = DirichletPlan(combined, boundary, symmetric=True)
+                matrix, rhs = plan.apply(combined, rhs, values)
+                if dist is None:
+                    dist = DistMatrix.from_global(comm, matrix, ownership=ownership)
+                else:
+                    dist.update_values(matrix)
+                charge(time.perf_counter() - start)
+
+            injector.enter_phase(rank, "preconditioner")
+            with clock.phase("preconditioner"):
+                start = time.perf_counter()
+                if precond is not None:
+                    precond.update(dist)
+                elif self.preconditioner == "block-jacobi":
+                    precond = DistBlockJacobiPreconditioner(dist)
+                elif self.preconditioner == "jacobi":
+                    precond = DistJacobiPreconditioner(dist)
+                else:
+                    precond = None
+                charge(time.perf_counter() - start)
+
+            injector.enter_phase(rank, "solve")
+            with clock.phase("solve"):
+                rhs_dist = dist.vector_from_global(rhs)
+                x0_dist = dist.vector_from_global(bdf.latest())
+                result = dist_cg_fused(
+                    dist, rhs_dist, x0=x0_dist, preconditioner=precond,
+                    tol=self.tol, maxiter=5000,
+                )
+                full = dist.gather_global(_vec(dist, result.x), root=0)
+                full = comm.bcast(full, root=0)
+
+            bdf.advance(full)
+            solution = full
+            t = t_new
+            clock.finish_iteration()
+            if rank == 0:
+                shared["records"][s] = StepRecord(
+                    step=s,
+                    t=t_new,
+                    iterations=result.iterations,
+                    residual_norm=result.residual_norm,
+                    allreduce_rounds=result.allreduce_rounds,
+                    residuals=tuple(result.residuals),
+                )
+                stats.executed_steps += 1
+
+        if rank == 0:
+            nodal_error = float(np.max(np.abs(solution - exact(coords, t))))
+            shared["final"] = (solution, t, nodal_error)
+        return solution[ownership[rank]]
+
+    def _write_checkpoint(self, bdf, t: float, step: int, shared: dict) -> None:
+        records = shared["records"]
+        done = [records[i] for i in range(step) if i in records]
+        save_history_state(
+            self.checkpoint_path,
+            app="reaction-diffusion",
+            states=bdf._history,  # newest first
+            t=t,
+            step=step,
+            discretization=self._discretization(),
+            solver_state={
+                "solve_iterations": [r.iterations for r in done],
+                "residual_norms": [r.residual_norm for r in done],
+            },
+        )
+
+
+def _vec(dist, owned_values):
+    from repro.la.distributed import DistVector
+
+    return DistVector(dist.comm, owned_values, dist.ghost_indices.size)

@@ -186,6 +186,7 @@ class Communicator:
         self._send_impl(payload, dest, tag + 0, internal=False)
 
     def _send_impl(self, payload: Any, dest: int, tag: int, internal: bool) -> None:
+        self.engine.fault_op(self.world_rank)
         nbytes = payload_nbytes(payload)
         self.bytes_sent += nbytes
         self.messages_sent += 1

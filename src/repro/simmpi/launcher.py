@@ -63,6 +63,7 @@ def run_spmd(
     nic_concurrency: float = 1.0,
     real_timeout: float = 120.0,
     launch_hook: Callable[[int], None] | None = None,
+    fault_injector=None,
 ) -> SPMDResult:
     """Run ``target(comm, *args, **kwargs)`` on ``num_ranks`` ranks.
 
@@ -71,7 +72,11 @@ def run_spmd(
     injects the lagrange IB cap, ``nic_concurrency`` applies the NIC
     sharing factor for off-node messages, and ``launch_hook`` may raise
     :class:`~repro.errors.LaunchError` before any rank starts (ellipse's
-    >512-rank failure).
+    >512-rank failure).  A ``fault_injector``
+    (:class:`~repro.resilience.FaultInjector`) hooks the transport to
+    kill ranks and drop/delay messages mid-run — a killed rank's
+    :class:`~repro.errors.RankFailedError` is re-raised here as the
+    run's root cause.
 
     Raises the first rank exception after aborting the others.
     """
@@ -88,7 +93,8 @@ def run_spmd(
     if launch_hook is not None:
         launch_hook(num_ranks)
 
-    engine = Engine(num_ranks, real_timeout=real_timeout)
+    engine = Engine(num_ranks, real_timeout=real_timeout,
+                    fault_injector=fault_injector)
     tracer = Tracer(enabled=trace)
     comms = [
         Communicator(

@@ -53,11 +53,13 @@ class Mailbox:
 class Engine:
     """Shared state for one SPMD run: mailboxes, abort channel, detectors."""
 
-    def __init__(self, num_ranks: int, real_timeout: float = 120.0):
+    def __init__(self, num_ranks: int, real_timeout: float = 120.0,
+                 fault_injector=None):
         if num_ranks < 1:
             raise SimMPIError(f"need at least one rank, got {num_ranks}")
         self.num_ranks = num_ranks
         self.real_timeout = real_timeout
+        self.fault_injector = fault_injector
         self.mailboxes = [Mailbox() for _ in range(num_ranks)]
         self._lock = threading.Lock()
         self._blocked: set[int] = set()
@@ -102,12 +104,28 @@ class Engine:
         with self._lock:
             self._alive -= 1
 
+    # -- fault injection -------------------------------------------------------
+
+    def fault_op(self, world_rank: int) -> None:
+        """Fault hook for one communication operation by ``world_rank``.
+
+        May raise :class:`~repro.errors.RankFailedError` when an injected
+        kill fires — out of a send or receive, so in-flight collectives
+        abort instead of hanging.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.on_comm_op(world_rank)
+
     # -- delivery -------------------------------------------------------------
 
     def post(self, dest: int, message: Message) -> None:
-        """Deliver a message to ``dest``'s mailbox."""
+        """Deliver a message to ``dest``'s mailbox (unless a fault eats it)."""
         if not (0 <= dest < self.num_ranks):
             raise SimMPIError(f"destination rank {dest} outside 0..{self.num_ranks - 1}")
+        if self.fault_injector is not None:
+            message = self.fault_injector.filter_message(dest, message)
+            if message is None:
+                return  # dropped in flight; the deadlock detector backstops
         with self._lock:
             self._delivery_epoch += 1
         self.mailboxes[dest].deliver(message)
@@ -116,6 +134,7 @@ class Engine:
         self, rank: int, context: int, source: int, tag: int
     ) -> Message:
         """Block until a matching message is available for ``rank``."""
+        self.fault_op(rank)
         mailbox = self.mailboxes[rank]
         waited = 0.0
         last_epoch = -1

@@ -7,12 +7,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.apps.navier_stokes import NSProblem, NSSolver
 from repro.apps.reaction_diffusion import RDProblem, RDSolver
 from repro.io.checkpoint import (
     CheckpointData,
     CheckpointError,
+    load_history_state,
+    load_ns_state,
     load_rd_state,
     read_checkpoint,
+    restore_rng,
+    rng_state_to_json,
+    save_history_state,
+    save_ns_state,
     save_rd_state,
     write_checkpoint,
 )
@@ -139,7 +146,7 @@ class TestSolverRestart:
         path = tmp_path / "rd.rprc"
         save_rd_state(path, a)
         b = RDSolver(RDProblem(mesh_shape=(5, 5, 5)), assembly_mode="combine")
-        with pytest.raises(CheckpointError, match="mesh shape"):
+        with pytest.raises(CheckpointError, match="mesh_shape"):
             load_rd_state(path, b)
 
     def test_discretization_mismatch_rejected(self, tmp_path):
@@ -154,5 +161,178 @@ class TestSolverRestart:
         path = tmp_path / "x.rprc"
         write_checkpoint(path, CheckpointData(metadata={"app": "other"}))
         solver = RDSolver(RDProblem(mesh_shape=(3, 3, 3)), assembly_mode="combine")
-        with pytest.raises(CheckpointError, match="not an RD checkpoint"):
+        with pytest.raises(CheckpointError, match="app mismatch"):
             load_rd_state(path, solver)
+
+
+# ---------------------------------------------------------------------------
+# v2 restart contract + byte-level robustness (resilience satellites)
+# ---------------------------------------------------------------------------
+
+_json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=16),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=12,
+)
+
+
+@pytest.mark.resilience
+class TestRoundTripProperties:
+    """Property-based: arbitrary contents survive, corruption never does."""
+
+    @given(
+        fields=st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.lists(
+                st.floats(allow_nan=False, width=64), min_size=0, max_size=40
+            ),
+            min_size=0,
+            max_size=4,
+        ),
+        metadata=st.dictionaries(st.text(max_size=8), _json_values, max_size=4),
+        chunk=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_contents_roundtrip(self, fields, metadata, chunk):
+        import tempfile
+        from pathlib import Path
+
+        data = CheckpointData(
+            fields={k: np.array(v, dtype=np.float64) for k, v in fields.items()},
+            metadata=metadata,
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.rprc"
+            write_checkpoint(path, data, chunk_elements=chunk)
+            loaded = read_checkpoint(path)
+            assert loaded == data
+            # Bit-exact, not approximately equal: resume depends on it.
+            for name in data.fields:
+                assert loaded.fields[name].tobytes() == data.fields[name].tobytes()
+
+    def test_every_single_byte_corruption_rejected(self, tmp_path):
+        """Flip each byte of the chunk region in turn: all must be caught.
+
+        (Header bytes are excluded: the JSON header is not checksummed,
+        which is the same integrity contract HDF5 offers by default.)
+        """
+        data = CheckpointData(
+            fields={"u": np.arange(17.0), "v": np.linspace(0.0, 1.0, 9)},
+            metadata={"t": 1.25},
+        )
+        path = tmp_path / "c.rprc"
+        write_checkpoint(path, data, chunk_elements=5)
+        raw = path.read_bytes()
+        import json as _json
+        import struct as _struct
+
+        hlen = _struct.unpack_from("<II", raw, 4)[1]
+        body_start = 12 + hlen
+        assert body_start < len(raw)
+        for pos in range(body_start, len(raw)):
+            corrupted = bytearray(raw)
+            corrupted[pos] ^= 0xFF
+            path.write_bytes(bytes(corrupted))
+            with pytest.raises(CheckpointError):
+                read_checkpoint(path)
+        # Sanity: the pristine bytes still read back fine.
+        path.write_bytes(raw)
+        assert read_checkpoint(path) == data
+
+    def test_every_truncation_rejected(self, tmp_path):
+        data = CheckpointData(fields={"u": np.arange(23.0)}, metadata={"k": 1})
+        path = tmp_path / "t.rprc"
+        write_checkpoint(path, data, chunk_elements=7)
+        raw = path.read_bytes()
+        for n in range(len(raw)):
+            path.write_bytes(raw[:n])
+            with pytest.raises(CheckpointError):
+                read_checkpoint(path)
+
+    @given(
+        num_states=st.integers(min_value=1, max_value=4),
+        size=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=99),
+        step=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_history_state_roundtrip(self, num_states, size, seed, step):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        states = [rng.standard_normal(size) for _ in range(num_states)]
+        t = float(rng.uniform(0.1, 10.0))
+        disc = {"mesh_shape": [4, 4, 4], "order": 2}
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "h.rprc"
+            save_history_state(
+                path, app="test-app", states=states, t=t, step=step,
+                discretization=disc,
+                solver_state={"iters": [3, 4, 5]},
+            )
+            got_states, got_t, got_step, meta = load_history_state(
+                path, app="test-app", discretization=disc
+            )
+            assert got_t == t and got_step == step
+            assert len(got_states) == num_states
+            for a, b in zip(got_states, states):
+                assert a.tobytes() == b.tobytes()
+            assert meta["solver_state"] == {"iters": [3, 4, 5]}
+
+
+@pytest.mark.resilience
+class TestRngAndNSRestart:
+    def test_rng_state_roundtrip_resumes_draw_sequence(self, tmp_path):
+        rng = np.random.default_rng(42)
+        rng.standard_normal(10)  # advance past the seed state
+        saved = rng_state_to_json(rng)
+        reference = rng.standard_normal(20)
+
+        path = tmp_path / "r.rprc"
+        save_history_state(
+            path, app="rng", states=[np.zeros(1)], t=0.0, step=0,
+            discretization={}, rng_state=saved,
+        )
+        _, _, _, meta = load_history_state(path, app="rng")
+        fresh = restore_rng(np.random.default_rng(0), meta["rng_state"])
+        assert np.array_equal(fresh.standard_normal(20), reference)
+
+    def test_ns_checkpoint_restart_is_bit_exact(self, tmp_path):
+        """6 NS steps straight == 3 steps + checkpoint + restore + 3 steps."""
+        problem = NSProblem(mesh_shape=(3, 3, 3), num_steps=6)
+        straight = NSSolver(problem)
+        for _ in range(6):
+            straight.step()
+
+        first = NSSolver(problem)
+        for _ in range(3):
+            first.step()
+        path = tmp_path / "ns.rprc"
+        save_ns_state(path, first)
+
+        second = NSSolver(problem)
+        restored_t = load_ns_state(path, second)
+        assert restored_t == first.t
+        assert second.steps_taken == 3
+        for _ in range(3):
+            second.step()
+
+        assert np.array_equal(second.velocity, straight.velocity)
+        assert np.array_equal(second.pressure, straight.pressure)
+        assert second.t == straight.t
+        assert second.momentum_iterations == straight.momentum_iterations
+        assert second.pressure_iterations == straight.pressure_iterations
+
+    def test_ns_discretization_mismatch_rejected(self, tmp_path):
+        a = NSSolver(NSProblem(mesh_shape=(3, 3, 3)))
+        path = tmp_path / "ns.rprc"
+        save_ns_state(path, a)
+        b = NSSolver(NSProblem(mesh_shape=(4, 4, 4)))
+        with pytest.raises(CheckpointError, match="mesh_shape"):
+            load_ns_state(path, b)

@@ -1,0 +1,165 @@
+"""The checkpoint/restart protocol: recovery, budgets, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.reaction_diffusion import RDProblem, run_rd_distributed
+from repro.errors import ReproError, RetriesExhaustedError
+from repro.resilience import FaultEvent, FaultPlan, ResilientRunner
+from repro.simmpi.launcher import run_spmd
+
+pytestmark = pytest.mark.resilience
+
+PROBLEM = RDProblem(mesh_shape=(4, 4, 4), num_steps=5)
+
+
+class TestRecovery:
+    def test_fault_free_run_matches_plain_distributed(self, tmp_path):
+        runner = ResilientRunner(PROBLEM, num_ranks=2, checkpoint_dir=tmp_path)
+        out = runner.run()
+        assert out.stats.attempts == 1
+        assert out.stats.restarts == 0
+        assert out.stats.lost_steps == 0
+        assert out.stats.overhead_fraction == 0.0
+
+        def body(comm):
+            return run_rd_distributed(comm, PROBLEM, discard=1)
+
+        plain = run_spmd(body, num_ranks=2)
+        plain_full = np.concatenate([r[0] for r in plain.returns])
+        assert np.array_equal(out.solution, plain_full)
+        assert out.nodal_error < 1e-9
+
+    def test_recovers_from_single_kill(self, tmp_path):
+        plan = FaultPlan([FaultEvent(kind="spot_reclaim", rank=1, at_step=3)])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+        )
+        out = runner.run()
+        assert out.stats.attempts == 2
+        assert out.stats.restarts == 1
+        assert out.stats.failed_ranks == [1]
+        assert out.stats.replacements == 1
+        # Kill at step 3, checkpoint at step 2: step 2 was completed in
+        # attempt 1 and redone in attempt 2 — exactly one lost execution.
+        assert out.stats.lost_steps == 1
+        assert out.stats.executed_steps == PROBLEM.num_steps + 1
+        assert out.stats.completed_steps == PROBLEM.num_steps
+        assert out.nodal_error < 1e-9
+
+    def test_recovers_from_multiple_kills(self, tmp_path):
+        plan = FaultPlan([
+            FaultEvent(kind="spot_reclaim", rank=0, at_step=1),
+            FaultEvent(kind="rank_kill", rank=1, at_step=2),
+            FaultEvent(kind="rank_kill", rank=0, at_step=4),
+        ])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path,
+            checkpoint_every=1, max_retries=5,
+        )
+        out = runner.run()
+        assert out.stats.restarts == 3
+        assert out.stats.attempts == 4
+        assert out.stats.failed_ranks == [0, 1, 0]
+        # checkpoint_every=1: every restart resumes at the failing step,
+        # so no completed execution is ever thrown away.
+        assert out.stats.lost_steps == 0
+        assert len(out.records) == PROBLEM.num_steps
+        assert out.nodal_error < 1e-9
+
+    def test_backoff_grows_and_caps(self, tmp_path):
+        plan = FaultPlan([
+            FaultEvent(kind="rank_kill", rank=0, at_step=s) for s in range(4)
+        ])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path,
+            max_retries=6, backoff_base_s=1.0, backoff_cap_s=4.0,
+        )
+        out = runner.run()
+        assert out.stats.backoff_seconds == [1.0, 2.0, 4.0, 4.0]
+
+    def test_simultaneous_kills_cost_one_restart(self, tmp_path):
+        plan = FaultPlan([
+            FaultEvent(kind="spot_reclaim", rank=0, at_step=2),
+            FaultEvent(kind="spot_reclaim", rank=1, at_step=2),
+        ])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path
+        )
+        out = runner.run()
+        assert out.stats.restarts == 1
+        assert runner.injector.kills == 2
+
+
+class TestRetryBudget:
+    def test_exhausted_budget_raises_typed_error(self, tmp_path):
+        plan = FaultPlan([
+            FaultEvent(kind="rank_kill", rank=0, at_step=1),
+            FaultEvent(kind="rank_kill", rank=1, at_step=2),
+        ])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path,
+            max_retries=1,
+        )
+        with pytest.raises(RetriesExhaustedError) as info:
+            runner.run()
+        assert info.value.attempts == 2
+        assert info.value.failed_ranks == [0, 1]
+
+    def test_zero_budget_fails_on_first_kill(self, tmp_path):
+        plan = FaultPlan([FaultEvent(kind="rank_kill", rank=0, at_step=0)])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path,
+            max_retries=0,
+        )
+        with pytest.raises(RetriesExhaustedError) as info:
+            runner.run()
+        assert info.value.attempts == 1
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ReproError, match="checkpoint_every"):
+            ResilientRunner(PROBLEM, 2, checkpoint_dir=tmp_path, checkpoint_every=0)
+        with pytest.raises(ReproError, match="max_retries"):
+            ResilientRunner(PROBLEM, 2, checkpoint_dir=tmp_path, max_retries=-1)
+        with pytest.raises(ReproError, match="checkpoint_dir"):
+            ResilientRunner(PROBLEM, 2)
+
+
+class TestAccountingAndReporting:
+    def test_step_records_json_roundtrip(self, tmp_path):
+        import json
+
+        from repro.resilience import StepRecord
+
+        runner = ResilientRunner(PROBLEM, num_ranks=2, checkpoint_dir=tmp_path)
+        out = runner.run()
+        for record in out.records:
+            clone = StepRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+            assert clone == record
+
+    def test_characterization_reports_restarts(self, tmp_path):
+        from repro.core.characterization import resilience_characterization
+        from repro.harness.experiments import experiment_resilience
+
+        report = experiment_resilience(checkpoint_dir=tmp_path)
+        assert report.restarts > 0
+        assert report.lost_steps >= 0
+        assert report.interruptions > 0
+        # dollars, physics, and the model agree the run was not free
+        assert report.mix_cost > 0
+        assert report.model_overhead_fraction > 0
+        assert report.nodal_error < 1e-9
+
+        text = resilience_characterization(checkpoint_dir=tmp_path)
+        assert "restarts" in text
+        assert "mix cost" in text
+
+    def test_render_resilience_table_columns(self, tmp_path):
+        from repro.core.reporting import render_resilience_table
+        from repro.harness.experiments import experiment_resilience
+
+        report = experiment_resilience(checkpoint_dir=tmp_path)
+        table = render_resilience_table(report)
+        for column in ("restarts", "lost steps", "overhead", "mix cost"):
+            assert column in table
