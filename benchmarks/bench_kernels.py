@@ -12,7 +12,6 @@ allreduce rounds.
 """
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -20,16 +19,14 @@ import pytest
 
 from repro.apps.reaction_diffusion import RDProblem, RDSolver
 from repro.apps.navier_stokes import NSProblem, NSSolver
-from repro.fem.assembly import CompositeOperator, assemble_mass, assemble_stiffness
-from repro.fem.boundary import DirichletPlan, apply_dirichlet
+from repro.fem.assembly import assemble_mass, assemble_stiffness
+from repro.fem.boundary import apply_dirichlet
 from repro.fem.dofmap import DofMap
 from repro.fem.mesh import StructuredBoxMesh
 from repro.la.krylov import cg
-from repro.la.preconditioners import ILU0Preconditioner, make_preconditioner
+from repro.la.preconditioners import ILU0Preconditioner
 from repro.partition import partition_block, partition_graph, partition_rcb
 from repro.simmpi import SUM, run_spmd
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -105,166 +102,18 @@ class TestPartitionerKernels:
 
 
 # ---------------------------------------------------------------------------
-# Incremental hot-path measurements (the BENCH_kernels.json payload)
+# Incremental hot-path measurements (the BENCH_kernels.json payload).
+# The measurement bodies live in repro.obs.benchmarks so the bench gate
+# (repro.obs.gate) can re-run them without importing this pytest module.
 # ---------------------------------------------------------------------------
 
-
-def measure_rd_step_paths(mesh_shape=(8, 8, 8), num_steps=10, preconditioner="jacobi"):
-    """Per-step assembly+preconditioner cost: seed path vs incremental.
-
-    The seed's combine mode paid, every step: a scipy pattern-union add
-    for ``a(t) M + b(t) K``, two sparse products inside
-    :func:`apply_dirichlet`, and a from-scratch preconditioner build.
-    The incremental path rewrites a cached merged ``data`` array,
-    replays a precomputed Dirichlet plan, and refreshes the
-    preconditioner numerically.  Both paths produce the same operator;
-    the returned dict records wall seconds and the speedup.
-    """
-    problem = RDProblem(mesh_shape=mesh_shape, num_steps=num_steps)
-    solver = RDSolver(problem, assembly_mode="combine")
-    mass = solver._mass.tocsr()
-    stiffness = solver._stiffness.tocsr()
-    boundary = solver.dofmap.boundary_dofs
-    rhs = np.ones(solver.dofmap.num_dofs)
-    dt = problem.dt
-    alpha0 = solver.bdf.alpha0
-    step_times = [solver.t + (k + 1) * dt for k in range(num_steps)]
-
-    def coefficients(t_new):
-        return alpha0 / dt - 2.0 / t_new, 1.0 / t_new**2
-
-    # -- seed path: full pattern work + fresh preconditioner every step --
-    def seed_step(t_new):
-        a, b = coefficients(t_new)
-        matrix = (a * mass + b * stiffness).tocsr()
-        constrained, _ = apply_dirichlet(matrix, rhs, boundary, 0.0)
-        make_preconditioner(preconditioner, constrained)
-
-    # -- incremental path: data-only combine + plan replay + update ------
-    composite = CompositeOperator({"mass": mass, "stiffness": stiffness})
-    state = {"combined": None, "plan": None, "precond": None}
-
-    def incremental_step(t_new):
-        a, b = coefficients(t_new)
-        state["combined"] = composite.combine(
-            {"mass": a, "stiffness": b}, out=state["combined"]
-        )
-        if state["plan"] is None:
-            state["plan"] = DirichletPlan(
-                state["combined"], boundary, symmetric=True
-            )
-        matrix, _ = state["plan"].apply(state["combined"], rhs, 0.0)
-        if state["precond"] is None:
-            state["precond"] = make_preconditioner(preconditioner, matrix)
-        else:
-            state["precond"].update(matrix)
-
-    # One un-timed warm-up step per path: the incremental path builds
-    # its one-time caches there, so the timed region is the per-step
-    # steady state the time loop actually pays.
-    seed_step(solver.t)
-    incremental_step(solver.t)
-
-    start = time.perf_counter()
-    for t_new in step_times:
-        seed_step(t_new)
-    seed_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    for t_new in step_times:
-        incremental_step(t_new)
-    incremental_seconds = time.perf_counter() - start
-
-    return {
-        "mesh_shape": list(mesh_shape),
-        "num_steps": num_steps,
-        "preconditioner": preconditioner,
-        "dofs": int(solver.dofmap.num_dofs),
-        "seed_seconds": seed_seconds,
-        "incremental_seconds": incremental_seconds,
-        "speedup": seed_seconds / incremental_seconds,
-    }
-
-
-def measure_dist_cg_rounds(mesh_shape=(5, 5, 5), num_ranks=4, tol=1e-12):
-    """Allreduce rounds of classic vs fused distributed CG.
-
-    Counted from the simulator's per-communicator collective counters —
-    actual traffic, not solver bookkeeping — together with the solution
-    agreement between the two recurrences.
-    """
-    from repro.la.distributed import DistMatrix, DistVector, dist_cg, dist_cg_fused
-
-    dm = DofMap(StructuredBoxMesh(mesh_shape), 1)
-    k = assemble_stiffness(dm) + assemble_mass(dm)
-    a, b = apply_dirichlet(k.tocsr(), np.ones(dm.num_dofs), dm.boundary_dofs, 0.0)
-    a = a.tocsr()
-
-    def main(comm):
-        dist = DistMatrix.from_global(comm, a)
-        rhs = dist.vector_from_global(b)
-        before = comm.collective_counts["allreduce"]
-        classic = dist_cg(dist, rhs, tol=tol, maxiter=2000)
-        classic_rounds = comm.collective_counts["allreduce"] - before
-        before = comm.collective_counts["allreduce"]
-        fused = dist_cg_fused(dist, rhs, tol=tol, maxiter=2000)
-        fused_rounds = comm.collective_counts["allreduce"] - before
-        xc = dist.gather_global(
-            DistVector(comm, classic.x, dist.ghost_indices.size), root=0
-        )
-        xf = dist.gather_global(
-            DistVector(comm, fused.x, dist.ghost_indices.size), root=0
-        )
-        if comm.rank == 0:
-            return {
-                "classic_iterations": classic.iterations,
-                "classic_rounds": classic_rounds,
-                "fused_iterations": fused.iterations,
-                "fused_rounds": fused_rounds,
-                "fused_bookkeeping_rounds": fused.allreduce_rounds,
-                "solution_max_diff": float(np.max(np.abs(xc - xf))),
-            }
-        return None
-
-    stats = run_spmd(main, num_ranks, real_timeout=60.0).returns[0]
-    stats.update(
-        {
-            "mesh_shape": list(mesh_shape),
-            "num_ranks": num_ranks,
-            "rounds_ratio": stats["classic_rounds"] / stats["fused_rounds"],
-            "fused_rounds_per_iteration": (
-                (stats["fused_rounds"] - 2) / stats["fused_iterations"]
-            ),
-        }
-    )
-    return stats
-
-
-def collect_kernel_metrics(smoke=False):
-    """The BENCH_kernels.json payload."""
-    if smoke:
-        rd = measure_rd_step_paths(mesh_shape=(5, 5, 5), num_steps=3)
-        dist = measure_dist_cg_rounds(mesh_shape=(4, 4, 4), num_ranks=2)
-    else:
-        rd = measure_rd_step_paths()
-        dist = measure_dist_cg_rounds()
-    return {
-        "benchmark": "kernels",
-        "smoke": smoke,
-        "rd_step_path": rd,
-        "dist_cg_rounds": dist,
-        "targets": {
-            "rd_step_speedup_min": 3.0,
-            "dist_cg_rounds_ratio_min": 1.5,
-            "fused_rounds_per_iteration": 1.0,
-        },
-    }
-
-
-def write_bench_json(metrics, path=None) -> Path:
-    path = Path(path) if path is not None else REPO_ROOT / "BENCH_kernels.json"
-    path.write_text(json.dumps(metrics, indent=2) + "\n")
-    return path
+from repro.obs.benchmarks import (  # noqa: E402
+    collect_kernel_metrics,
+    measure_dist_cg_rounds,
+    measure_rd_phases,
+    measure_rd_step_paths,
+    write_bench_json,
+)
 
 
 class TestIncrementalHotPath:
@@ -318,6 +167,15 @@ def main(argv=None):
         f"dist CG rounds: {dist['classic_rounds']} -> {dist['fused_rounds']} "
         f"({dist['rounds_ratio']:.2f}x fewer, "
         f"{dist['fused_rounds_per_iteration']:.0f}/iteration)"
+    )
+    phases = metrics["rd_phases"]
+    means = ", ".join(
+        f"{name}={value:.4f}s" for name, value in phases["phase_means"].items()
+    )
+    bound = phases["critical_path_bound"]
+    print(
+        f"RD phases ({phases['num_ranks']} ranks): {means}; critical path "
+        f"bound by rank {bound['rank']} {bound['phase']}"
     )
     return 0
 

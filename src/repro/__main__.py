@@ -9,6 +9,8 @@ Usage::
     python -m repro fig6 | fig7           # cost figures
     python -m repro compare --app rd --ranks 64
     python -m repro script --platform ec2 # provisioning shell script
+    python -m repro trace --out traces/  # observed RD run + exports
+    python -m repro bench-gate           # fresh kernels vs baseline
 """
 
 from __future__ import annotations
@@ -207,6 +209,65 @@ def _cmd_experiments(_args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args) -> str:
+    """Run distributed RD under full observability and export artifacts."""
+    from repro.apps.reaction_diffusion import RDProblem, run_rd_distributed
+    from repro.obs import Observability, ObsConfig
+    from repro.obs.analysis import critical_path, overlap_report, phase_statistics
+    from repro.simmpi import run_spmd
+
+    discard = min(args.discard, args.steps - 1)
+    obs = Observability(
+        ObsConfig(out_dir=args.out, prefix=args.prefix, discard=discard)
+    )
+    problem = RDProblem(mesh_shape=(args.mesh,) * 3, num_steps=args.steps)
+
+    def body(comm):
+        return run_rd_distributed(
+            comm, problem, preconditioner="block-jacobi", discard=discard,
+            obs=obs,
+        )
+
+    result = run_spmd(body, args.ranks, observability=obs, real_timeout=300.0)
+    obs.check_balanced()
+    nodal_error = result.returns[0][2]
+
+    lines = [
+        f"ran RD {args.mesh}^3 x {args.steps} steps on {args.ranks} ranks "
+        f"(nodal error {nodal_error:.2e})",
+        "",
+        "per-phase means over ranks (virtual s/iteration):",
+    ]
+    merged = phase_statistics(obs)[None]
+    for name, stats in merged.items():
+        lines.append(f"  {name:15s} {stats.mean:.6f}")
+    lines.append("")
+    lines.append(critical_path(obs).format())
+    overlap = overlap_report(obs)
+    lines.append("")
+    lines.append(
+        f"comm/compute overlap ratio: {overlap['overlap_ratio']:.3f}"
+    )
+    lines.append("")
+    lines.append("artifacts:")
+    lines.extend(f"  {path}" for path in obs.export())
+    return "\n".join(lines)
+
+
+def _cmd_bench_gate(args) -> int:
+    """Compare fresh kernel measurements against BENCH_kernels.json."""
+    from repro.obs import gate
+
+    forwarded = []
+    if args.baseline is not None:
+        forwarded += ["--baseline", str(args.baseline)]
+    if args.warn_only:
+        forwarded.append("--warn-only")
+    forwarded += ["--time-tolerance", str(args.time_tolerance)]
+    forwarded += ["--count-tolerance", str(args.count_tolerance)]
+    return gate.main(forwarded)
+
+
 def _cmd_script(args) -> str:
     from repro.platforms.catalog import platform_by_name
     from repro.platforms.provisioning import plan_provisioning
@@ -240,13 +301,41 @@ def build_parser() -> argparse.ArgumentParser:
     script.add_argument("--platform", required=True,
                         choices=("puma", "ellipse", "lagrange", "ec2"))
     script.set_defaults(func=_cmd_script)
+    trace = sub.add_parser(
+        "trace", help="observed distributed RD run: spans, metrics, exports"
+    )
+    trace.add_argument("--out", required=True, help="artifact output directory")
+    trace.add_argument("--prefix", default="rd")
+    trace.add_argument("--ranks", type=int, default=2)
+    trace.add_argument("--steps", type=int, default=8)
+    trace.add_argument("--mesh", type=int, default=6, help="mesh cells per axis")
+    trace.add_argument("--discard", type=int, default=5,
+                       help="warm-up steps dropped from phase statistics")
+    trace.set_defaults(func=_cmd_trace)
+    bench_gate = sub.add_parser(
+        "bench-gate", help="fresh kernel measurements vs BENCH_kernels.json"
+    )
+    bench_gate.add_argument("--baseline", default=None)
+    bench_gate.add_argument("--warn-only", action="store_true")
+    from repro.obs.gate import DEFAULT_COUNT_TOLERANCE, DEFAULT_TIME_TOLERANCE
+
+    bench_gate.add_argument(
+        "--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE
+    )
+    bench_gate.add_argument(
+        "--count-tolerance", type=float, default=DEFAULT_COUNT_TOLERANCE
+    )
+    bench_gate.set_defaults(func=_cmd_bench_gate)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    print(args.func(args))
+    out = args.func(args)
+    if isinstance(out, int):
+        return out
+    print(out)
     return 0
 
 

@@ -363,6 +363,7 @@ def run_ns_distributed(
     tol: float = 1e-10,
     cpu_speed_factor: float = 1.0,
     discard: int = 2,
+    obs=None,
 ):
     """SPMD Navier-Stokes over simmpi: executed numerics, virtual phases.
 
@@ -398,6 +399,12 @@ def run_ns_distributed(
     ownership = slab_ownership(dm, comm.size)
     clock = PhaseClock(now=lambda: comm.time)
     log = PhaseLog(discard=discard)
+    if obs is not None:
+        view = obs.rank_view(comm)
+    else:
+        from repro.obs.core import NULL_RANK_OBS
+
+        view = NULL_RANK_OBS
 
     def charge(real_seconds: float) -> None:
         comm.compute(real_seconds / cpu_speed_factor)
@@ -430,51 +437,58 @@ def run_ns_distributed(
     dt = problem.dt
     alpha0 = solver.bdf[0].alpha0
 
-    for _ in range(problem.num_steps):
-        t_new = solver.t + dt
+    for step_idx in range(problem.num_steps):
+        with view.span("step", step=step_idx):
+            t_new = solver.t + dt
 
-        with clock.phase("assembly"):
-            start = _time.perf_counter()
-            momentum_op, momentum_rhs, exact_velocity_new = (
-                solver._assemble_momentum(t_new)
-            )
-            charge(_time.perf_counter() - start)
-
-        with clock.phase("preconditioner"):
-            # Distributed preconditioning is block-local inside the
-            # solver setups; nothing global to build here.
-            pass
-
-        with clock.phase("solve"):
-            u_star = [
-                dist_solve(
-                    "momentum", momentum_op, momentum_rhs[i],
-                    x0=solver.bdf[i].latest(), symmetric=False,
-                    refresh=(i == 0),
+            with clock.phase("assembly"), view.span("assembly"):
+                start = _time.perf_counter()
+                momentum_op, momentum_rhs, exact_velocity_new = (
+                    solver._assemble_momentum(t_new)
                 )
-                for i in range(3)
-            ]
-            divergence = sum(solver.grad_ops[i] @ u_star[i] for i in range(3))
-            phi_op, phi_rhs = solver._phi_system(divergence)
-            phi = dist_solve("phi", phi_op, phi_rhs, symmetric=True)
-            u_new = []
+                charge(_time.perf_counter() - start)
+
+            with clock.phase("preconditioner"), view.span("preconditioner"):
+                # Distributed preconditioning is block-local inside the
+                # solver setups; nothing global to build here.
+                pass
+
+            with clock.phase("solve"), view.span("solve"):
+                u_star = [
+                    dist_solve(
+                        "momentum", momentum_op, momentum_rhs[i],
+                        x0=solver.bdf[i].latest(), symmetric=False,
+                        refresh=(i == 0),
+                    )
+                    for i in range(3)
+                ]
+                divergence = sum(solver.grad_ops[i] @ u_star[i] for i in range(3))
+                phi_op, phi_rhs = solver._phi_system(divergence)
+                phi = dist_solve("phi", phi_op, phi_rhs, symmetric=True)
+                u_new = []
+                for i in range(3):
+                    rhs = solver.mass @ u_star[i] - (dt / alpha0) * (
+                        solver.grad_ops[i] @ phi
+                    )
+                    op_i, rhs_i = solver._projection_system(
+                        rhs, exact_velocity_new[solver.boundary, i]
+                    )
+                    u_new.append(
+                        dist_solve("mass", op_i, rhs_i, x0=u_star[i], symmetric=True)
+                    )
+
             for i in range(3):
-                rhs = solver.mass @ u_star[i] - (dt / alpha0) * (
-                    solver.grad_ops[i] @ phi
-                )
-                op_i, rhs_i = solver._projection_system(
-                    rhs, exact_velocity_new[solver.boundary, i]
-                )
-                u_new.append(
-                    dist_solve("mass", op_i, rhs_i, x0=u_star[i], symmetric=True)
-                )
+                solver.bdf[i].advance(u_new[i])
+            solver.pressure = solver.pressure + phi
+            solver.t = t_new
+            log.append(clock.finish_iteration())
 
-        for i in range(3):
-            solver.bdf[i].advance(u_new[i])
-        solver.pressure = solver.pressure + phi
-        solver.t = t_new
-        log.append(clock.finish_iteration())
-
+    if view.enabled:
+        for it in log.measured:
+            view.observe("phase_seconds", it.assembly, phase="assembly")
+            view.observe("phase_seconds", it.preconditioner, phase="preconditioner")
+            view.observe("phase_seconds", it.solve, phase="solve")
+        view.count("ns_steps_total", float(problem.num_steps))
     return solver.velocity_error(), solver.pressure_error(), log
 
 

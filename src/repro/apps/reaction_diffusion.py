@@ -256,6 +256,7 @@ def run_rd_distributed(
     tol: float = 1e-12,
     cpu_speed_factor: float = 1.0,
     discard: int = 5,
+    obs=None,
 ):
     """SPMD RD solve over simmpi: executed numerics, virtual-time phases.
 
@@ -263,6 +264,13 @@ def run_rd_distributed(
     rank's virtual clock scaled by ``cpu_speed_factor`` (a platform with
     2x faster cores charges half the time); communication costs accrue
     through the platform's network model inside the distributed CG.
+
+    An optional ``obs`` hub (:class:`repro.obs.Observability`) records a
+    ``step`` span per time step with the three paper phases as children
+    (virtual-clock timestamps), and observes the post-discard phase
+    durations into the ``phase_seconds`` histogram — in the same order
+    :meth:`~repro.apps.phases.PhaseLog.averages` accumulates them, so
+    the histogram mean reproduces the paper's reduction exactly.
 
     Returns ``(owned_solution_values, PhaseLog, nodal_error)`` per rank;
     the phase log carries *virtual* durations.
@@ -303,64 +311,81 @@ def run_rd_distributed(
     precond = None
     clock = PhaseClock(now=lambda: comm.time)
     log = PhaseLog(discard=discard)
+    if obs is not None:
+        view = obs.rank_view(comm)
+    else:
+        from repro.obs.core import NULL_RANK_OBS
+
+        view = NULL_RANK_OBS
 
     def charge(real_seconds: float) -> None:
         comm.compute(real_seconds / cpu_speed_factor)
 
     solution = bdf.latest()
-    for _ in range(problem.num_steps):
-        t_new = t + problem.dt
-        alpha0 = bdf.alpha0
+    for step_idx in range(problem.num_steps):
+        with view.span("step", step=step_idx):
+            t_new = t + problem.dt
+            alpha0 = bdf.alpha0
 
-        with clock.phase("assembly"):
-            start = time.perf_counter()
-            mass_coeff = alpha0 / problem.dt - 2.0 / t_new
-            combined = composite.combine(
-                {"mass": mass_coeff, "stiffness": 1.0 / t_new**2}, out=combined
-            )
-            rhs = cached_load + mass @ (bdf.history_rhs() / problem.dt)
-            values = exact(coords[boundary], t_new)
-            if plan is None:
-                plan = DirichletPlan(combined, boundary, symmetric=True)
-            matrix, rhs = plan.apply(combined, rhs, values)
-            if dist is None:
-                # First step: the collective structure exchange happens once.
-                dist = DistMatrix.from_global(comm, matrix, ownership=ownership)
-            else:
-                # Later steps: communication-free in-place value refresh.
-                dist.update_values(matrix)
-            charge(time.perf_counter() - start)
+            with clock.phase("assembly"), view.span("assembly"):
+                start = time.perf_counter()
+                mass_coeff = alpha0 / problem.dt - 2.0 / t_new
+                combined = composite.combine(
+                    {"mass": mass_coeff, "stiffness": 1.0 / t_new**2}, out=combined
+                )
+                rhs = cached_load + mass @ (bdf.history_rhs() / problem.dt)
+                values = exact(coords[boundary], t_new)
+                if plan is None:
+                    plan = DirichletPlan(combined, boundary, symmetric=True)
+                matrix, rhs = plan.apply(combined, rhs, values)
+                if dist is None:
+                    # First step: the collective structure exchange happens once.
+                    dist = DistMatrix.from_global(comm, matrix, ownership=ownership)
+                else:
+                    # Later steps: communication-free in-place value refresh.
+                    dist.update_values(matrix)
+                charge(time.perf_counter() - start)
 
-        with clock.phase("preconditioner"):
-            start = time.perf_counter()
-            if precond is not None:
-                precond.update(dist)
-            elif preconditioner == "block-jacobi":
-                precond = DistBlockJacobiPreconditioner(dist)
-            elif preconditioner == "jacobi":
-                precond = DistJacobiPreconditioner(dist)
-            else:
-                precond = None
-            charge(time.perf_counter() - start)
+            with clock.phase("preconditioner"), view.span("preconditioner"):
+                start = time.perf_counter()
+                if precond is not None:
+                    precond.update(dist)
+                elif preconditioner == "block-jacobi":
+                    precond = DistBlockJacobiPreconditioner(dist)
+                elif preconditioner == "jacobi":
+                    precond = DistJacobiPreconditioner(dist)
+                else:
+                    precond = None
+                charge(time.perf_counter() - start)
 
-        with clock.phase("solve"):
-            rhs_dist = dist.vector_from_global(rhs)
-            x0_dist = dist.vector_from_global(bdf.latest())
-            result = dist_cg_fused(
-                dist, rhs_dist, x0=x0_dist, preconditioner=precond,
-                tol=tol, maxiter=5000,
-            )
-            full = dist.gather_global(
-                _vec(dist, result.x), root=0
-            )
-            full = comm.bcast(full, root=0)
+            with clock.phase("solve"), view.span("solve"):
+                rhs_dist = dist.vector_from_global(rhs)
+                x0_dist = dist.vector_from_global(bdf.latest())
+                result = dist_cg_fused(
+                    dist, rhs_dist, x0=x0_dist, preconditioner=precond,
+                    tol=tol, maxiter=5000,
+                )
+                full = dist.gather_global(
+                    _vec(dist, result.x), root=0
+                )
+                full = comm.bcast(full, root=0)
 
-        bdf.advance(full)
-        solution = full
-        t = t_new
-        log.append(clock.finish_iteration())
+            bdf.advance(full)
+            solution = full
+            t = t_new
+            log.append(clock.finish_iteration())
 
     nodal_error = float(np.max(np.abs(solution - exact(coords, t))))
+    if view.enabled:
+        # Post-discard observations, in PhaseLog.averages() accumulation
+        # order: the histogram's (sum, count) then reproduce the paper's
+        # per-phase means bit for bit.
+        for it in log.measured:
+            view.observe("phase_seconds", it.assembly, phase="assembly")
+            view.observe("phase_seconds", it.preconditioner, phase="preconditioner")
+            view.observe("phase_seconds", it.solve, phase="solve")
+        view.count("rd_steps_total", float(problem.num_steps))
+        view.gauge("rd_nodal_error", nodal_error)
     return solution[owned], log, nodal_error
 
 

@@ -138,3 +138,11 @@ class RetriesExhaustedError(ResilienceError):
         super().__init__(message)
         self.attempts = attempts
         self.failed_ranks = failed_ranks
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer (span stack, metrics, exporters)."""
+
+
+class BenchGateError(ObservabilityError):
+    """The bench gate could not run (missing baseline, malformed record)."""

@@ -18,6 +18,7 @@ paper's Trilinos backend uses.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 import numpy as np
@@ -26,8 +27,34 @@ import scipy.sparse as sp
 from repro.errors import AssemblyError
 from repro.fem.dofmap import DofMap
 from repro.fem.quadrature import QuadratureRule, default_rule_for_order
+from repro.obs.core import current as _obs_current
 
 Coefficient = Callable[[np.ndarray], np.ndarray] | float | None
+
+
+def _traced_assembly(form: str):
+    """Wrap an assembly kernel in an ambient observability span.
+
+    When no observability view is active on the thread the wrapper costs
+    one boolean test; under an active rank view each call produces an
+    ``assemble`` span (child of whatever phase is open) and bumps the
+    per-form assembly counter.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            obs = _obs_current()
+            if not obs.enabled:
+                return fn(*args, **kwargs)
+            with obs.span("assemble", form=form):
+                out = fn(*args, **kwargs)
+            obs.count("assemblies_total", form=form)
+            return out
+
+        return wrapper
+
+    return decorate
 
 
 def _rule_for(dofmap: DofMap, rule: QuadratureRule | None) -> QuadratureRule:
@@ -106,6 +133,7 @@ def _scatter(dofmap: DofMap, local: np.ndarray) -> sp.csr_matrix:
     return out
 
 
+@_traced_assembly("mass")
 def assemble_mass(
     dofmap: DofMap,
     coefficient: Coefficient = None,
@@ -129,6 +157,7 @@ def assemble_mass(
     return _scatter(dofmap, local)
 
 
+@_traced_assembly("stiffness")
 def assemble_stiffness(
     dofmap: DofMap,
     coefficient: Coefficient = None,
@@ -160,6 +189,7 @@ def assemble_stiffness(
     return _scatter(dofmap, local)
 
 
+@_traced_assembly("advection")
 def assemble_advection(
     dofmap: DofMap,
     velocity: Callable[[np.ndarray], np.ndarray] | np.ndarray,
@@ -200,6 +230,7 @@ def assemble_advection(
     return _scatter(dofmap, local)
 
 
+@_traced_assembly("load")
 def assemble_load(
     dofmap: DofMap,
     source: Callable[[np.ndarray], np.ndarray] | float,

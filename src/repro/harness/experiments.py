@@ -29,6 +29,7 @@ from repro.costs.model import cost_per_iteration
 from repro.harness.results import WeakScalingTable
 from repro.network.model import NetworkModel
 from repro.network.topology import ClusterTopology
+from repro.obs.core import NULL_RANK_OBS, Observability, ObsConfig
 from repro.perfmodel.calibration import time_scale_for
 from repro.perfmodel.phases import PhaseModel
 from repro.perfmodel.weak_scaling import weak_scaling_sweep
@@ -37,6 +38,36 @@ from repro.platforms.provisioning import plan_provisioning
 
 # The spot per-core rate of §VII.D: $0.54 / 16 cores.
 SPOT_CORE_HOUR = CC2_8XLARGE.core_hourly(spot=True)
+
+
+# ---------------------------------------------------------------------------
+# Optional observability plumbing.  Every experiment generator accepts
+# ``obs`` — an ObsConfig (a fresh hub is created), an Observability hub
+# (shared across experiments), or None (zero overhead).
+# ---------------------------------------------------------------------------
+
+
+def _obs_hub(obs) -> Observability | None:
+    """Normalise the ``obs`` argument to a hub (or None)."""
+    if obs is None:
+        return None
+    if isinstance(obs, ObsConfig):
+        return Observability(obs)
+    return obs
+
+
+def _obs_view(hub):
+    """A wall-clock root view on the hub (the null view when off)."""
+    return NULL_RANK_OBS if hub is None else hub.wall_view()
+
+
+def _export_artifacts(hub, prefix: str) -> tuple[str, ...]:
+    """Export the hub's artifacts if a directory is configured."""
+    if hub is None or not hub.config.enabled:
+        return ()
+    if hub.config.resolved_dir() is None:
+        return ()
+    return tuple(str(p) for p in hub.export(prefix=prefix))
 
 
 # ---------------------------------------------------------------------------
@@ -69,22 +100,30 @@ def experiment_porting_effort() -> dict[str, dict]:
 # ---------------------------------------------------------------------------
 
 
-def _weak_scaling_table(workload) -> WeakScalingTable:
-    columns = {
-        platform.name: weak_scaling_sweep(workload, platform)
-        for platform in all_platforms()
-    }
-    return WeakScalingTable(workload=workload.name, columns=columns)
+def _weak_scaling_table(workload, obs=None, label="weak_scaling") -> WeakScalingTable:
+    hub = _obs_hub(obs)
+    view = _obs_view(hub)
+    columns = {}
+    with view.span(label, workload=workload.name):
+        for platform in all_platforms():
+            with view.span("platform_sweep", platform=platform.name):
+                columns[platform.name] = weak_scaling_sweep(workload, platform)
+            view.count("platform_sweeps_total", experiment=label)
+    return WeakScalingTable(
+        workload=workload.name,
+        columns=columns,
+        artifacts=_export_artifacts(hub, label),
+    )
 
 
-def experiment_fig4_rd_weak_scaling() -> WeakScalingTable:
+def experiment_fig4_rd_weak_scaling(obs=None) -> WeakScalingTable:
     """Figure 4: RD weak scaling (20^3 elements per process)."""
-    return _weak_scaling_table(RD_WORKLOAD)
+    return _weak_scaling_table(RD_WORKLOAD, obs=obs, label="fig4")
 
 
-def experiment_fig5_ns_weak_scaling() -> WeakScalingTable:
+def experiment_fig5_ns_weak_scaling(obs=None) -> WeakScalingTable:
     """Figure 5: NS weak scaling."""
-    return _weak_scaling_table(NS_WORKLOAD)
+    return _weak_scaling_table(NS_WORKLOAD, obs=obs, label="fig5")
 
 
 # ---------------------------------------------------------------------------
@@ -127,7 +166,7 @@ def _mix_topology(num_nodes: int, seed: int) -> ClusterTopology:
     return ClusterTopology(num_nodes, ec2_cc28xlarge.cores_per_node, network)
 
 
-def experiment_table2_placement(seed: int = 7) -> list[Table2Row]:
+def experiment_table2_placement(seed: int = 7, obs=None) -> list[Table2Row]:
     """Table II: full-price single-group vs spot-mix assemblies.
 
     Times come from the phase model on the respective topologies (plus a
@@ -139,32 +178,37 @@ def experiment_table2_placement(seed: int = 7) -> list[Table2Row]:
     rng = np.random.default_rng(seed)
     rows = []
     scale = time_scale_for(RD_WORKLOAD)
-    for p in paper_rank_series(1000):
-        nodes = ec2_cc28xlarge.nodes_for_ranks(p)
+    hub = _obs_hub(obs)
+    view = _obs_view(hub)
+    with view.span("table2", seed=seed):
+        for p in paper_rank_series(1000):
+            nodes = ec2_cc28xlarge.nodes_for_ranks(p)
 
-        full_model = PhaseModel(
-            RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale
-        )
-        full_time = full_model.predict(p).total
+            with view.span("table2_row", ranks=p, nodes=nodes):
+                full_model = PhaseModel(
+                    RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale
+                )
+                full_time = full_model.predict(p).total
 
-        mix_model = PhaseModel(
-            RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale,
-            topology=_mix_topology(nodes, seed=seed + p),
-        )
-        mix_time = mix_model.predict(p).total * float(rng.normal(1.0, 0.03))
+                mix_model = PhaseModel(
+                    RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale,
+                    topology=_mix_topology(nodes, seed=seed + p),
+                )
+                mix_time = mix_model.predict(p).total * float(rng.normal(1.0, 0.03))
 
-        rows.append(
-            Table2Row(
-                mpi=p,
-                nodes=nodes,
-                full_time_s=full_time,
-                full_real_cost=cost_per_iteration(ec2_cc28xlarge, p, full_time),
-                mix_time_s=mix_time,
-                mix_est_cost=cost_per_iteration(
-                    ec2_cc28xlarge, p, mix_time, core_hour_rate=SPOT_CORE_HOUR
-                ),
+            rows.append(
+                Table2Row(
+                    mpi=p,
+                    nodes=nodes,
+                    full_time_s=full_time,
+                    full_real_cost=cost_per_iteration(ec2_cc28xlarge, p, full_time),
+                    mix_time_s=mix_time,
+                    mix_est_cost=cost_per_iteration(
+                        ec2_cc28xlarge, p, mix_time, core_hour_rate=SPOT_CORE_HOUR
+                    ),
+                )
             )
-        )
+    _export_artifacts(hub, "table2")
     return rows
 
 
@@ -173,31 +217,41 @@ def experiment_table2_placement(seed: int = 7) -> list[Table2Row]:
 # ---------------------------------------------------------------------------
 
 
-def _cost_table(workload) -> WeakScalingTable:
+def _cost_table(workload, obs=None, label="costs") -> WeakScalingTable:
     """Per-iteration costs for the four platforms plus the 'ec2 mix' curve.
 
     The mix curve uses the same iteration times as ec2 (Table II showed
     no significant performance difference) at the estimated all-spot
     rate — the paper's "cost-aware strategy for Amazon's resources".
     """
-    columns = {
-        platform.name: weak_scaling_sweep(workload, platform)
-        for platform in all_platforms()
-    }
-    columns["ec2 mix"] = weak_scaling_sweep(
-        workload, ec2_cc28xlarge, core_hour_rate=SPOT_CORE_HOUR
+    hub = _obs_hub(obs)
+    view = _obs_view(hub)
+    columns = {}
+    with view.span(label, workload=workload.name):
+        for platform in all_platforms():
+            with view.span("platform_sweep", platform=platform.name):
+                columns[platform.name] = weak_scaling_sweep(workload, platform)
+            view.count("platform_sweeps_total", experiment=label)
+        with view.span("platform_sweep", platform="ec2 mix"):
+            columns["ec2 mix"] = weak_scaling_sweep(
+                workload, ec2_cc28xlarge, core_hour_rate=SPOT_CORE_HOUR
+            )
+        view.count("platform_sweeps_total", experiment=label)
+    return WeakScalingTable(
+        workload=workload.name,
+        columns=columns,
+        artifacts=_export_artifacts(hub, label),
     )
-    return WeakScalingTable(workload=workload.name, columns=columns)
 
 
-def experiment_fig6_rd_costs() -> WeakScalingTable:
+def experiment_fig6_rd_costs(obs=None) -> WeakScalingTable:
     """Figure 6: RD per-iteration cost curves."""
-    return _cost_table(RD_WORKLOAD)
+    return _cost_table(RD_WORKLOAD, obs=obs, label="fig6")
 
 
-def experiment_fig7_ns_costs() -> WeakScalingTable:
+def experiment_fig7_ns_costs(obs=None) -> WeakScalingTable:
     """Figure 7: NS per-iteration cost curves."""
-    return _cost_table(NS_WORKLOAD)
+    return _cost_table(NS_WORKLOAD, obs=obs, label="fig7")
 
 
 # ---------------------------------------------------------------------------
@@ -230,6 +284,7 @@ class ResilienceReport:
     on_demand_cost: float
     model_overhead_fraction: float
     optimal_interval_s: float
+    artifacts: tuple[str, ...] = ()
 
 
 def experiment_resilience(
@@ -241,6 +296,7 @@ def experiment_resilience(
     step_hours: float = 1.0,
     checkpoint_seconds: float = 30.0,
     restart_seconds: float = 120.0,
+    obs=None,
 ) -> ResilienceReport:
     """A mix assembly on a volatile spot market, run to completion.
 
@@ -280,6 +336,7 @@ def experiment_resilience(
     if checkpoint_dir is None:
         tmp = tempfile.TemporaryDirectory()
         checkpoint_dir = tmp.name
+    hub = _obs_hub(obs)
     runner = ResilientRunner(
         problem,
         num_ranks,
@@ -287,6 +344,7 @@ def experiment_resilience(
         checkpoint_every=2,
         checkpoint_dir=checkpoint_dir,
         max_retries=len(spot_ranks) + 2,
+        obs=hub,
     )
     result = runner.run()
 
@@ -324,4 +382,5 @@ def experiment_resilience(
             run_seconds, interval_s
         ),
         optimal_interval_s=model.optimal_interval_seconds(),
+        artifacts=_export_artifacts(hub, "resilience"),
     )

@@ -10,10 +10,16 @@ from repro.perfmodel.weak_scaling import WeakScalingPoint
 
 @dataclass(frozen=True)
 class WeakScalingTable:
-    """A full figure's data: per platform, the weak-scaling column."""
+    """A full figure's data: per platform, the weak-scaling column.
+
+    ``artifacts`` lists observability exports (trace/metrics files)
+    written while the table was generated — empty unless the experiment
+    ran with an :class:`~repro.obs.ObsConfig` that names an ``out_dir``.
+    """
 
     workload: str
     columns: dict[str, list[WeakScalingPoint]]
+    artifacts: tuple[str, ...] = ()
 
     def platforms(self) -> list[str]:
         """Platform names in insertion order."""

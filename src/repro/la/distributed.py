@@ -24,6 +24,7 @@ import scipy.sparse as sp
 
 from repro.errors import SolverError
 from repro.la.krylov import SolveResult
+from repro.obs.core import current as _obs_current
 from repro.simmpi.comm import Communicator
 from repro.simmpi.datatypes import SUM, MAX
 
@@ -351,6 +352,7 @@ class DistJacobiPreconditioner:
         return self
 
     def apply(self, vector: DistVector) -> DistVector:
+        _obs_current().count("precond_applies_total", kind="jacobi")
         return DistVector(self._comm, self._inv * vector.owned, self._num_ghosts)
 
 
@@ -385,6 +387,7 @@ class DistBlockJacobiPreconditioner:
         return self
 
     def apply(self, vector: DistVector) -> DistVector:
+        _obs_current().count("precond_applies_total", kind="block-jacobi")
         return DistVector(self._comm, self._local.apply(vector.owned), self._num_ghosts)
 
 
@@ -429,34 +432,37 @@ def dist_cg(
     result.allreduce_rounds += 2
     result.residuals.append(res_norm)
 
+    obs = _obs_current()
     for it in range(1, maxiter + 1):
         if res_norm <= threshold:
             break
-        ap = matrix.matvec(p)
-        result.matvecs += 1
-        pap = p.dot(ap)
-        result.dot_products += 1
-        result.allreduce_rounds += 1
-        if pap <= 0.0:
-            raise SolverError(f"distributed CG breakdown: p^T A p = {pap:.3e}")
-        alpha = rz / pap
-        x.axpy(alpha, p)
-        r.axpy(-alpha, ap)
-        result.axpys += 2
-        z = preconditioner.apply(r) if preconditioner else r.copy()
-        result.precond_applies += 1
-        rz_new = r.dot(z)
-        result.dot_products += 1
-        beta = rz_new / rz
-        rz = rz_new
-        p.scale(beta)
-        p.axpy(1.0, z)
-        result.axpys += 1
-        res_norm = r.norm()
-        result.dot_products += 1
-        result.allreduce_rounds += 2
-        result.iterations = it
-        result.residuals.append(res_norm)
+        with obs.span("cg_iteration", variant="classic", iteration=it):
+            ap = matrix.matvec(p)
+            result.matvecs += 1
+            pap = p.dot(ap)
+            result.dot_products += 1
+            result.allreduce_rounds += 1
+            if pap <= 0.0:
+                raise SolverError(f"distributed CG breakdown: p^T A p = {pap:.3e}")
+            alpha = rz / pap
+            x.axpy(alpha, p)
+            r.axpy(-alpha, ap)
+            result.axpys += 2
+            z = preconditioner.apply(r) if preconditioner else r.copy()
+            result.precond_applies += 1
+            rz_new = r.dot(z)
+            result.dot_products += 1
+            beta = rz_new / rz
+            rz = rz_new
+            p.scale(beta)
+            p.axpy(1.0, z)
+            result.axpys += 1
+            res_norm = r.norm()
+            result.dot_products += 1
+            result.allreduce_rounds += 2
+            result.iterations = it
+            result.residuals.append(res_norm)
+    obs.count("cg_iterations_total", float(result.iterations), variant="classic")
 
     result.x = x.owned
     result.residual_norm = res_norm
@@ -539,20 +545,22 @@ def dist_cg_fused(
     p = u.copy()
     s = w.copy()
 
+    obs = _obs_current()
     for it in range(1, maxiter + 1):
-        x.axpy(alpha, p)
-        r.axpy(-alpha, s)
-        result.axpys += 2
-        u = precond(r)
-        w = matrix.matvec(u)
-        result.matvecs += 1
-        # THE round: every reduction of this iteration, one allreduce.
-        gamma_new, delta, rr = r.dot_many([(r, u), (w, u), (r, r)])
-        result.dot_products += 3
-        result.allreduce_rounds += 1
-        res_norm = float(np.sqrt(max(rr, 0.0)))
-        result.iterations = it
-        result.residuals.append(res_norm)
+        with obs.span("cg_iteration", variant="fused", iteration=it):
+            x.axpy(alpha, p)
+            r.axpy(-alpha, s)
+            result.axpys += 2
+            u = precond(r)
+            w = matrix.matvec(u)
+            result.matvecs += 1
+            # THE round: every reduction of this iteration, one allreduce.
+            gamma_new, delta, rr = r.dot_many([(r, u), (w, u), (r, r)])
+            result.dot_products += 3
+            result.allreduce_rounds += 1
+            res_norm = float(np.sqrt(max(rr, 0.0)))
+            result.iterations = it
+            result.residuals.append(res_norm)
         if res_norm <= threshold:
             break
         beta = gamma_new / gamma
@@ -566,6 +574,7 @@ def dist_cg_fused(
         s.scale(beta)
         s.axpy(1.0, w)
         result.axpys += 2
+    obs.count("cg_iterations_total", float(result.iterations), variant="fused")
 
     result.x = x.owned
     result.residual_norm = res_norm
@@ -674,6 +683,9 @@ def dist_bicgstab(
         result.iterations = it
         result.residuals.append(res_norm)
 
+    _obs_current().count(
+        "cg_iterations_total", float(result.iterations), variant="bicgstab"
+    )
     result.x = x.owned
     result.residual_norm = res_norm
     result.converged = res_norm <= threshold

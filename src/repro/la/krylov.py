@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ConvergenceError, SolverError
+from repro.obs.core import current as _obs_current
 
 
 @dataclass
@@ -157,6 +158,9 @@ def cg(
     result.x = x
     result.residual_norm = res_norm
     result.converged = res_norm <= threshold
+    _obs_current().count(
+        "krylov_iterations_total", float(result.iterations), solver="cg"
+    )
     if strict and not result.converged:
         raise ConvergenceError(
             f"CG did not converge in {maxiter} iterations (residual {res_norm:.3e})",
@@ -263,6 +267,9 @@ def bicgstab(
     result.x = x
     result.residual_norm = res_norm
     result.converged = res_norm <= threshold
+    _obs_current().count(
+        "krylov_iterations_total", float(result.iterations), solver="bicgstab"
+    )
     if strict and not result.converged:
         raise ConvergenceError(
             f"BiCGStab did not converge in {maxiter} iterations "
@@ -389,6 +396,9 @@ def gmres(
     result.x = x
     result.residual_norm = res_norm
     result.converged = res_norm <= threshold
+    _obs_current().count(
+        "krylov_iterations_total", float(result.iterations), solver="gmres"
+    )
     if strict and not result.converged:
         raise ConvergenceError(
             f"GMRES did not converge in {maxiter} iterations "

@@ -1,0 +1,51 @@
+"""Unified observability: spans, metrics, exporters, analysis, bench gate.
+
+The package the rest of the library reports into:
+
+* :mod:`repro.obs.spans` — per-rank hierarchical span trees;
+* :mod:`repro.obs.metrics` — typed Counter/Gauge/Histogram registry;
+* :mod:`repro.obs.core` — the :class:`Observability` hub, rank views,
+  and the thread-local ambient :func:`current`;
+* :mod:`repro.obs.exporters` — Chrome ``trace_event`` JSON, JSONL dumps,
+  Prometheus text exposition;
+* :mod:`repro.obs.analysis` — paper-style phase statistics, the
+  critical-path extractor, comm/compute overlap;
+* :mod:`repro.obs.benchmarks` / :mod:`repro.obs.gate` — the kernel
+  measurements behind ``BENCH_kernels.json`` and the regression gate
+  that compares fresh measurements against that baseline.
+"""
+
+from repro.obs.core import (
+    NULL_RANK_OBS,
+    Observability,
+    ObsConfig,
+    RankObs,
+    current,
+    observed_run,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.spans import Span, SpanStack, iter_spans, spans_named
+
+__all__ = [
+    "NULL_RANK_OBS",
+    "Observability",
+    "ObsConfig",
+    "RankObs",
+    "current",
+    "observed_run",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "Span",
+    "SpanStack",
+    "iter_spans",
+    "spans_named",
+]

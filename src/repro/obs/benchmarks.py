@@ -1,0 +1,249 @@
+"""Kernel measurements behind ``BENCH_kernels.json``.
+
+These are the library-side bodies of ``benchmarks/bench_kernels.py`` —
+importable under ``PYTHONPATH=src`` so the bench gate
+(:mod:`repro.obs.gate`) can re-run them at the baseline's recorded
+configurations and compare.  Three measurements:
+
+* :func:`measure_rd_step_paths` — seed vs incremental per-step RD
+  assembly+preconditioner cost (the PR2 hot path);
+* :func:`measure_dist_cg_rounds` — allreduce rounds of classic vs fused
+  distributed CG (deterministic counts from the simulator);
+* :func:`measure_rd_phases` — a small distributed RD run under full
+  observability: the paper's per-phase means (virtual time), collective
+  counts, and the critical-path bound.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+PHASE_NAMES = ("assembly", "preconditioner", "solve")
+
+
+def measure_rd_step_paths(mesh_shape=(8, 8, 8), num_steps=10, preconditioner="jacobi"):
+    """Per-step assembly+preconditioner cost: seed path vs incremental.
+
+    The seed's combine mode paid, every step: a scipy pattern-union add
+    for ``a(t) M + b(t) K``, two sparse products inside
+    :func:`~repro.fem.boundary.apply_dirichlet`, and a from-scratch
+    preconditioner build.  The incremental path rewrites a cached merged
+    ``data`` array, replays a precomputed Dirichlet plan, and refreshes
+    the preconditioner numerically.  Both paths produce the same
+    operator; the returned dict records wall seconds and the speedup.
+    """
+    from repro.apps.reaction_diffusion import RDProblem, RDSolver
+    from repro.fem.assembly import CompositeOperator
+    from repro.fem.boundary import DirichletPlan, apply_dirichlet
+    from repro.la.preconditioners import make_preconditioner
+
+    problem = RDProblem(mesh_shape=mesh_shape, num_steps=num_steps)
+    solver = RDSolver(problem, assembly_mode="combine")
+    mass = solver._mass.tocsr()
+    stiffness = solver._stiffness.tocsr()
+    boundary = solver.dofmap.boundary_dofs
+    rhs = np.ones(solver.dofmap.num_dofs)
+    dt = problem.dt
+    alpha0 = solver.bdf.alpha0
+    step_times = [solver.t + (k + 1) * dt for k in range(num_steps)]
+
+    def coefficients(t_new):
+        return alpha0 / dt - 2.0 / t_new, 1.0 / t_new**2
+
+    # -- seed path: full pattern work + fresh preconditioner every step --
+    def seed_step(t_new):
+        a, b = coefficients(t_new)
+        matrix = (a * mass + b * stiffness).tocsr()
+        constrained, _ = apply_dirichlet(matrix, rhs, boundary, 0.0)
+        make_preconditioner(preconditioner, constrained)
+
+    # -- incremental path: data-only combine + plan replay + update ------
+    composite = CompositeOperator({"mass": mass, "stiffness": stiffness})
+    state = {"combined": None, "plan": None, "precond": None}
+
+    def incremental_step(t_new):
+        a, b = coefficients(t_new)
+        state["combined"] = composite.combine(
+            {"mass": a, "stiffness": b}, out=state["combined"]
+        )
+        if state["plan"] is None:
+            state["plan"] = DirichletPlan(
+                state["combined"], boundary, symmetric=True
+            )
+        matrix, _ = state["plan"].apply(state["combined"], rhs, 0.0)
+        if state["precond"] is None:
+            state["precond"] = make_preconditioner(preconditioner, matrix)
+        else:
+            state["precond"].update(matrix)
+
+    # One un-timed warm-up step per path: the incremental path builds
+    # its one-time caches there, so the timed region is the per-step
+    # steady state the time loop actually pays.
+    seed_step(solver.t)
+    incremental_step(solver.t)
+
+    start = time.perf_counter()
+    for t_new in step_times:
+        seed_step(t_new)
+    seed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for t_new in step_times:
+        incremental_step(t_new)
+    incremental_seconds = time.perf_counter() - start
+
+    return {
+        "mesh_shape": list(mesh_shape),
+        "num_steps": num_steps,
+        "preconditioner": preconditioner,
+        "dofs": int(solver.dofmap.num_dofs),
+        "seed_seconds": seed_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": seed_seconds / incremental_seconds,
+    }
+
+
+def measure_dist_cg_rounds(mesh_shape=(5, 5, 5), num_ranks=4, tol=1e-12):
+    """Allreduce rounds of classic vs fused distributed CG.
+
+    Counted from the simulator's per-communicator collective counters —
+    actual traffic, not solver bookkeeping — together with the solution
+    agreement between the two recurrences.
+    """
+    from repro.fem.assembly import assemble_mass, assemble_stiffness
+    from repro.fem.boundary import apply_dirichlet
+    from repro.fem.dofmap import DofMap
+    from repro.fem.mesh import StructuredBoxMesh
+    from repro.la.distributed import DistMatrix, DistVector, dist_cg, dist_cg_fused
+    from repro.simmpi import run_spmd
+
+    dm = DofMap(StructuredBoxMesh(mesh_shape), 1)
+    k = assemble_stiffness(dm) + assemble_mass(dm)
+    a, b = apply_dirichlet(k.tocsr(), np.ones(dm.num_dofs), dm.boundary_dofs, 0.0)
+    a = a.tocsr()
+
+    def main(comm):
+        dist = DistMatrix.from_global(comm, a)
+        rhs = dist.vector_from_global(b)
+        before = comm.collective_counts["allreduce"]
+        classic = dist_cg(dist, rhs, tol=tol, maxiter=2000)
+        classic_rounds = comm.collective_counts["allreduce"] - before
+        before = comm.collective_counts["allreduce"]
+        fused = dist_cg_fused(dist, rhs, tol=tol, maxiter=2000)
+        fused_rounds = comm.collective_counts["allreduce"] - before
+        xc = dist.gather_global(
+            DistVector(comm, classic.x, dist.ghost_indices.size), root=0
+        )
+        xf = dist.gather_global(
+            DistVector(comm, fused.x, dist.ghost_indices.size), root=0
+        )
+        if comm.rank == 0:
+            return {
+                "classic_iterations": classic.iterations,
+                "classic_rounds": classic_rounds,
+                "fused_iterations": fused.iterations,
+                "fused_rounds": fused_rounds,
+                "fused_bookkeeping_rounds": fused.allreduce_rounds,
+                "solution_max_diff": float(np.max(np.abs(xc - xf))),
+            }
+        return None
+
+    stats = run_spmd(main, num_ranks, real_timeout=60.0).returns[0]
+    stats.update(
+        {
+            "mesh_shape": list(mesh_shape),
+            "num_ranks": num_ranks,
+            "rounds_ratio": stats["classic_rounds"] / stats["fused_rounds"],
+            "fused_rounds_per_iteration": (
+                (stats["fused_rounds"] - 2) / stats["fused_iterations"]
+            ),
+        }
+    )
+    return stats
+
+
+def measure_rd_phases(
+    mesh_shape=(6, 6, 6), num_ranks=2, num_steps=8, discard=5,
+    preconditioner="block-jacobi",
+):
+    """Distributed RD under full observability: the paper's measurements.
+
+    Runs the SPMD RD loop with an :class:`~repro.obs.Observability` hub
+    attached and reduces the span tree with
+    :func:`~repro.obs.analysis.phase_statistics` (the merged row: max
+    over ranks per iteration, discard, average).  Phase means are
+    virtual-time seconds; the collective counts are deterministic for a
+    fixed configuration, which is what makes them gateable.
+    """
+    from repro.apps.reaction_diffusion import RDProblem, run_rd_distributed
+    from repro.obs.analysis import critical_path, phase_statistics
+    from repro.obs.core import Observability, ObsConfig
+    from repro.simmpi import run_spmd
+
+    obs = Observability(ObsConfig(discard=discard))
+    problem = RDProblem(mesh_shape=mesh_shape, num_steps=num_steps)
+
+    def main(comm):
+        return run_rd_distributed(
+            comm, problem, preconditioner=preconditioner, discard=discard,
+            obs=obs,
+        )
+
+    result = run_spmd(main, num_ranks, observability=obs, real_timeout=120.0)
+    obs.check_balanced()
+    _, _, nodal_error = result.returns[0]
+    merged = phase_statistics(obs, discard=discard)[None]
+    path = critical_path(obs)
+    bound_rank, bound_phase = max(
+        path.time_by_rank_phase().items(), key=lambda kv: kv[1]
+    )[0]
+    return {
+        "mesh_shape": list(mesh_shape),
+        "num_ranks": num_ranks,
+        "num_steps": num_steps,
+        "discard": discard,
+        "preconditioner": preconditioner,
+        "phase_means": {p: merged[p].mean for p in PHASE_NAMES},
+        "collective_counts": obs.tracer.collective_counts_by_label(rank=0),
+        "nodal_error": nodal_error,
+        "critical_path_bound": {"rank": bound_rank, "phase": bound_phase},
+    }
+
+
+def collect_kernel_metrics(smoke=False):
+    """The BENCH_kernels.json payload."""
+    if smoke:
+        rd = measure_rd_step_paths(mesh_shape=(5, 5, 5), num_steps=3)
+        dist = measure_dist_cg_rounds(mesh_shape=(4, 4, 4), num_ranks=2)
+        phases = measure_rd_phases(
+            mesh_shape=(5, 5, 5), num_ranks=2, num_steps=6, discard=3
+        )
+    else:
+        rd = measure_rd_step_paths()
+        dist = measure_dist_cg_rounds()
+        phases = measure_rd_phases()
+    return {
+        "benchmark": "kernels",
+        "smoke": smoke,
+        "rd_step_path": rd,
+        "dist_cg_rounds": dist,
+        "rd_phases": phases,
+        "targets": {
+            "rd_step_speedup_min": 3.0,
+            "dist_cg_rounds_ratio_min": 1.5,
+            "fused_rounds_per_iteration": 1.0,
+        },
+    }
+
+
+def write_bench_json(metrics, path=None) -> Path:
+    """Write the payload next to the repo root (or to ``path``)."""
+    path = Path(path) if path is not None else REPO_ROOT / "BENCH_kernels.json"
+    path.write_text(json.dumps(metrics, indent=2) + "\n")
+    return path

@@ -1,0 +1,255 @@
+"""The observability hub: configuration, per-rank views, ambient context.
+
+One :class:`Observability` object accompanies one run (an SPMD launch, a
+sequential solve, or a whole experiment).  It owns
+
+* a per-rank :class:`~repro.obs.spans.SpanStack` forest,
+* a :class:`~repro.obs.metrics.MetricsRegistry`,
+* a :class:`~repro.simmpi.tracing.Tracer` whose records feed the span
+  layer's exporters and analyses (the comm events are *not* duplicated
+  into spans — the tracer remains the single source of message truth,
+  and its sink updates communication metrics live).
+
+Instrumented application code asks the hub for a :class:`RankObs` bound
+to a rank and a clock (``obs.rank_view(comm)`` inside an SPMD body,
+``obs.wall_view()`` for sequential code).  Opening a span *activates*
+the view on the current thread, so library layers (assembly kernels,
+Krylov loops, preconditioners) can attach child spans through the
+ambient :func:`current` without threading an argument through every
+signature — and because simmpi gives each rank its own thread, the
+ambient context is per-rank by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanStack
+from repro.simmpi.tracing import TraceRecord, Tracer
+
+_tls = threading.local()
+
+
+def current() -> "RankObs":
+    """The rank view active on this thread (a no-op view when none is)."""
+    return getattr(_tls, "active", NULL_RANK_OBS)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to collect and where to put it.
+
+    ``out_dir`` of ``None`` means "collect in memory, export only on an
+    explicit :meth:`Observability.export` call with a directory".
+    """
+
+    enabled: bool = True
+    out_dir: str | Path | None = None
+    prefix: str = "obs"
+    chrome_trace: bool = True
+    jsonl: bool = True
+    prometheus: bool = True
+    discard: int = 5  # warm-up iterations the phase statistics drop
+
+    def resolved_dir(self) -> Path | None:
+        """The output directory as a Path (created lazily by export)."""
+        return None if self.out_dir is None else Path(self.out_dir)
+
+
+class RankObs:
+    """One rank's handle into the hub: spans + metrics, clock-bound."""
+
+    __slots__ = ("hub", "rank", "now", "_stack")
+
+    def __init__(self, hub: "Observability", rank: int, now):
+        self.hub = hub
+        self.rank = rank
+        self.now = now
+        self._stack = hub._stack_for(rank)
+
+    @property
+    def enabled(self) -> bool:
+        """Always true for a real view (the null view overrides)."""
+        return True
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a nested span; activates this view on the thread."""
+        prev = getattr(_tls, "active", None)
+        _tls.active = self
+        span = self._stack.open(name, self.now(), attrs)
+        try:
+            yield span
+        finally:
+            self._stack.close(self.now())
+            if prev is None:
+                del _tls.active
+            else:
+                _tls.active = prev
+
+    # -- metrics shortcuts (rank-stamped) ---------------------------------
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment a counter slot owned by this rank."""
+        self.hub.metrics.counter(name).inc(value, rank=self.rank, labels=labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record a histogram observation owned by this rank."""
+        self.hub.metrics.histogram(name).observe(value, rank=self.rank, labels=labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge slot owned by this rank."""
+        self.hub.metrics.gauge(name).set(value, rank=self.rank, labels=labels)
+
+
+class _NullRankObs(RankObs):
+    """The do-nothing view: one boolean test per instrumented call site."""
+
+    __slots__ = ()
+
+    def __init__(self):  # no hub, no stack
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        yield None
+
+    def count(self, name, value=1.0, **labels):
+        pass
+
+    def observe(self, name, value, **labels):
+        pass
+
+    def gauge(self, name, value, **labels):
+        pass
+
+
+NULL_RANK_OBS = _NullRankObs()
+
+
+class Observability:
+    """Spans + metrics + trace for one run; see module docstring."""
+
+    def __init__(self, config: ObsConfig | None = None):
+        self.config = config if config is not None else ObsConfig()
+        self.metrics = MetricsRegistry(enabled=self.config.enabled)
+        self.tracer = Tracer(enabled=self.config.enabled, sink=self._on_trace_record)
+        self._stacks: dict[int, SpanStack] = {}
+        self._lock = threading.Lock()
+
+    # -- span storage -------------------------------------------------------
+
+    def _stack_for(self, rank: int) -> SpanStack:
+        stack = self._stacks.get(rank)
+        if stack is None:
+            with self._lock:
+                stack = self._stacks.setdefault(rank, SpanStack(rank))
+        return stack
+
+    def span_roots(self, rank: int) -> list[Span]:
+        """Finished root spans of one rank."""
+        return list(self._stack_for(rank).roots)
+
+    def all_roots(self) -> dict[int, list[Span]]:
+        """rank -> root spans, for every rank that opened one."""
+        with self._lock:
+            return {rank: list(stack.roots) for rank, stack in sorted(self._stacks.items())}
+
+    def check_balanced(self) -> None:
+        """Raise if any rank left a span open."""
+        with self._lock:
+            stacks = list(self._stacks.values())
+        for stack in stacks:
+            stack.check_balanced()
+
+    # -- views -------------------------------------------------------------
+
+    def rank_view(self, comm) -> RankObs:
+        """A view bound to a simmpi communicator's rank and virtual clock."""
+        if not self.config.enabled:
+            return NULL_RANK_OBS
+        return RankObs(self, comm.rank, lambda: comm.time)
+
+    def wall_view(self, rank: int = 0, now=None) -> RankObs:
+        """A view on the wall clock (sequential solvers, harness sweeps)."""
+        if not self.config.enabled:
+            return NULL_RANK_OBS
+        return RankObs(self, rank, now if now is not None else time.perf_counter)
+
+    # -- tracer sink --------------------------------------------------------
+
+    def _on_trace_record(self, record: TraceRecord) -> None:
+        """Live communication metrics from the tracer's event stream."""
+        metrics = self.metrics
+        metrics.counter("simmpi_events_total").inc(
+            1.0, rank=record.rank, labels={"kind": record.kind}
+        )
+        if record.kind == "send":
+            metrics.counter("simmpi_bytes_sent_total").inc(
+                float(record.nbytes), rank=record.rank
+            )
+        elif record.kind == "collective":
+            metrics.counter("simmpi_collectives_total").inc(
+                1.0, rank=record.rank, labels={"op": record.label}
+            )
+
+    # -- export -------------------------------------------------------------
+
+    def export(self, out_dir: str | Path | None = None,
+               prefix: str | None = None) -> tuple[Path, ...]:
+        """Write the configured artifact files; returns their paths.
+
+        ``out_dir``/``prefix`` default to the config's; a directory must
+        come from one of the two or this raises.
+        """
+        from repro.obs import exporters
+
+        target = Path(out_dir) if out_dir is not None else self.config.resolved_dir()
+        if target is None:
+            raise ObservabilityError("export needs an out_dir (none configured)")
+        target.mkdir(parents=True, exist_ok=True)
+        prefix = prefix if prefix is not None else self.config.prefix
+        written: list[Path] = []
+        if self.config.chrome_trace:
+            path = target / f"{prefix}-trace.json"
+            exporters.write_chrome_trace(self, path)
+            written.append(path)
+        if self.config.jsonl:
+            path = target / f"{prefix}-spans.jsonl"
+            exporters.write_spans_jsonl(self, path)
+            written.append(path)
+            path = target / f"{prefix}-metrics.jsonl"
+            exporters.write_metrics_jsonl(self, path)
+            written.append(path)
+        if self.config.prometheus:
+            path = target / f"{prefix}-metrics.prom"
+            path.write_text(exporters.prometheus_text(self.metrics))
+            written.append(path)
+        return tuple(written)
+
+
+@contextmanager
+def observed_run(config: ObsConfig | None = None, label: str = "run"):
+    """Run a block under a fresh hub with a wall-clock root span.
+
+    The harness-facing convenience: experiment generators wrap their
+    sweep in ``with observed_run(cfg, "fig4") as obs: ...`` and export
+    afterwards; inside, ambient :func:`current` carries the root view.
+    """
+    obs = Observability(config)
+    view = obs.wall_view(rank=0)
+    if view.enabled:
+        with view.span(label):
+            yield obs
+    else:
+        yield obs

@@ -1,0 +1,314 @@
+"""Bench gate: fresh kernel measurements vs the committed baseline.
+
+``BENCH_kernels.json`` records what the optimised kernels achieved when
+the baseline was captured: the RD step-path speedup, the allreduce
+rounds of classic/fused distributed CG, and the per-phase virtual-time
+means and collective counts of a small distributed RD run.  The gate
+re-runs the same measurements at the configurations the baseline
+recorded (:func:`measure_fresh`) and compares (:func:`compare`):
+
+* **counts** (allreduce rounds, collective counts per label) are
+  deterministic for a fixed configuration, so they get a tight
+  tolerance — a new collective in a hot loop fails the gate;
+* **virtual-time phase means** come from the simulator's cost model and
+  are near-deterministic; the time tolerance mostly absorbs legitimate
+  model retuning;
+* **wall-clock seconds** (the step-path microbenchmark) are noisy on
+  shared CI hardware, so only the seed/incremental *ratio* is gated
+  hard and the absolute time gets the loose time tolerance.
+
+``compare`` is pure — it never measures — so regressions can be tested
+by injecting them into a fresh dict.  ``run_gate`` does measure, and
+``main`` wraps it as a CLI returning a nonzero exit code on failure
+(unless ``--warn-only``, which is how the CI smoke job runs it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import BenchGateError
+from repro.obs.benchmarks import (
+    REPO_ROOT,
+    measure_dist_cg_rounds,
+    measure_rd_phases,
+    measure_rd_step_paths,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+
+#: One-sided slack on timing comparisons (fresh <= baseline * tolerance).
+DEFAULT_TIME_TOLERANCE = 1.6
+#: One-sided slack on count comparisons.  Counts are deterministic, so
+#: the 5% headroom only forgives off-by-a-round convergence wiggle.
+DEFAULT_COUNT_TOLERANCE = 1.05
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One comparison: ``fresh`` must stay at or under ``limit``."""
+
+    name: str
+    fresh: float
+    limit: float
+    passed: bool
+    detail: str = ""
+
+    def format(self) -> str:
+        mark = "ok  " if self.passed else "FAIL"
+        line = f"[{mark}] {self.name}: {self.fresh:.6g} vs limit {self.limit:.6g}"
+        if self.detail:
+            line += f"  ({self.detail})"
+        return line
+
+
+@dataclass(frozen=True)
+class GateReport:
+    checks: tuple[GateCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> tuple[GateCheck, ...]:
+        return tuple(check for check in self.checks if not check.passed)
+
+    def format(self) -> str:
+        lines = [check.format() for check in self.checks]
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"bench gate: {verdict} "
+            f"({len(self.checks) - len(self.failures)}/{len(self.checks)} checks)"
+        )
+        return "\n".join(lines)
+
+
+def load_baseline(path=DEFAULT_BASELINE) -> dict:
+    """Read and sanity-check ``BENCH_kernels.json``."""
+    path = Path(path)
+    try:
+        baseline = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchGateError(
+            f"bench baseline not found at {path}; generate it with "
+            "'python benchmarks/bench_kernels.py' first"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise BenchGateError(f"bench baseline {path} is not valid JSON: {exc}") from exc
+    missing = [
+        key
+        for key in ("rd_step_path", "dist_cg_rounds", "rd_phases", "targets")
+        if key not in baseline
+    ]
+    if missing:
+        raise BenchGateError(
+            f"bench baseline {path} is missing sections: {', '.join(missing)}; "
+            "regenerate it with 'python benchmarks/bench_kernels.py'"
+        )
+    return baseline
+
+
+def measure_fresh(baseline) -> dict:
+    """Re-run the measurements at the baseline's recorded configurations."""
+    rd_cfg = baseline["rd_step_path"]
+    cg_cfg = baseline["dist_cg_rounds"]
+    ph_cfg = baseline["rd_phases"]
+    return {
+        "rd_step_path": measure_rd_step_paths(
+            mesh_shape=tuple(rd_cfg["mesh_shape"]),
+            num_steps=rd_cfg["num_steps"],
+            preconditioner=rd_cfg["preconditioner"],
+        ),
+        "dist_cg_rounds": measure_dist_cg_rounds(
+            mesh_shape=tuple(cg_cfg["mesh_shape"]),
+            num_ranks=cg_cfg["num_ranks"],
+        ),
+        "rd_phases": measure_rd_phases(
+            mesh_shape=tuple(ph_cfg["mesh_shape"]),
+            num_ranks=ph_cfg["num_ranks"],
+            num_steps=ph_cfg["num_steps"],
+            discard=ph_cfg["discard"],
+            preconditioner=ph_cfg["preconditioner"],
+        ),
+    }
+
+
+def _upper(name, fresh, limit, detail="") -> GateCheck:
+    return GateCheck(name, float(fresh), float(limit), float(fresh) <= float(limit), detail)
+
+
+def _lower(name, fresh, floor, detail="") -> GateCheck:
+    check = GateCheck(name, float(fresh), float(floor), float(fresh) >= float(floor), detail)
+    return check
+
+
+def compare(
+    baseline,
+    fresh,
+    time_tolerance=DEFAULT_TIME_TOLERANCE,
+    count_tolerance=DEFAULT_COUNT_TOLERANCE,
+) -> GateReport:
+    """Pure comparison of a fresh measurement dict against the baseline.
+
+    Raises :class:`BenchGateError` if either dict is missing a section —
+    a malformed input is an error, not a failed check.
+    """
+    checks: list[GateCheck] = []
+    try:
+        targets = baseline["targets"]
+        base_rd, fresh_rd = baseline["rd_step_path"], fresh["rd_step_path"]
+        base_cg, fresh_cg = baseline["dist_cg_rounds"], fresh["dist_cg_rounds"]
+        base_ph, fresh_ph = baseline["rd_phases"], fresh["rd_phases"]
+
+        checks.append(
+            _lower(
+                "rd_step_path.speedup",
+                fresh_rd["speedup"],
+                targets["rd_step_speedup_min"],
+                "incremental step path must keep its advantage",
+            )
+        )
+        checks.append(
+            _upper(
+                "rd_step_path.incremental_seconds",
+                fresh_rd["incremental_seconds"],
+                base_rd["incremental_seconds"] * time_tolerance,
+                f"wall clock, x{time_tolerance:g} slack",
+            )
+        )
+
+        for key in ("classic_rounds", "fused_rounds"):
+            checks.append(
+                _upper(
+                    f"dist_cg_rounds.{key}",
+                    fresh_cg[key],
+                    base_cg[key] * count_tolerance,
+                    "allreduce rounds are deterministic",
+                )
+            )
+        checks.append(
+            _lower(
+                "dist_cg_rounds.rounds_ratio",
+                fresh_cg["rounds_ratio"],
+                targets["dist_cg_rounds_ratio_min"],
+            )
+        )
+        checks.append(
+            _upper(
+                "dist_cg_rounds.fused_rounds_per_iteration",
+                fresh_cg["fused_rounds_per_iteration"],
+                targets["fused_rounds_per_iteration"],
+                "one fused allreduce per CG iteration",
+            )
+        )
+
+        for phase, base_mean in base_ph["phase_means"].items():
+            checks.append(
+                _upper(
+                    f"rd_phases.phase_means.{phase}",
+                    fresh_ph["phase_means"][phase],
+                    base_mean * time_tolerance,
+                    f"virtual seconds, x{time_tolerance:g} slack",
+                )
+            )
+        for label, base_count in base_ph["collective_counts"].items():
+            checks.append(
+                _upper(
+                    f"rd_phases.collectives.{label}",
+                    fresh_ph["collective_counts"].get(label, 0),
+                    base_count * count_tolerance,
+                    "collective count per rank",
+                )
+            )
+        extra = sorted(
+            set(fresh_ph["collective_counts"]) - set(base_ph["collective_counts"])
+        )
+        checks.append(
+            GateCheck(
+                "rd_phases.new_collective_labels",
+                float(len(extra)),
+                0.0,
+                not extra,
+                "new labels: " + ", ".join(extra) if extra else "no new collective kinds",
+            )
+        )
+        checks.append(
+            _upper(
+                "rd_phases.nodal_error",
+                fresh_ph["nodal_error"],
+                max(base_ph["nodal_error"] * 10.0, 1e-9),
+                "solution accuracy must not degrade",
+            )
+        )
+    except KeyError as exc:
+        raise BenchGateError(f"bench comparison missing key: {exc}") from exc
+    return GateReport(tuple(checks))
+
+
+def run_gate(
+    baseline_path=DEFAULT_BASELINE,
+    time_tolerance=DEFAULT_TIME_TOLERANCE,
+    count_tolerance=DEFAULT_COUNT_TOLERANCE,
+    warn_only=False,
+    stream=None,
+) -> int:
+    """Measure, compare, print; return a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    baseline = load_baseline(baseline_path)
+    fresh = measure_fresh(baseline)
+    report = compare(
+        baseline,
+        fresh,
+        time_tolerance=time_tolerance,
+        count_tolerance=count_tolerance,
+    )
+    print(report.format(), file=stream)
+    if report.passed:
+        return 0
+    if warn_only:
+        print("bench gate: failures downgraded to warnings (--warn-only)", file=stream)
+        return 0
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.gate",
+        description="Compare fresh kernel measurements against BENCH_kernels.json.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline JSON to compare against",
+    )
+    parser.add_argument(
+        "--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE,
+        help="multiplier on baseline timings (default %(default)s)",
+    )
+    parser.add_argument(
+        "--count-tolerance", type=float, default=DEFAULT_COUNT_TOLERANCE,
+        help="multiplier on baseline counts (default %(default)s)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report failures but exit 0 (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return run_gate(
+            baseline_path=args.baseline,
+            time_tolerance=args.time_tolerance,
+            count_tolerance=args.count_tolerance,
+            warn_only=args.warn_only,
+        )
+    except BenchGateError as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

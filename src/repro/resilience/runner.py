@@ -174,6 +174,7 @@ class ResilientRunner:
         cpu_speed_factor: float = 1.0,
         topology=None,
         real_timeout: float = 120.0,
+        obs=None,
     ):
         if checkpoint_every < 1:
             raise ReproError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -196,6 +197,13 @@ class ResilientRunner:
         self.cpu_speed_factor = cpu_speed_factor
         self.topology = topology
         self.real_timeout = real_timeout
+        self.obs = obs
+
+    def _metrics(self):
+        """The hub's metrics registry, or None when not observed."""
+        if self.obs is None or not self.obs.config.enabled:
+            return None
+        return self.obs.metrics
 
     # -- restart driver -----------------------------------------------------
 
@@ -209,8 +217,11 @@ class ResilientRunner:
         # per-step records survive a failed attempt, so only the steps
         # after the last checkpoint are ever recomputed.
         shared: dict = {"records": {}, "final": None}
+        metrics = self._metrics()
         while True:
             stats.attempts += 1
+            if metrics is not None:
+                metrics.counter("resilience_attempts_total").inc()
             try:
                 run_spmd(
                     target=self._rd_body,
@@ -219,9 +230,14 @@ class ResilientRunner:
                     args=(shared, stats),
                     fault_injector=self.injector,
                     real_timeout=self.real_timeout,
+                    observability=self.obs,
                 )
             except RankFailedError as exc:
                 stats.failed_ranks.append(exc.rank)
+                if metrics is not None:
+                    metrics.counter("resilience_rank_failures_total").inc(
+                        labels={"rank": exc.rank}
+                    )
                 if stats.restarts >= self.max_retries:
                     raise RetriesExhaustedError(
                         f"retry budget of {self.max_retries} exhausted after "
@@ -231,12 +247,14 @@ class ResilientRunner:
                         failed_ranks=list(stats.failed_ranks),
                     ) from exc
                 stats.restarts += 1
-                stats.backoff_seconds.append(
-                    min(
-                        self.backoff_base_s * 2.0 ** (stats.restarts - 1),
-                        self.backoff_cap_s,
-                    )
+                backoff = min(
+                    self.backoff_base_s * 2.0 ** (stats.restarts - 1),
+                    self.backoff_cap_s,
                 )
+                stats.backoff_seconds.append(backoff)
+                if metrics is not None:
+                    metrics.counter("resilience_restarts_total").inc()
+                    metrics.histogram("resilience_backoff_seconds").observe(backoff)
                 # "Replace the host": the rank id is reused by a fresh
                 # instance; consumed fault events stay consumed.
                 self.injector.reset_liveness()
@@ -246,6 +264,13 @@ class ResilientRunner:
         solution, t, nodal_error = shared["final"]
         records = [shared["records"][s] for s in range(self.problem.num_steps)]
         stats.completed_steps = self.problem.num_steps
+        if metrics is not None:
+            metrics.gauge("resilience_completed_steps").set(stats.completed_steps)
+            metrics.gauge("resilience_executed_steps").set(stats.executed_steps)
+            metrics.gauge("resilience_lost_steps").set(stats.lost_steps)
+            metrics.gauge("resilience_overhead_fraction").set(
+                stats.overhead_fraction
+            )
         return ResilientRunResult(
             solution=solution,
             t=t,
@@ -293,12 +318,18 @@ class ResilientRunner:
         # Resume point: every rank reads the (process-local) checkpoint
         # file; BDF state is replicated, so no broadcast is needed and
         # the restored trajectory is identical on all ranks.
+        metrics = self._metrics()
         if self.checkpoint_path.exists():
+            load_start = time.perf_counter()
             states, t, start_step, _meta = load_history_state(
                 self.checkpoint_path,
                 app="reaction-diffusion",
                 discretization=self._discretization(),
             )
+            if metrics is not None:
+                metrics.histogram("checkpoint_load_seconds").observe(
+                    time.perf_counter() - load_start, rank=rank
+                )
             bdf.initialize(list(reversed(states)))  # oldest first
         else:
             times = [problem.t0 + i * problem.dt for i in range(problem.bdf_order)]
@@ -325,8 +356,14 @@ class ResilientRunner:
             if rank == 0 and s % self.checkpoint_every == 0:
                 # Persist BEFORE the kill gate: a reclaim at step s must
                 # still find the state entering step s on disk.
+                save_start = time.perf_counter()
                 self._write_checkpoint(bdf, t, s, shared)
                 stats.checkpoints_written += 1
+                if metrics is not None:
+                    metrics.histogram("checkpoint_save_seconds").observe(
+                        time.perf_counter() - save_start, rank=rank
+                    )
+                    metrics.counter("checkpoints_written_total").inc(rank=rank)
             injector.begin_step(s, rank)
 
             t_new = t + problem.dt

@@ -64,6 +64,7 @@ def run_spmd(
     real_timeout: float = 120.0,
     launch_hook: Callable[[int], None] | None = None,
     fault_injector=None,
+    observability=None,
 ) -> SPMDResult:
     """Run ``target(comm, *args, **kwargs)`` on ``num_ranks`` ranks.
 
@@ -77,6 +78,11 @@ def run_spmd(
     kill ranks and drop/delay messages mid-run — a killed rank's
     :class:`~repro.errors.RankFailedError` is re-raised here as the
     run's root cause.
+
+    An ``observability`` hub (:class:`repro.obs.Observability`) makes the
+    run record into the hub's tracer (so its metrics sink sees every
+    comm event); span instrumentation inside ``target`` still needs the
+    hub passed through ``args``/``kwargs`` to open rank views.
 
     Raises the first rank exception after aborting the others.
     """
@@ -95,7 +101,10 @@ def run_spmd(
 
     engine = Engine(num_ranks, real_timeout=real_timeout,
                     fault_injector=fault_injector)
-    tracer = Tracer(enabled=trace)
+    if observability is not None:
+        tracer = observability.tracer
+    else:
+        tracer = Tracer(enabled=trace)
     comms = [
         Communicator(
             engine=engine,

@@ -5,6 +5,15 @@ measurements: per-phase wall-clock averages come from reducing these
 records exactly the way the authors reduced their timers (discard the
 first iterations, average the rest — that part lives in
 :mod:`repro.harness.results`).
+
+The tracer is also the single source of communication truth for the
+observability layer (:mod:`repro.obs`): an optional ``sink`` callable
+receives every record as it is appended, which is how live metrics and
+the Chrome-trace flow events are fed without a second recorder.
+
+Locking discipline: ``record`` appends under the lock; every reduction
+takes a :meth:`snapshot` (one copy under the lock) and scans outside it,
+so a long aggregation never blocks the rank threads mid-run.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,7 @@ class Tracer:
 
     enabled: bool = True
     records: list[TraceRecord] = field(default_factory=list)
+    sink: Callable[[TraceRecord], None] | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, record: TraceRecord) -> None:
@@ -47,27 +58,31 @@ class Tracer:
             return
         with self._lock:
             self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
 
-    # -- reductions -----------------------------------------------------------
+    def snapshot(self) -> tuple[TraceRecord, ...]:
+        """An immutable copy of the records: one list copy under the lock."""
+        with self._lock:
+            return tuple(self.records)
+
+    # -- reductions (lock held only for the snapshot copy) --------------------
 
     def by_rank(self, rank: int) -> list[TraceRecord]:
         """All records of one rank, in recording order."""
-        with self._lock:
-            return [r for r in self.records if r.rank == rank]
+        return [r for r in self.snapshot() if r.rank == rank]
 
     def total_bytes_sent(self, rank: int | None = None) -> int:
         """Bytes sent by one rank (or all ranks)."""
-        with self._lock:
-            return sum(
-                r.nbytes
-                for r in self.records
-                if r.kind == "send" and (rank is None or r.rank == rank)
-            )
+        return sum(
+            r.nbytes
+            for r in self.snapshot()
+            if r.kind == "send" and (rank is None or r.rank == rank)
+        )
 
     def message_count(self, kind: str = "send") -> int:
         """Number of events of a given kind."""
-        with self._lock:
-            return sum(1 for r in self.records if r.kind == kind)
+        return sum(1 for r in self.snapshot() if r.kind == kind)
 
     def collective_count(self, label: str | None = None, rank: int | None = None) -> int:
         """Number of collective rounds, optionally for one label / one rank.
@@ -77,31 +92,28 @@ class Tracer:
         allreduce rounds rank 0 participated in — the counter the
         communication-reduced CG variant is measured against.
         """
-        with self._lock:
-            return sum(
-                1
-                for r in self.records
-                if r.kind == "collective"
-                and (label is None or r.label == label)
-                and (rank is None or r.rank == rank)
-            )
+        return sum(
+            1
+            for r in self.snapshot()
+            if r.kind == "collective"
+            and (label is None or r.label == label)
+            and (rank is None or r.rank == rank)
+        )
 
     def collective_counts_by_label(self, rank: int | None = None) -> dict[str, int]:
         """Collective round counts keyed by operation name."""
         out: dict[str, int] = defaultdict(int)
-        with self._lock:
-            for r in self.records:
-                if r.kind == "collective" and (rank is None or r.rank == rank):
-                    out[r.label] += 1
+        for r in self.snapshot():
+            if r.kind == "collective" and (rank is None or r.rank == rank):
+                out[r.label] += 1
         return dict(out)
 
     def time_by_label(self) -> dict[str, float]:
         """Total virtual duration per label, summed over ranks."""
         out: dict[str, float] = defaultdict(float)
-        with self._lock:
-            for r in self.records:
-                if r.label:
-                    out[r.label] += r.duration
+        for r in self.snapshot():
+            if r.label:
+                out[r.label] += r.duration
         return dict(out)
 
     def max_time_by_label(self) -> dict[str, float]:
@@ -111,10 +123,9 @@ class Tracer:
         rank determines the iteration's phase time.
         """
         per_rank: dict[str, dict[int, float]] = defaultdict(lambda: defaultdict(float))
-        with self._lock:
-            for r in self.records:
-                if r.label:
-                    per_rank[r.label][r.rank] += r.duration
+        for r in self.snapshot():
+            if r.label:
+                per_rank[r.label][r.rank] += r.duration
         return {label: max(ranks.values()) for label, ranks in per_rank.items()}
 
     def clear(self) -> None:
@@ -130,8 +141,7 @@ class Tracer:
         marker (``#`` compute, ``>`` send, ``<`` recv, ``=`` overlap).
         Instantaneous events paint a single cell.
         """
-        with self._lock:
-            records = [r for r in self.records if r.kind in kinds]
+        records = [r for r in self.snapshot() if r.kind in kinds]
         if not records:
             return "(no trace records)\n"
         t_end = max(r.t_end for r in records)

@@ -1,0 +1,119 @@
+"""Hub plumbing: ambient context, views, tracer sink, export, tracing."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NULL_RANK_OBS,
+    Observability,
+    ObsConfig,
+    current,
+    observed_run,
+)
+from repro.simmpi.tracing import TraceRecord, Tracer
+
+
+class TestAmbientContext:
+    def test_inactive_thread_gets_null_view(self):
+        assert current() is NULL_RANK_OBS
+        assert not current().enabled
+        # all null-view operations are no-ops
+        with current().span("nothing"):
+            current().count("c")
+            current().observe("h", 1.0)
+            current().gauge("g", 1.0)
+
+    def test_span_activates_and_restores(self):
+        obs = Observability()
+        view = obs.wall_view()
+        assert current() is NULL_RANK_OBS
+        with view.span("outer"):
+            assert current() is view
+            with view.span("inner"):
+                assert current() is view
+            assert current() is view
+        assert current() is NULL_RANK_OBS
+
+    def test_ambient_metrics_reach_the_hub(self):
+        obs = Observability()
+        with obs.wall_view(rank=4).span("work"):
+            current().count("widgets_total", 2.0, kind="x")
+        assert obs.metrics.counter("widgets_total").value(
+            rank=4, labels={"kind": "x"}
+        ) == 2.0
+
+
+class TestViewsAndConfig:
+    def test_disabled_hub_hands_out_null_views(self):
+        obs = Observability(ObsConfig(enabled=False))
+        assert obs.wall_view() is NULL_RANK_OBS
+        obs.metrics.counter("x").inc()
+        assert obs.metrics.instruments() == []
+        assert not obs.tracer.enabled
+
+    def test_wall_view_spans_use_provided_clock(self):
+        ticks = iter([10.0, 12.5])
+        obs = Observability()
+        view = obs.wall_view(now=lambda: next(ticks))
+        with view.span("timed"):
+            pass
+        (root,) = obs.span_roots(0)
+        assert (root.t_start, root.t_end) == (10.0, 12.5)
+
+    def test_check_balanced_raises_on_open_span(self):
+        obs = Observability()
+        view = obs.wall_view()
+        cm = view.span("oops")
+        cm.__enter__()
+        with pytest.raises(ObservabilityError, match="oops"):
+            obs.check_balanced()
+        cm.__exit__(None, None, None)
+        obs.check_balanced()
+
+    def test_export_without_dir_raises(self):
+        with pytest.raises(ObservabilityError, match="out_dir"):
+            Observability().export()
+
+    def test_observed_run_closes_root(self):
+        with observed_run(label="exp") as obs:
+            current().count("steps_total")
+        (root,) = obs.span_roots(0)
+        assert root.name == "exp" and root.closed
+
+
+class TestTracerIntegration:
+    def test_sink_feeds_live_comm_metrics(self):
+        obs = Observability()
+        obs.tracer.record(
+            TraceRecord(rank=1, kind="send", t_start=0.0, t_end=1.0, nbytes=64)
+        )
+        obs.tracer.record(
+            TraceRecord(
+                rank=1, kind="collective", t_start=1.0, t_end=2.0,
+                label="allreduce",
+            )
+        )
+        m = obs.metrics
+        assert m.counter("simmpi_events_total").value(
+            rank=1, labels={"kind": "send"}
+        ) == 1.0
+        assert m.counter("simmpi_bytes_sent_total").value(rank=1) == 64.0
+        assert m.counter("simmpi_collectives_total").value(
+            rank=1, labels={"op": "allreduce"}
+        ) == 1.0
+
+    def test_snapshot_is_an_immutable_copy(self):
+        tracer = Tracer()
+        rec = TraceRecord(rank=0, kind="compute", t_start=0.0, t_end=1.0)
+        tracer.record(rec)
+        snap = tracer.snapshot()
+        tracer.record(rec)
+        assert len(snap) == 1 and len(tracer.snapshot()) == 2
+        assert isinstance(snap, tuple)
+
+    def test_disabled_tracer_drops_records_and_skips_sink(self):
+        seen = []
+        tracer = Tracer(enabled=False, sink=seen.append)
+        tracer.record(TraceRecord(rank=0, kind="send", t_start=0.0, t_end=1.0))
+        assert tracer.snapshot() == ()
+        assert seen == []

@@ -1,0 +1,149 @@
+"""Exporter outputs: Chrome trace schema, JSONL dumps, Prometheus text."""
+
+import json
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    metrics_rows,
+    prometheus_text,
+    write_chrome_trace,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+
+from .conftest import NUM_RANKS
+
+
+class TestChromeTrace:
+    """The distributed RD run must produce a schema-valid trace."""
+
+    def test_file_is_valid_trace_event_json(self, rd_run, tmp_path):
+        obs, _, _ = rd_run
+        path = tmp_path / "trace.json"
+        write_chrome_trace(obs, path)
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) > 0
+
+    def test_event_schema(self, rd_run):
+        obs, _, _ = rd_run
+        events = chrome_trace_events(obs)
+        assert {e["ph"] for e in events} <= {"X", "M", "s", "f"}
+        for e in events:
+            assert e["pid"] == 0
+            if e["ph"] == "X":
+                assert e["cat"] in ("span", "comm")
+                assert isinstance(e["name"], str)
+                assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+                assert 0 <= e["tid"] < NUM_RANKS
+
+    def test_one_lane_per_rank(self, rd_run):
+        obs, _, _ = rd_run
+        events = chrome_trace_events(obs)
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {f"rank {r}" for r in range(NUM_RANKS)}
+        slice_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert slice_tids == set(range(NUM_RANKS))
+
+    def test_flow_events_pair_across_ranks(self, rd_run):
+        obs, _, _ = rd_run
+        events = chrome_trace_events(obs)
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        assert starts and set(starts) == set(finishes)
+        for flow_id, s in starts.items():
+            f = finishes[flow_id]
+            assert s["cat"] == f["cat"] == "msg"
+            assert s["tid"] != f["tid"]  # messages cross rank lanes
+            assert s["ts"] <= f["ts"]
+
+    def test_nested_slices_stay_inside_parents(self, rd_run):
+        """Step slices must contain their phase child slices in time."""
+        obs, _, _ = rd_run
+        events = [e for e in chrome_trace_events(obs) if e["ph"] == "X"]
+        for rank in range(NUM_RANKS):
+            steps = [
+                e for e in events
+                if e["tid"] == rank and e["name"] == "step"
+            ]
+            phases = [
+                e for e in events
+                if e["tid"] == rank and e["name"] == "solve"
+            ]
+            assert steps and phases
+            for ph in phases:
+                assert any(
+                    st["ts"] <= ph["ts"]
+                    and ph["ts"] + ph["dur"] <= st["ts"] + st["dur"] + 1e-6
+                    for st in steps
+                )
+
+
+class TestJsonl:
+    def test_spans_jsonl_round_trips(self, rd_run, tmp_path):
+        obs, _, _ = rd_run
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(obs, path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(r["t_end"] is not None for r in rows)
+        ids = {r["span_id"] for r in rows}
+        for r in rows:
+            if r["parent_id"] is not None:
+                assert r["parent_id"] in ids
+        assert {r["rank"] for r in rows} == set(range(NUM_RANKS))
+
+    def test_metrics_jsonl_has_per_rank_and_merged(self, rd_run, tmp_path):
+        obs, _, _ = rd_run
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(obs, path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        merged = [r for r in rows if r.get("merged")]
+        per_rank = [r for r in rows if not r.get("merged")]
+        assert merged and per_rank
+        names = {r["name"] for r in rows}
+        assert "phase_seconds" in names
+        assert "cg_iterations_total" in names
+
+    def test_metrics_rows_match_registry(self, rd_run):
+        obs, _, _ = rd_run
+        rows = metrics_rows(obs.metrics)
+        steps = [r for r in rows if r["name"] == "rd_steps_total"]
+        assert sum(r["value"] for r in steps) == 6.0 * NUM_RANKS
+
+
+class TestPrometheus:
+    def test_exposition_format(self, rd_run):
+        obs, _, _ = rd_run
+        text = prometheus_text(obs.metrics)
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert any(line.startswith("# HELP") for line in lines)
+        assert any(line.startswith("# TYPE") for line in lines)
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses
+            assert name_part
+
+    def test_histogram_series_are_complete(self, rd_run):
+        obs, _, _ = rd_run
+        lines = prometheus_text(obs.metrics).splitlines()
+        buckets = [
+            line for line in lines
+            if line.startswith("phase_seconds_bucket") and 'le="+Inf"' in line
+        ]
+        assert buckets  # one +Inf bucket per (rank, phase) series
+        assert any(line.startswith("phase_seconds_sum") for line in lines)
+        assert any(line.startswith("phase_seconds_count") for line in lines)
+
+    def test_rank_is_a_label(self, rd_run):
+        obs, _, _ = rd_run
+        text = prometheus_text(obs.metrics)
+        for r in range(NUM_RANKS):
+            assert f'rank="{r}"' in text

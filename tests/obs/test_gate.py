@@ -1,0 +1,169 @@
+"""Bench gate: baseline loading, tolerance checks, exit codes."""
+
+import copy
+import io
+import json
+
+import pytest
+
+from repro.errors import BenchGateError
+from repro.obs import gate
+
+BASELINE = {
+    "benchmark": "kernels",
+    "smoke": False,
+    "rd_step_path": {
+        "mesh_shape": [8, 8, 8],
+        "num_steps": 10,
+        "preconditioner": "jacobi",
+        "dofs": 4913,
+        "seed_seconds": 0.08,
+        "incremental_seconds": 0.02,
+        "speedup": 4.0,
+    },
+    "dist_cg_rounds": {
+        "mesh_shape": [5, 5, 5],
+        "num_ranks": 4,
+        "classic_rounds": 15,
+        "fused_rounds": 6,
+        "rounds_ratio": 2.5,
+        "fused_rounds_per_iteration": 1.0,
+    },
+    "rd_phases": {
+        "mesh_shape": [6, 6, 6],
+        "num_ranks": 2,
+        "num_steps": 8,
+        "discard": 5,
+        "preconditioner": "block-jacobi",
+        "phase_means": {
+            "assembly": 0.004,
+            "preconditioner": 0.1,
+            "solve": 0.008,
+        },
+        "collective_counts": {"allreduce": 159, "bcast": 8},
+        "nodal_error": 6e-11,
+        "critical_path_bound": {"rank": 1, "phase": "preconditioner"},
+    },
+    "targets": {
+        "rd_step_speedup_min": 3.0,
+        "dist_cg_rounds_ratio_min": 1.5,
+        "fused_rounds_per_iteration": 1.0,
+    },
+}
+
+
+def fresh_like_baseline():
+    return copy.deepcopy(
+        {k: BASELINE[k] for k in ("rd_step_path", "dist_cg_rounds", "rd_phases")}
+    )
+
+
+class TestLoadBaseline:
+    def test_repo_baseline_is_valid(self):
+        baseline = gate.load_baseline()
+        assert baseline["benchmark"] == "kernels"
+        assert "rd_phases" in baseline
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BenchGateError, match="not found"):
+            gate.load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchGateError, match="not valid JSON"):
+            gate.load_baseline(path)
+
+    def test_missing_section_raises(self, tmp_path):
+        doc = {k: v for k, v in BASELINE.items() if k != "rd_phases"}
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(BenchGateError, match="rd_phases"):
+            gate.load_baseline(path)
+
+
+class TestCompare:
+    def test_identical_measurements_pass(self):
+        report = gate.compare(BASELINE, fresh_like_baseline())
+        assert report.passed
+        assert report.failures == ()
+
+    def test_injected_2x_phase_regression_fails(self):
+        """Acceptance: a 2x phase-time regression must fail the gate
+        (2.0 > the 1.6x time tolerance)."""
+        fresh = fresh_like_baseline()
+        fresh["rd_phases"]["phase_means"]["solve"] *= 2.0
+        report = gate.compare(BASELINE, fresh)
+        assert not report.passed
+        assert [c.name for c in report.failures] == [
+            "rd_phases.phase_means.solve"
+        ]
+
+    def test_extra_collective_rounds_fail(self):
+        fresh = fresh_like_baseline()
+        fresh["rd_phases"]["collective_counts"]["allreduce"] += 20
+        report = gate.compare(BASELINE, fresh)
+        assert not report.passed
+        assert any(
+            c.name == "rd_phases.collectives.allreduce" for c in report.failures
+        )
+
+    def test_new_collective_kind_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["rd_phases"]["collective_counts"]["alltoall"] = 50
+        report = gate.compare(BASELINE, fresh)
+        failing = {c.name for c in report.failures}
+        assert "rd_phases.new_collective_labels" in failing
+
+    def test_lost_speedup_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["rd_step_path"]["speedup"] = 1.2
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "rd_step_path.speedup" for c in report.failures
+        )
+
+    def test_within_tolerance_wiggle_passes(self):
+        fresh = fresh_like_baseline()
+        fresh["rd_phases"]["phase_means"]["solve"] *= 1.3  # < 1.6x
+        fresh["rd_step_path"]["incremental_seconds"] *= 1.5
+        assert gate.compare(BASELINE, fresh).passed
+
+    def test_missing_key_is_an_error_not_a_failure(self):
+        fresh = fresh_like_baseline()
+        del fresh["rd_phases"]["phase_means"]
+        with pytest.raises(BenchGateError, match="missing key"):
+            gate.compare(BASELINE, fresh)
+
+    def test_report_format_marks_failures(self):
+        fresh = fresh_like_baseline()
+        fresh["rd_phases"]["phase_means"]["solve"] *= 2.0
+        text = gate.compare(BASELINE, fresh).format()
+        assert "[FAIL] rd_phases.phase_means.solve" in text
+        assert "bench gate: FAIL" in text
+
+
+class TestRunGate:
+    @pytest.fixture()
+    def baseline_path(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps(BASELINE))
+        return path
+
+    def test_exit_codes(self, baseline_path, monkeypatch):
+        fresh = fresh_like_baseline()
+        monkeypatch.setattr(gate, "measure_fresh", lambda baseline: fresh)
+        out = io.StringIO()
+        assert gate.run_gate(baseline_path, stream=out) == 0
+        assert "bench gate: PASS" in out.getvalue()
+
+        fresh["rd_phases"]["phase_means"]["solve"] *= 2.0
+        assert gate.run_gate(baseline_path, stream=io.StringIO()) == 1
+
+        out = io.StringIO()
+        assert gate.run_gate(baseline_path, warn_only=True, stream=out) == 0
+        assert "downgraded to warnings" in out.getvalue()
+
+    def test_main_reports_gate_errors_as_exit_2(self, tmp_path):
+        missing = tmp_path / "absent.json"
+        assert gate.main(["--baseline", str(missing)]) == 2

@@ -1,0 +1,48 @@
+"""Experiment generators accept ObsConfig and attach exported artifacts."""
+
+import json
+
+from repro.harness.experiments import (
+    experiment_fig4_rd_weak_scaling,
+    experiment_fig6_rd_costs,
+)
+from repro.obs import Observability, ObsConfig
+
+
+class TestExperimentObs:
+    def test_default_is_unobserved(self):
+        table = experiment_fig4_rd_weak_scaling()
+        assert table.artifacts == ()
+
+    def test_obsconfig_exports_and_attaches_artifacts(self, tmp_path):
+        table = experiment_fig4_rd_weak_scaling(
+            obs=ObsConfig(out_dir=tmp_path)
+        )
+        assert len(table.artifacts) == 4
+        names = {p.rsplit("/", 1)[-1] for p in table.artifacts}
+        assert names == {
+            "fig4-trace.json", "fig4-spans.jsonl",
+            "fig4-metrics.jsonl", "fig4-metrics.prom",
+        }
+        doc = json.loads((tmp_path / "fig4-trace.json").read_text())
+        sweep_slices = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e.get("name") == "platform_sweep"
+        ]
+        assert len(sweep_slices) == 4  # one per platform
+
+    def test_shared_hub_accumulates_spans(self):
+        hub = Observability(ObsConfig())
+        experiment_fig4_rd_weak_scaling(obs=hub)
+        experiment_fig6_rd_costs(obs=hub)
+        names = [root.name for root in hub.span_roots(0)]
+        assert names == ["fig4", "fig6"]
+        assert hub.metrics.counter("platform_sweeps_total").total(
+            {"experiment": "fig6"}
+        ) == 5.0  # four platforms + the ec2 mix curve
+
+    def test_disabled_config_collects_nothing(self):
+        hub = Observability(ObsConfig(enabled=False))
+        table = experiment_fig4_rd_weak_scaling(obs=hub)
+        assert table.artifacts == ()
+        assert hub.all_roots() == {}
