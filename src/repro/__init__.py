@@ -13,7 +13,9 @@ subpackages remain importable directly for everything else:
 * ``repro.apps`` / ``repro.perfmodel`` / ``repro.harness`` — the two
   paper applications, the calibrated performance model, and one
   experiment generator per paper table/figure;
-* ``repro.core`` — the deployment/characterization framework.
+* ``repro.core`` — the deployment/characterization framework;
+* ``repro.broker`` — the assembly broker and the parallel sweep engine
+  behind :func:`repro.run`.
 """
 
 from repro.errors import ReproError
@@ -28,6 +30,18 @@ from repro.platforms.catalog import (
     lagrange,
     platform_by_name,
     puma,
+)
+from repro.harness.config import ResilienceParams, RunConfig
+from repro.broker import (
+    AssemblyPlan,
+    BrokerReport,
+    BrokerRequest,
+    RunRequest,
+    RunResult,
+    artifact_names,
+    broker_assemblies,
+    run,
+    section_7d_request,
 )
 
 __version__ = "1.0.0"
@@ -47,5 +61,16 @@ __all__ = [
     "ellipse",
     "lagrange",
     "ec2_cc28xlarge",
+    "RunConfig",
+    "ResilienceParams",
+    "RunRequest",
+    "RunResult",
+    "run",
+    "artifact_names",
+    "AssemblyPlan",
+    "BrokerReport",
+    "BrokerRequest",
+    "broker_assemblies",
+    "section_7d_request",
     "__version__",
 ]

@@ -2,7 +2,11 @@
 
 Usage::
 
-    python -m repro table1                 # Table I
+    python -m repro run --list            # registered artifacts
+    python -m repro run fig4 table2       # any artifacts, cached
+    python -m repro run --all --parallel 4
+    python -m repro broker --ranks 1000   # ranked placement plans
+    python -m repro table1                # Table I
     python -m repro porting               # §VI man-hours
     python -m repro fig4 | fig5           # weak-scaling figures
     python -m repro table2                # EC2 full vs mix
@@ -11,6 +15,10 @@ Usage::
     python -m repro script --platform ec2 # provisioning shell script
     python -m repro trace --out traces/  # observed RD run + exports
     python -m repro bench-gate           # fresh kernels vs baseline
+
+The single-artifact subcommands (``fig4`` … ``resilience``) are thin
+aliases for ``run <name> --no-cache``: every path goes through the
+artifact registry and the sweep engine.
 """
 
 from __future__ import annotations
@@ -18,81 +26,101 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.characterization import render_table1
-from repro.core.reporting import ascii_chart, ascii_table
+from repro.core.reporting import ascii_table
+
+
+def _cmd_run(args) -> int:
+    from repro.broker.api import RunRequest, run
+    from repro.broker.registry import REGISTRY, artifact_names
+    from repro.harness.config import RunConfig
+    from repro.obs.core import ObsConfig
+
+    if args.list:
+        width = max(len(name) for name in artifact_names())
+        for name, spec in REGISTRY.items():
+            print(f"{name:<{width}}  {spec.title}")
+        return 0
+    names = tuple(args.artifacts)
+    if args.all or not names:
+        names = ("all",)
+    obs = ObsConfig(out_dir=args.obs_out) if args.obs_out else None
+    config = RunConfig(seed=args.seed, obs=obs, cache_dir=args.cache_dir)
+    result = run(RunRequest(
+        artifacts=names,
+        config=config,
+        parallel=args.parallel,
+        use_cache=not args.no_cache,
+    ))
+    for name in result.names():
+        print(result.render(name))
+        print()
+    print(
+        f"[sweep] {result.stats.summary()} "
+        f"workers={result.report.workers} wall={result.report.wall_s:.2f}s"
+    )
+    for path in result.report.artifacts:
+        print(f"[sweep] exported {path}")
+    return 0
+
+
+def _cmd_broker(args) -> str:
+    from repro.broker.assembly import (
+        BrokerRequest,
+        broker_assemblies,
+        render_broker_report,
+    )
+
+    request = BrokerRequest(
+        app=args.app,
+        num_ranks=args.ranks,
+        num_iterations=args.iterations,
+        deadline_s=None if args.deadline_h is None else args.deadline_h * 3600.0,
+        budget_dollars=args.budget,
+        max_interruption_probability=args.max_risk,
+        spot_spike_probability=args.spike_probability,
+        seed=args.seed,
+    )
+    return render_broker_report(broker_assemblies(request), top=args.top)
+
+
+def _render_artifact(name: str) -> str:
+    """One artifact through the registry, uncached (the legacy behavior)."""
+    from repro.broker.api import RunRequest, run
+
+    result = run(RunRequest(artifacts=(name,), use_cache=False))
+    return result.render(name)
 
 
 def _cmd_table1(_args) -> str:
-    return render_table1()
+    return _render_artifact("table1")
 
 
 def _cmd_porting(_args) -> str:
-    from repro.harness import experiment_porting_effort
-
-    efforts = experiment_porting_effort()
-    lines = []
-    for name, data in efforts.items():
-        lines.append(f"=== {name} ({data['total_hours']:.1f} man-hours) ===")
-        lines.extend(f"  {a}" for a in data["actions"])
-    return "\n".join(lines)
-
-
-def _weak_scaling_text(table, value: str, title: str) -> str:
-    from repro.harness import weak_scaling_rows, weak_scaling_series
-
-    headers, rows = weak_scaling_rows(table, value)
-    fmt = "{:.4f}" if value == "cost" else "{:.4g}"
-    out = title + "\n\n" + ascii_table(headers, rows, fmt=fmt)
-    out += "\n" + ascii_chart(weak_scaling_series(table, value), title=f"{value} vs ranks")
-    return out
+    return _render_artifact("porting")
 
 
 def _cmd_fig4(_args) -> str:
-    from repro.harness import experiment_fig4_rd_weak_scaling
-
-    return _weak_scaling_text(
-        experiment_fig4_rd_weak_scaling(), "total",
-        "Figure 4 - RD weak scaling (s/iteration)",
-    )
+    return _render_artifact("fig4")
 
 
 def _cmd_fig5(_args) -> str:
-    from repro.harness import experiment_fig5_ns_weak_scaling
-
-    return _weak_scaling_text(
-        experiment_fig5_ns_weak_scaling(), "total",
-        "Figure 5 - NS weak scaling (s/iteration)",
-    )
+    return _render_artifact("fig5")
 
 
 def _cmd_table2(_args) -> str:
-    from repro.harness import experiment_table2_placement
-
-    rows = [
-        [r.mpi, r.nodes, r.full_time_s, r.full_real_cost, r.mix_time_s, r.mix_est_cost]
-        for r in experiment_table2_placement()
-    ]
-    return "Table II - EC2 full vs mix assemblies\n\n" + ascii_table(
-        ["# mpi", "#", "full time[s]", "real cost[$]", "mix time[s]", "est. cost[$]"],
-        rows,
-        fmt="{:.4f}",
-    )
+    return _render_artifact("table2")
 
 
 def _cmd_fig6(_args) -> str:
-    from repro.harness import experiment_fig6_rd_costs
-
-    return _weak_scaling_text(
-        experiment_fig6_rd_costs(), "cost", "Figure 6 - RD cost per iteration [$]"
-    )
+    return _render_artifact("fig6")
 
 
 def _cmd_fig7(_args) -> str:
-    from repro.harness import experiment_fig7_ns_costs
+    return _render_artifact("fig7")
 
-    return _weak_scaling_text(
-        experiment_fig7_ns_costs(), "cost", "Figure 7 - NS cost per iteration [$]"
-    )
+
+def _cmd_resilience(_args) -> str:
+    return _render_artifact("resilience")
 
 
 def _cmd_compare(args) -> str:
@@ -176,8 +204,8 @@ def _cmd_experiments(_args) -> str:
     lines.append("Porting effort [man-hours] (paper §VI is approximate):")
     efforts = experiment_porting_effort()
     rows = [
-        [name, PAPER_PORTING_HOURS[name], data["total_hours"]]
-        for name, data in efforts.items()
+        [name, PAPER_PORTING_HOURS[name], effort.total_hours]
+        for name, effort in efforts.items()
     ]
     lines.append(ascii_table(["platform", "paper ~", "measured"], rows))
 
@@ -284,10 +312,51 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate artifacts of the target-platform heterogeneity paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser(
+        "run", help="regenerate any paper artifacts via the sweep engine"
+    )
+    runp.add_argument("artifacts", nargs="*",
+                      help="artifact names (see --list); default: all")
+    runp.add_argument("--list", action="store_true",
+                      help="list registered artifacts and exit")
+    runp.add_argument("--all", action="store_true",
+                      help="regenerate every registered artifact")
+    runp.add_argument("--parallel", type=int, default=0, metavar="N",
+                      help="fan points out over N worker processes")
+    runp.add_argument("--no-cache", action="store_true",
+                      help="recompute every point, bypassing the result cache")
+    runp.add_argument("--cache-dir", default=None,
+                      help="result cache directory (default .repro_cache)")
+    runp.add_argument("--seed", type=int, default=7)
+    runp.add_argument("--obs-out", default=None, metavar="DIR",
+                      help="observe the sweep and export artifacts to DIR")
+    runp.set_defaults(func=_cmd_run)
+
+    brokerp = sub.add_parser(
+        "broker", help="rank candidate platform placements for one job"
+    )
+    brokerp.add_argument("--app", choices=("rd", "ns"), default="rd")
+    brokerp.add_argument("--ranks", type=int, default=64)
+    brokerp.add_argument("--iterations", type=int, default=100)
+    brokerp.add_argument("--deadline-h", type=float, default=None,
+                         help="time-to-solution deadline in hours")
+    brokerp.add_argument("--budget", type=float, default=None,
+                         help="run budget in dollars")
+    brokerp.add_argument("--max-risk", type=float, default=None,
+                         help="maximum acceptable interruption probability")
+    brokerp.add_argument("--spike-probability", type=float, default=0.06,
+                         help="per-spot-node hourly reclaim probability")
+    brokerp.add_argument("--top", type=int, default=None,
+                         help="show only the best N plans")
+    brokerp.add_argument("--seed", type=int, default=7)
+    brokerp.set_defaults(func=_cmd_broker)
+
     for name, fn in [
         ("table1", _cmd_table1), ("porting", _cmd_porting),
         ("fig4", _cmd_fig4), ("fig5", _cmd_fig5), ("table2", _cmd_table2),
-        ("fig6", _cmd_fig6), ("fig7", _cmd_fig7), ("validate", _cmd_validate),
+        ("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
+        ("resilience", _cmd_resilience), ("validate", _cmd_validate),
         ("experiments", _cmd_experiments),
     ]:
         p = sub.add_parser(name, help=fn.__doc__)

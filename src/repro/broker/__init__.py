@@ -1,0 +1,47 @@
+"""Platform broker and parallel sweep engine.
+
+Two halves of one question — *run what, where, how*:
+
+* the **assembly broker** (:mod:`repro.broker.assembly`) searches the
+  platform portfolio for cost/deadline/risk-ranked placements;
+* the **sweep engine** (:mod:`repro.broker.engine`) executes registered
+  paper artifacts as a cached, observable, optionally parallel point
+  sweep, behind :func:`repro.run`.
+"""
+
+from repro.broker.api import RunRequest, RunResult, run
+from repro.broker.assembly import (
+    SPOT_MIX,
+    AssemblyPlan,
+    BrokerReport,
+    BrokerRequest,
+    PlanPhase,
+    broker_assemblies,
+    render_broker_report,
+    section_7d_request,
+)
+from repro.broker.cache import CacheStats, SweepCache, code_fingerprint
+from repro.broker.engine import SweepReport, run_sweep
+from repro.broker.registry import ArtifactSpec, artifact_names, get_artifact
+
+__all__ = [
+    "ArtifactSpec",
+    "AssemblyPlan",
+    "BrokerReport",
+    "BrokerRequest",
+    "CacheStats",
+    "PlanPhase",
+    "RunRequest",
+    "RunResult",
+    "SPOT_MIX",
+    "SweepCache",
+    "SweepReport",
+    "artifact_names",
+    "broker_assemblies",
+    "code_fingerprint",
+    "get_artifact",
+    "render_broker_report",
+    "run",
+    "run_sweep",
+    "section_7d_request",
+]

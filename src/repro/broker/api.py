@@ -1,0 +1,98 @@
+"""``repro.run()`` — the one public entry point for paper artifacts.
+
+Everything the per-experiment functions do piecemeal (seeds, hubs,
+resilience knobs, serial loops) is a :class:`RunRequest` here: name the
+artifacts, pick a :class:`~repro.harness.config.RunConfig`, choose a
+parallelism level, and the sweep engine does the rest — cached,
+observed, and bit-identical whether it fans out or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.broker.cache import CacheStats
+from repro.broker.engine import SweepReport, run_sweep
+from repro.broker.registry import get_artifact, resolve_artifacts
+from repro.errors import ExperimentError
+from repro.harness.config import RunConfig
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """What to regenerate and how hard to try.
+
+    ``artifacts`` accepts registered names (``fig4`` … ``resilience``)
+    or the ``"all"`` alias.  ``parallel`` <= 1 runs in-process; higher
+    values fan points out across that many worker processes.
+    """
+
+    artifacts: tuple[str, ...] = ("all",)
+    config: RunConfig = field(default_factory=RunConfig)
+    parallel: int = 0
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.artifacts, str):
+            object.__setattr__(self, "artifacts", (self.artifacts,))
+        else:
+            object.__setattr__(self, "artifacts", tuple(self.artifacts))
+        if not self.artifacts:
+            raise ExperimentError("RunRequest needs at least one artifact")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """``repro.run``'s answer: artifacts plus execution accounting."""
+
+    request: RunRequest
+    report: SweepReport
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cache hit/miss accounting for the sweep."""
+        return self.report.stats
+
+    def artifact(self, name: str) -> object:
+        """One assembled artifact (a typed table/report object)."""
+        try:
+            return self.report.results[name]
+        except KeyError:
+            raise ExperimentError(
+                f"artifact {name!r} was not part of this run; "
+                f"ran: {list(self.report.results)}"
+            ) from None
+
+    def render(self, name: str) -> str:
+        """One artifact as the CLI's text rendering."""
+        return get_artifact(name).render(self.artifact(name))
+
+    def names(self) -> tuple[str, ...]:
+        """The artifacts this run produced, in execution order."""
+        return tuple(self.report.results)
+
+
+def run(request: RunRequest | str | None = None, **kwargs) -> RunResult:
+    """Regenerate paper artifacts through the sweep engine.
+
+    Accepts a full :class:`RunRequest`, a bare artifact name
+    (``repro.run("fig4")``), or keyword arguments forwarded to
+    :class:`RunRequest` (``repro.run(artifacts=("fig6",), parallel=4)``).
+    """
+    if request is None:
+        request = RunRequest(**kwargs)
+    elif isinstance(request, str):
+        request = RunRequest(artifacts=(request,), **kwargs)
+    elif kwargs:
+        raise ExperimentError(
+            "pass either a RunRequest or keyword arguments, not both"
+        )
+    # Validate names before any worker spins up.
+    resolve_artifacts(request.artifacts)
+    report = run_sweep(
+        request.artifacts,
+        config=request.config,
+        parallel=request.parallel,
+        use_cache=request.use_cache,
+    )
+    return RunResult(request=request, report=report)

@@ -1,0 +1,502 @@
+"""The assembly broker: where should this assembly run?
+
+The paper's central practical question — given platforms that differ in
+cost, scheduler, availability and interconnect, which one (or which
+*mix*) should host a run — answered by searching a portfolio of
+candidate placements and scoring each under the user's deadline, budget
+and risk constraints (the HPC-cloud brokering problem of Netto et al.,
+arXiv:1710.08731).
+
+Candidates come from :mod:`repro.platforms.catalog`: one per batch/
+on-demand platform, plus the paper's §VII.D **spot mix** — an EC2
+assembly filled from the spot market and topped up on demand, priced at
+the blended rate and inflated by checkpoint/restart overhead at Young's
+optimal interval (:mod:`repro.perfmodel.resilience`).  Each candidate
+becomes an :class:`AssemblyPlan` with a per-phase time/cost breakdown:
+
+====================  =====================================================
+provision             porting effort (one-off; dollars via the §VI rate)
+queue                 scheduler wait (availability model expectation)
+compute               PhaseModel iteration time x iteration count
+checkpoint+rework     spot only: Young-interval overhead + expected rework
+====================  =====================================================
+
+Plans are ranked by a weighted, best-normalized score over total cost,
+time-to-solution, and interruption risk; infeasible or
+constraint-violating plans sort last with the reason attached.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.cloud.instances import CC2_8XLARGE
+from repro.costs.analysis import DEVELOPER_HOURLY_RATE
+from repro.costs.model import PlatformCostModel
+from repro.errors import BrokerError
+from repro.harness.experiments import workload_by_name
+from repro.perfmodel.calibration import time_scale_for
+from repro.perfmodel.phases import PhaseModel
+from repro.perfmodel.resilience import CheckpointRestartModel
+from repro.platforms.catalog import all_platforms, ec2_cc28xlarge
+from repro.platforms.limits import effective_max_ranks
+from repro.platforms.provisioning import plan_provisioning
+from repro.platforms.schedulers import JobRequest, make_scheduler
+from repro.platforms.spec import PlatformSpec
+
+#: Name of the synthetic spot-mix candidate (the paper's §VII.D strategy).
+SPOT_MIX = "ec2-mix"
+
+#: Default expected spare cc2.8xlarge capacity in one AZ (the market
+#: model's mean): large spot requests only partially fill (§VII.B).
+DEFAULT_SPOT_POOL = 40.0
+
+
+@dataclass(frozen=True)
+class BrokerRequest:
+    """One brokering question: the job, the constraints, the priorities."""
+
+    app: str = "rd"
+    num_ranks: int = 64
+    num_iterations: int = 100
+    deadline_s: float | None = None
+    budget_dollars: float | None = None
+    max_interruption_probability: float | None = None
+    # Spot-market shape for the mix candidate.
+    spot_spike_probability: float = 0.06
+    spot_pool_mean: float = DEFAULT_SPOT_POOL
+    checkpoint_seconds: float = 30.0
+    restart_seconds: float = 120.0
+    # Scoring priorities (relative; normalized per attribute).
+    cost_weight: float = 1.0
+    time_weight: float = 0.25
+    risk_weight: float = 0.25
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1 or self.num_iterations < 1:
+            raise BrokerError("num_ranks and num_iterations must be >= 1")
+        if min(self.cost_weight, self.time_weight, self.risk_weight) < 0:
+            raise BrokerError("scoring weights must be non-negative")
+        if not 0.0 <= self.spot_spike_probability <= 1.0:
+            raise BrokerError("spot_spike_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PlanPhase:
+    """One line of a plan's breakdown."""
+
+    name: str
+    time_s: float
+    cost_dollars: float
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class AssemblyPlan:
+    """One ranked placement candidate with its full breakdown."""
+
+    name: str
+    platform: str
+    strategy: str  # "batch" | "on-demand" | "spot-mix"
+    num_ranks: int
+    num_iterations: int
+    nodes: int
+    spot_nodes: int
+    phases: tuple[PlanPhase, ...]
+    launch_command: str
+    feasible: bool
+    reason: str = ""
+    interruption_probability: float = 0.0
+    expected_reclaims: float = 0.0
+    checkpoint_interval_s: float | None = None
+    est_cost_all_spot: float | None = None  # Table II's 'est. cost' view
+    meets_deadline: bool = True
+    within_budget: bool = True
+    within_risk: bool = True
+    score: float = math.inf
+
+    @property
+    def time_to_solution_s(self) -> float:
+        """Wall seconds from submission to results (provisioning excluded)."""
+        return sum(p.time_s for p in self.phases if p.name != "provision")
+
+    @property
+    def cost_dollars(self) -> float:
+        """Total run dollars (provisioning effort dollars excluded)."""
+        return sum(p.cost_dollars for p in self.phases if p.name != "provision")
+
+    @property
+    def cost_per_iteration(self) -> float:
+        """Compute-phase dollars per solver iteration (Figures 6-7 units)."""
+        compute = sum(
+            p.cost_dollars for p in self.phases
+            if p.name in ("compute", "checkpoint+rework")
+        )
+        return compute / max(1, self.num_iterations)
+
+    @property
+    def acceptable(self) -> bool:
+        """Feasible and inside every stated constraint."""
+        return (
+            self.feasible
+            and self.meets_deadline
+            and self.within_budget
+            and self.within_risk
+        )
+
+    def phase(self, name: str) -> PlanPhase:
+        """Look one phase up by name."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise BrokerError(f"plan {self.name!r} has no phase {name!r}")
+
+    def summary(self) -> str:
+        """One line for the ranked table."""
+        if not self.feasible:
+            return f"{self.name}: infeasible - {self.reason}"
+        flags = []
+        if not self.meets_deadline:
+            flags.append("misses deadline")
+        if not self.within_budget:
+            flags.append("over budget")
+        if not self.within_risk:
+            flags.append("too risky")
+        note = f"  [{'; '.join(flags)}]" if flags else ""
+        return (
+            f"{self.name}: {self.nodes} nodes "
+            f"({self.spot_nodes} spot) | "
+            f"time {self.time_to_solution_s / 3600.0:.2f} h | "
+            f"cost ${self.cost_dollars:.2f} | "
+            f"P(interrupt) {self.interruption_probability:.2f}{note}"
+        )
+
+
+@dataclass(frozen=True)
+class BrokerReport:
+    """The broker's answer: plans ranked best-first."""
+
+    request: BrokerRequest
+    plans: tuple[AssemblyPlan, ...]
+
+    @property
+    def best(self) -> AssemblyPlan:
+        """The top-ranked acceptable plan."""
+        for plan in self.plans:
+            if plan.acceptable:
+                return plan
+        raise BrokerError(
+            "no assembly satisfies the request "
+            f"({self.request.num_ranks} ranks of {self.request.app!r})"
+        )
+
+    def plan(self, name: str) -> AssemblyPlan:
+        """Look a candidate up by name."""
+        for plan in self.plans:
+            if plan.name == name:
+                return plan
+        raise BrokerError(f"no candidate plan named {name!r}")
+
+
+def _infeasible(name: str, platform: PlatformSpec, strategy: str,
+                request: BrokerRequest, reason: str) -> AssemblyPlan:
+    return AssemblyPlan(
+        name=name,
+        platform=platform.name,
+        strategy=strategy,
+        num_ranks=request.num_ranks,
+        num_iterations=request.num_iterations,
+        nodes=0,
+        spot_nodes=0,
+        phases=(),
+        launch_command="",
+        feasible=False,
+        reason=reason,
+        meets_deadline=False,
+        within_budget=False,
+    )
+
+
+def _base_plan(
+    platform: PlatformSpec, request: BrokerRequest, name: str, strategy: str
+) -> AssemblyPlan | tuple[float, float, tuple[PlanPhase, ...], str, int]:
+    """Shared feasibility + provision/queue/compute phases.
+
+    Returns either an infeasible :class:`AssemblyPlan` or the raw pieces
+    ``(compute_s, queue_s, phases, launch_command, nodes)`` for the
+    caller to extend.
+    """
+    workload = workload_by_name(request.app)
+    limit = effective_max_ranks(platform)
+    if request.num_ranks > limit:
+        if request.num_ranks > platform.total_cores:
+            reason = (
+                f"{request.num_ranks} ranks exceed the machine's "
+                f"{platform.total_cores} cores"
+            )
+        else:
+            reason = (
+                f"{request.num_ranks} ranks exceed the observed execution "
+                f"ceiling of {limit} (paper §VII.A)"
+            )
+        return _infeasible(name, platform, strategy, request, reason)
+
+    nodes = platform.nodes_for_ranks(request.num_ranks)
+    model = PhaseModel(workload, platform, time_scale=time_scale_for(workload))
+    compute_s = model.predict(request.num_ranks).total * request.num_iterations
+
+    scheduler = make_scheduler(platform, seed=request.seed)
+    outcome = scheduler.submit(
+        JobRequest(num_ranks=request.num_ranks, walltime_s=compute_s * 1.5)
+    )
+    if not outcome.accepted:
+        return _infeasible(name, platform, strategy, request, outcome.reason)
+    # Expected (not sampled) wait keeps ranked plans reproducible; the
+    # scheduler still contributes validation and the launch command.
+    queue_s = platform.availability.expected_wait(
+        request.num_ranks, platform.total_cores
+    )
+
+    provisioning = plan_provisioning(platform)
+    phases = (
+        PlanPhase(
+            "provision", 0.0,
+            provisioning.total_hours * DEVELOPER_HOURLY_RATE,
+            f"one-off porting effort ({provisioning.total_hours:.1f} man-h), "
+            "excluded from deadline",
+        ),
+        PlanPhase("queue", queue_s, 0.0, f"availability model, {nodes} nodes"),
+    )
+    return compute_s, queue_s, phases, outcome.launch_command, nodes
+
+
+def _finish(plan: AssemblyPlan, request: BrokerRequest) -> AssemblyPlan:
+    """Apply the request's constraints to a feasible plan."""
+    return replace(
+        plan,
+        meets_deadline=(
+            request.deadline_s is None
+            or plan.time_to_solution_s <= request.deadline_s
+        ),
+        within_budget=(
+            request.budget_dollars is None
+            or plan.cost_dollars <= request.budget_dollars
+        ),
+        within_risk=(
+            request.max_interruption_probability is None
+            or plan.interruption_probability
+            <= request.max_interruption_probability
+        ),
+    )
+
+
+def _platform_plan(platform: PlatformSpec, request: BrokerRequest) -> AssemblyPlan:
+    """A pure single-platform candidate (batch queue or EC2 on demand)."""
+    strategy = "on-demand" if platform.on_demand else "batch"
+    base = _base_plan(platform, request, platform.name, strategy)
+    if isinstance(base, AssemblyPlan):
+        return base
+    compute_s, _queue_s, phases, launch, nodes = base
+    cost = PlatformCostModel.for_platform(platform).cost(
+        request.num_ranks, compute_s
+    )
+    phases = phases + (
+        PlanPhase(
+            "compute", compute_s, cost,
+            f"{request.num_iterations} iterations at the platform rate",
+        ),
+    )
+    return _finish(
+        AssemblyPlan(
+            name=platform.name,
+            platform=platform.name,
+            strategy=strategy,
+            num_ranks=request.num_ranks,
+            num_iterations=request.num_iterations,
+            nodes=nodes,
+            spot_nodes=0,
+            phases=phases,
+            launch_command=launch,
+            feasible=True,
+        ),
+        request,
+    )
+
+
+def _spot_mix_plan(request: BrokerRequest) -> AssemblyPlan:
+    """The §VII.D candidate: spot-filled EC2 assembly, on-demand top-up.
+
+    Spot fulfillment follows the market model's expectation (§VII.B:
+    full spot assemblies never materialized, so requests near the spare
+    pool fill partially); reclaim risk turns into checkpoint/restart
+    overhead at Young's optimal interval, and the blended node rate
+    prices spot and on-demand slots separately.  The Table II
+    'est. cost' view — the whole assembly priced all-spot — is kept on
+    the plan for comparison against the paper.
+    """
+    platform = ec2_cc28xlarge
+    base = _base_plan(platform, request, SPOT_MIX, "spot-mix")
+    if isinstance(base, AssemblyPlan):
+        return base
+    compute_s, _queue_s, phases, launch, nodes = base
+
+    spot_nodes = min(nodes, int(round(request.spot_pool_mean)))
+    ondemand_nodes = nodes - spot_nodes
+    failure_rate_per_hour = request.spot_spike_probability * spot_nodes
+
+    checkpoint_interval_s: float | None = None
+    overhead_s = 0.0
+    if spot_nodes and failure_rate_per_hour > 0 and request.checkpoint_seconds > 0:
+        model = CheckpointRestartModel(
+            checkpoint_seconds=request.checkpoint_seconds,
+            restart_seconds=request.restart_seconds,
+            failure_rate_per_hour=failure_rate_per_hour,
+        )
+        tau = min(model.optimal_interval_seconds(), max(compute_s, 1.0))
+        checkpoint_interval_s = tau
+        overhead_s = model.expected_wall_seconds(compute_s, tau) - compute_s
+
+    wall_s = compute_s + overhead_s
+    spot_rate = CC2_8XLARGE.core_hourly(spot=True)
+    ondemand_rate = platform.cost_per_core_hour
+    cost_model = PlatformCostModel.for_platform(platform)
+    spot_ranks = min(request.num_ranks, spot_nodes * platform.cores_per_node)
+    ondemand_ranks = request.num_ranks - spot_ranks
+    compute_cost = 0.0
+    if spot_ranks:
+        compute_cost += cost_model.with_rate(spot_rate).cost(spot_ranks, compute_s)
+    if ondemand_ranks:
+        compute_cost += cost_model.with_rate(ondemand_rate).cost(
+            ondemand_ranks, compute_s
+        )
+    overhead_cost = 0.0
+    if overhead_s:
+        blended = compute_cost / compute_s  # $/s for the whole assembly
+        overhead_cost = blended * overhead_s
+
+    run_hours = wall_s / 3600.0
+    interruption_probability = (
+        1.0 - math.exp(-failure_rate_per_hour * run_hours) if spot_nodes else 0.0
+    )
+    expected_reclaims = failure_rate_per_hour * run_hours
+
+    est_all_spot = cost_model.with_rate(spot_rate).cost(request.num_ranks, compute_s)
+
+    phases = phases + (
+        PlanPhase(
+            "compute", compute_s, compute_cost,
+            f"{spot_nodes} spot + {ondemand_nodes} on-demand nodes, blended rate",
+        ),
+        PlanPhase(
+            "checkpoint+rework", overhead_s, overhead_cost,
+            "Young-interval checkpoints + expected reclaim rework",
+        ),
+    )
+    return _finish(
+        AssemblyPlan(
+            name=SPOT_MIX,
+            platform=platform.name,
+            strategy="spot-mix",
+            num_ranks=request.num_ranks,
+            num_iterations=request.num_iterations,
+            nodes=nodes,
+            spot_nodes=spot_nodes,
+            phases=phases,
+            launch_command=launch,
+            feasible=True,
+            interruption_probability=interruption_probability,
+            expected_reclaims=expected_reclaims,
+            checkpoint_interval_s=checkpoint_interval_s,
+            est_cost_all_spot=est_all_spot,
+        ),
+        request,
+    )
+
+
+def _score(plans: list[AssemblyPlan], request: BrokerRequest) -> list[AssemblyPlan]:
+    """Weighted best-normalized score; acceptable plans first, then score."""
+    acceptable = [p for p in plans if p.acceptable]
+    if acceptable:
+        best_cost = max(min(p.cost_dollars for p in acceptable), 1e-9)
+        best_time = max(min(p.time_to_solution_s for p in acceptable), 1e-9)
+    scored: list[AssemblyPlan] = []
+    for plan in plans:
+        if not plan.feasible:
+            scored.append(plan)
+            continue
+        score = (
+            request.cost_weight * plan.cost_dollars / best_cost
+            + request.time_weight * plan.time_to_solution_s / best_time
+            + request.risk_weight * plan.interruption_probability
+        ) if acceptable else math.inf
+        scored.append(replace(plan, score=score))
+    return sorted(
+        scored,
+        key=lambda p: (not p.acceptable, not p.feasible, p.score, p.name),
+    )
+
+
+def broker_assemblies(request: BrokerRequest) -> BrokerReport:
+    """Search the platform portfolio and return ranked assembly plans."""
+    plans = [_platform_plan(p, request) for p in all_platforms()]
+    plans.append(_spot_mix_plan(request))
+    return BrokerReport(request=request, plans=tuple(_score(plans, request)))
+
+
+def section_7d_request(
+    num_ranks: int = 1000,
+    num_iterations: int = 100,
+    deadline_hours: float = 12.0,
+) -> BrokerRequest:
+    """The paper's §VII.D scenario as a brokering request.
+
+    RD at the largest assembly the authors instantiated: the on-premise
+    and grid machines cannot host it, so the choice is EC2 on demand
+    versus the spot/on-demand mix — which wins on cost at ~the spot
+    discount while meeting any reasonable deadline (Table II).
+    """
+    return BrokerRequest(
+        app="rd",
+        num_ranks=num_ranks,
+        num_iterations=num_iterations,
+        deadline_s=deadline_hours * 3600.0,
+    )
+
+
+def render_broker_report(report: BrokerReport, top: int | None = None) -> str:
+    """The ranked table plus the best plan's per-phase breakdown."""
+    lines = [
+        f"broker: {report.request.num_ranks} ranks of "
+        f"{report.request.app!r} x {report.request.num_iterations} iterations",
+    ]
+    if report.request.deadline_s is not None:
+        lines[-1] += f", deadline {report.request.deadline_s / 3600.0:.1f} h"
+    lines.append("")
+    shown = report.plans if top is None else report.plans[:top]
+    for i, plan in enumerate(shown, start=1):
+        lines.append(f"{i}. {plan.summary()}")
+    try:
+        best = report.best
+    except BrokerError as exc:
+        lines.append("")
+        lines.append(str(exc))
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(f"best: {best.name} ({best.strategy}) — phase breakdown")
+    for phase in best.phases:
+        lines.append(
+            f"  {phase.name:18s} {phase.time_s:12.1f} s  "
+            f"${phase.cost_dollars:10.2f}  {phase.note}"
+        )
+    if best.checkpoint_interval_s is not None:
+        lines.append(
+            f"  checkpoint interval (Young tau*): "
+            f"{best.checkpoint_interval_s:.0f} s"
+        )
+    if best.est_cost_all_spot is not None:
+        lines.append(
+            f"  est. all-spot cost (Table II view): ${best.est_cost_all_spot:.2f}"
+        )
+    return "\n".join(lines)

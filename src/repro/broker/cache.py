@@ -1,0 +1,135 @@
+"""Content-addressed result cache for the parallel sweep engine.
+
+Every sweep point's result is stored under a key derived from
+
+* the artifact name and point key (``fig6`` / ``ec2 mix``),
+* the value-relevant slice of the :class:`~repro.harness.config.RunConfig`
+  (:meth:`~repro.harness.config.RunConfig.cache_token`),
+* a **code fingerprint** — a digest over every ``repro`` source file —
+
+so a cache entry can never outlive the code or configuration that
+produced it: edit any module, or change a seed, and the key moves.
+This is the reproducible-workflows discipline (arXiv:2006.05016)
+applied to the paper's sweeps: a warm re-run replays artifacts from
+content-addressed storage instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import pickle
+from pathlib import Path
+
+from repro.errors import SweepCacheError
+
+#: Default cache directory (relative to the working directory, like
+#: ``.pytest_cache``); override via ``RunConfig.cache_dir``.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_PICKLE_PROTOCOL = 4
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the installed ``repro`` package's source tree.
+
+    Hashes every ``*.py`` file under the package root, path-stamped and
+    in sorted order, so any source edit anywhere in the library
+    invalidates all cached sweep results.  Computed once per process.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def point_key(
+    artifact: str, point: str, config_token: str, fingerprint: str | None = None
+) -> str:
+    """The content address of one sweep point."""
+    fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+    digest = hashlib.sha256()
+    for part in (artifact, point, config_token, fingerprint):
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class CacheStats:
+    """Hit/miss accounting for one sweep."""
+
+    def __init__(self, hits: int = 0, misses: int = 0):
+        self.hits = hits
+        self.misses = misses
+
+    @property
+    def points(self) -> int:
+        """Total points looked up."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when empty)."""
+        return self.hits / self.points if self.points else 0.0
+
+    def summary(self) -> str:
+        """The one-line form the CLI prints and CI parses."""
+        return (
+            f"points={self.points} hits={self.hits} misses={self.misses} "
+            f"hit_rate={100.0 * self.hit_rate:.1f}%"
+        )
+
+    def __repr__(self) -> str:
+        return f"CacheStats({self.summary()})"
+
+
+class SweepCache:
+    """Pickle-per-key store on disk; misses are signalled, not raised."""
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.dir = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, object]:
+        """``(hit, value)``; a corrupt entry counts as a miss and is dropped."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return False, None
+        try:
+            return True, pickle.loads(blob)
+        except Exception:
+            # A truncated write (crash mid-put) must not poison the sweep.
+            path.unlink(missing_ok=True)
+            return False, None
+
+    def put(self, key: str, value: object) -> None:
+        """Store one result; atomic via write-to-temp + rename."""
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(".tmp")
+            tmp.write_bytes(pickle.dumps(value, protocol=_PICKLE_PROTOCOL))
+            tmp.replace(self._path(key))
+        except OSError as exc:
+            raise SweepCacheError(
+                f"cannot write sweep cache entry under {self.dir}: {exc}"
+            ) from exc
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.dir.is_dir():
+            for path in self.dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,163 @@
+"""The parallel sweep engine: points out, artifacts back.
+
+Executes the registered paper artifacts as a flat sweep over their
+points, with three properties the serial generators never had:
+
+* **parallelism** — point evaluation fans out over a
+  ``ProcessPoolExecutor``; results are reassembled in definition order,
+  and per-point seeds derive deterministically from the master seed, so
+  a parallel sweep is bit-identical to a serial one;
+* **content-addressed caching** — each point result is stored under a
+  key of (artifact, point, config token, code fingerprint); a warm
+  re-run replays from disk (:mod:`repro.broker.cache`);
+* **telemetry propagation** — when the run is observed, each worker
+  process measures under its own hub and ships a picklable payload
+  back; the parent absorbs spans and metrics into the run's hub
+  (:meth:`~repro.obs.core.Observability.absorb_telemetry`), so one
+  Chrome trace shows the whole fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.broker.cache import CacheStats, SweepCache, code_fingerprint, point_key
+from repro.broker.registry import ArtifactSpec, get_artifact, resolve_artifacts
+from repro.harness.config import RunConfig
+from repro.obs.core import NULL_RANK_OBS, Observability, ObsConfig
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """One engine run: assembled artifacts plus execution accounting."""
+
+    results: dict[str, object]
+    stats: CacheStats
+    workers: int
+    wall_s: float
+    artifacts: tuple[str, ...] = ()  # observability export paths
+
+    def result(self, name: str) -> object:
+        """One artifact's assembled result."""
+        return self.results[name]
+
+
+def _worker_evaluate(
+    artifact_name: str, key: str, config: RunConfig, observed: bool
+) -> tuple[object, dict | None]:
+    """Evaluate one point in a worker process.
+
+    Runs under a private hub when the parent is observed; the hub's
+    telemetry payload rides back with the value.  Module-level so the
+    executor can pickle it by reference.
+    """
+    spec = get_artifact(artifact_name)
+    hub = Observability(ObsConfig(out_dir=None)) if observed else None
+    view = NULL_RANK_OBS if hub is None else hub.wall_view()
+    with view.span("sweep_point", artifact=artifact_name, point=key):
+        value = spec.evaluate(key, config, hub)
+    return value, None if hub is None else hub.telemetry_payload()
+
+
+def run_sweep(
+    artifacts,
+    config: RunConfig | None = None,
+    parallel: int = 0,
+    use_cache: bool = True,
+    hub: Observability | None = None,
+) -> SweepReport:
+    """Regenerate ``artifacts`` (names, or 'all') as one point sweep.
+
+    ``parallel`` <= 1 evaluates in-process; higher values bound the
+    worker-process pool.  ``hub`` overrides the hub the config would
+    create (so :func:`repro.run` can share one across phases).
+    """
+    config = config if config is not None else RunConfig()
+    specs = resolve_artifacts(artifacts)
+    hub = hub if hub is not None else config.hub()
+    view = NULL_RANK_OBS if hub is None else hub.wall_view()
+    observed = hub is not None and hub.config.enabled
+
+    cache = SweepCache(config.cache_dir) if use_cache else None
+    token = config.cache_token()
+    fingerprint = code_fingerprint() if use_cache else ""
+    stats = CacheStats()
+    t0 = time.perf_counter()
+
+    # One flat point list across all requested artifacts.
+    points: list[tuple[ArtifactSpec, str, str]] = []
+    for spec in specs:
+        for key in spec.points(config):
+            points.append(
+                (spec, key, point_key(spec.name, key, token, fingerprint))
+            )
+
+    values: dict[tuple[str, str], object] = {}
+    pending: list[tuple[ArtifactSpec, str, str]] = []
+    for spec, key, ckey in points:
+        if cache is not None:
+            hit, value = cache.get(ckey)
+            if hit:
+                stats.hits += 1
+                values[(spec.name, key)] = value
+                with view.span(
+                    "sweep_point", artifact=spec.name, point=key, cached=True
+                ):
+                    view.count("sweep_points_total", artifact=spec.name, cached="true")
+                continue
+        stats.misses += 1
+        pending.append((spec, key, ckey))
+
+    workers = max(1, int(parallel)) if parallel else 1
+    if workers > 1 and pending:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (spec, key, ckey,
+                 pool.submit(_worker_evaluate, spec.name, key, config, observed))
+                for spec, key, ckey in pending
+            ]
+            # Collect in submission order: assembly order (and therefore
+            # the artifact values) never depends on completion order.
+            for spec, key, ckey, future in futures:
+                value, telemetry = future.result()
+                if observed and telemetry is not None:
+                    # The worker's own sweep_point span rides in with the
+                    # payload; no wrapper span here or it would be counted
+                    # twice.
+                    hub.absorb_telemetry(telemetry)
+                    view.count("sweep_points_total", artifact=spec.name, cached="false")
+                values[(spec.name, key)] = value
+                if cache is not None:
+                    cache.put(ckey, value)
+    else:
+        for spec, key, ckey in pending:
+            with view.span("sweep_point", artifact=spec.name, point=key, cached=False):
+                value = spec.evaluate(key, config, hub)
+            view.count("sweep_points_total", artifact=spec.name, cached="false")
+            values[(spec.name, key)] = value
+            if cache is not None:
+                cache.put(ckey, value)
+
+    results = {
+        spec.name: spec.assemble(
+            {key: values[(spec.name, key)] for key in spec.points(config)}, config
+        )
+        for spec in specs
+    }
+    if hub is not None:
+        hub.metrics.counter("sweep_cache_hits_total").inc(float(stats.hits))
+        hub.metrics.counter("sweep_cache_misses_total").inc(float(stats.misses))
+
+    exported: tuple[str, ...] = ()
+    if observed and hub.config.resolved_dir() is not None:
+        exported = tuple(str(p) for p in hub.export(prefix=hub.config.prefix))
+
+    return SweepReport(
+        results=results,
+        stats=stats,
+        workers=workers,
+        wall_s=time.perf_counter() - t0,
+        artifacts=exported,
+    )

@@ -42,9 +42,13 @@ def resilience_characterization(checkpoint_dir=None, seed: int = 5) -> str:
     measurable.
     """
     from repro.core.reporting import render_resilience_table
+    from repro.harness.config import ResilienceParams, RunConfig
     from repro.harness.experiments import experiment_resilience
 
-    report = experiment_resilience(checkpoint_dir=checkpoint_dir, seed=seed)
+    report = experiment_resilience(
+        RunConfig(resilience=ResilienceParams(seed=seed)),
+        checkpoint_dir=checkpoint_dir,
+    )
     return (
         "mix assembly under spot reclaims "
         f"(spot ranks {list(report.spot_ranks)}):\n"
@@ -52,9 +56,14 @@ def resilience_characterization(checkpoint_dir=None, seed: int = 5) -> str:
     )
 
 
-def render_table1(width: int = 14) -> str:
-    """Render Table I as fixed-width text."""
-    rows = table1_rows()
+def render_table1(width: int = 14, rows: dict[str, dict[str, str]] | None = None) -> str:
+    """Render Table I as fixed-width text.
+
+    ``rows`` defaults to a freshly generated matrix; the artifact
+    registry passes a precomputed (possibly cache-served) one instead.
+    """
+    if rows is None:
+        rows = table1_rows()
     platforms = [p.name for p in all_platforms()]
     lines = []
     header = f"{'':<{width}}" + "".join(f"{name:<{width}}" for name in platforms)

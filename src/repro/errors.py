@@ -146,3 +146,11 @@ class ObservabilityError(ReproError):
 
 class BenchGateError(ObservabilityError):
     """The bench gate could not run (missing baseline, malformed record)."""
+
+
+class BrokerError(ReproError):
+    """Invalid brokering request or an unsatisfiable placement search."""
+
+
+class SweepCacheError(ReproError):
+    """Sweep-cache misuse (unwritable directory, corrupt entry)."""

@@ -7,7 +7,11 @@ shared record types and reductions.  The benchmark scripts under
 ``benchmarks/`` are thin wrappers that print these results.
 """
 
+from repro.harness.config import ResilienceParams, RunConfig
 from repro.harness.results import (
+    PortingEffort,
+    PortingEffortReport,
+    Table1Matrix,
     WeakScalingTable,
     weak_scaling_rows,
     weak_scaling_series,
@@ -20,10 +24,16 @@ from repro.harness.experiments import (
     experiment_table2_placement,
     experiment_fig6_rd_costs,
     experiment_fig7_ns_costs,
+    experiment_resilience,
     Table2Row,
 )
 
 __all__ = [
+    "RunConfig",
+    "ResilienceParams",
+    "Table1Matrix",
+    "PortingEffort",
+    "PortingEffortReport",
     "WeakScalingTable",
     "weak_scaling_rows",
     "weak_scaling_series",
@@ -34,5 +44,6 @@ __all__ = [
     "experiment_table2_placement",
     "experiment_fig6_rd_costs",
     "experiment_fig7_ns_costs",
+    "experiment_resilience",
     "Table2Row",
 ]

@@ -12,12 +12,25 @@ F6     Figure 6 — RD per-iteration costs (incl. the mix curve)
 F7     Figure 7 — NS per-iteration costs
 R      resilience: a mix assembly surviving spot reclaims
 ====== =======================================================
+
+Every generator takes a single :class:`~repro.harness.config.RunConfig`
+(the unified :func:`repro.run` configuration).  The pre-redesign
+per-function keywords (``obs=``, ``seed=``, ``checkpoint_dir=``, ...)
+still work but emit a :class:`DeprecationWarning`; see ``docs/api.md``.
+
+The artifact bodies are factored into *point* functions
+(:func:`weak_scaling_column`, :func:`cost_column`, :func:`table2_row`,
+:func:`resilience_report`) so the parallel sweep engine
+(:mod:`repro.broker.engine`) evaluates exactly the same code per point
+as the serial generators — which is what makes serial and parallel
+sweeps bit-identical.
 """
 
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -26,34 +39,81 @@ from repro.cloud.ec2 import EC2Service
 from repro.cloud.instances import CC2_8XLARGE
 from repro.core.characterization import characterization_matrix, platform_gaps
 from repro.costs.model import cost_per_iteration
-from repro.harness.results import WeakScalingTable
+from repro.errors import ExperimentError
+from repro.harness.config import RunConfig, ResilienceParams
+from repro.harness.results import (
+    PortingEffort,
+    PortingEffortReport,
+    Table1Matrix,
+    WeakScalingTable,
+)
 from repro.network.model import NetworkModel
 from repro.network.topology import ClusterTopology
 from repro.obs.core import NULL_RANK_OBS, Observability, ObsConfig
 from repro.perfmodel.calibration import time_scale_for
 from repro.perfmodel.phases import PhaseModel
 from repro.perfmodel.weak_scaling import weak_scaling_sweep
-from repro.platforms.catalog import all_platforms, ec2_cc28xlarge
+from repro.platforms.catalog import all_platforms, ec2_cc28xlarge, platform_by_name
 from repro.platforms.provisioning import plan_provisioning
 
 # The spot per-core rate of §VII.D: $0.54 / 16 cores.
 SPOT_CORE_HOUR = CC2_8XLARGE.core_hourly(spot=True)
 
+#: The extra column of Figures 6-7: EC2 iteration times at the spot rate.
+MIX_COLUMN = "ec2 mix"
+
+_WORKLOADS = {RD_WORKLOAD.name: RD_WORKLOAD, NS_WORKLOAD.name: NS_WORKLOAD}
+
+# Sentinel distinguishing "keyword not passed" from an explicit None.
+_UNSET = object()
+
 
 # ---------------------------------------------------------------------------
-# Optional observability plumbing.  Every experiment generator accepts
-# ``obs`` — an ObsConfig (a fresh hub is created), an Observability hub
-# (shared across experiments), or None (zero overhead).
+# Config normalisation and the deprecated keyword paths.
 # ---------------------------------------------------------------------------
 
 
-def _obs_hub(obs) -> Observability | None:
-    """Normalise the ``obs`` argument to a hub (or None)."""
-    if obs is None:
-        return None
-    if isinstance(obs, ObsConfig):
-        return Observability(obs)
-    return obs
+def _warn_deprecated(fn_name: str, keyword: str) -> None:
+    warnings.warn(
+        f"{fn_name}({keyword}=...) is deprecated; pass a "
+        f"repro.RunConfig instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _coerce_config(
+    fn_name: str,
+    config: RunConfig | None,
+    obs=_UNSET,
+    seed=_UNSET,
+) -> tuple[RunConfig, "Observability | None"]:
+    """Normalise (config, legacy keywords) to ``(RunConfig, hub)``.
+
+    ``obs`` historically accepted an :class:`ObsConfig` *or* a shared
+    :class:`Observability` hub; a hub cannot live inside the frozen
+    config, so it is returned separately and takes precedence.
+    """
+    if config is not None and (obs is not _UNSET or seed is not _UNSET):
+        raise ExperimentError(
+            f"{fn_name}: pass either config= or the deprecated keywords, not both"
+        )
+    config = config if config is not None else RunConfig()
+    hub: Observability | None = None
+    if obs is not _UNSET:
+        _warn_deprecated(fn_name, "obs")
+        if isinstance(obs, Observability):
+            hub = obs
+        elif isinstance(obs, ObsConfig):
+            config = replace(config, obs=obs)
+        elif obs is not None:
+            raise ExperimentError(f"{fn_name}: obs must be ObsConfig/Observability/None")
+    if seed is not _UNSET:
+        _warn_deprecated(fn_name, "seed")
+        config = config.with_seed(seed)
+    if hub is None:
+        hub = config.hub()
+    return config, hub
 
 
 def _obs_view(hub):
@@ -70,29 +130,51 @@ def _export_artifacts(hub, prefix: str) -> tuple[str, ...]:
     return tuple(str(p) for p in hub.export(prefix=prefix))
 
 
+def workload_by_name(name: str):
+    """Look up a workload by its model name (or the 'rd'/'ns' shorthand)."""
+    aliases = {"rd": RD_WORKLOAD, "ns": NS_WORKLOAD}
+    key = name.lower()
+    if key in aliases:
+        return aliases[key]
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown workload {name!r}; known: {sorted(_WORKLOADS) + ['rd', 'ns']}"
+        ) from None
+
+
 # ---------------------------------------------------------------------------
 # T1 + §VI
 # ---------------------------------------------------------------------------
 
 
-def experiment_table1() -> dict[str, dict[str, str]]:
-    """Table I: attribute -> platform -> cell text."""
-    return characterization_matrix()
+def experiment_table1(config: RunConfig | None = None) -> Table1Matrix:
+    """Table I as a typed matrix: attribute -> platform -> cell text."""
+    del config  # Table I is pure platform metadata.
+    return Table1Matrix(rows=characterization_matrix())
 
 
-def experiment_porting_effort() -> dict[str, dict]:
-    """§VI: per platform, the provisioning plan summary."""
-    out = {}
-    for platform in all_platforms():
-        plan = plan_provisioning(platform)
-        gaps = platform_gaps([platform])[platform.name]
-        out[platform.name] = {
-            "total_hours": plan.total_hours,
-            "by_method": gaps["by_method"],
-            "missing_packages": gaps["missing"],
-            "actions": [str(a) for a in plan.actions],
-        }
-    return out
+def porting_effort_for(platform_name: str) -> PortingEffort:
+    """§VI for one platform: the provisioning-plan summary (one sweep point)."""
+    platform = platform_by_name(platform_name)
+    plan = plan_provisioning(platform)
+    gaps = platform_gaps([platform])[platform.name]
+    return PortingEffort(
+        platform=platform.name,
+        total_hours=plan.total_hours,
+        by_method={k: tuple(v) for k, v in gaps["by_method"].items()},
+        missing_packages=tuple(gaps["missing"]),
+        actions=tuple(str(a) for a in plan.actions),
+    )
+
+
+def experiment_porting_effort(config: RunConfig | None = None) -> PortingEffortReport:
+    """§VI: per platform, the typed provisioning plan summary."""
+    del config
+    return PortingEffortReport(
+        entries={p.name: porting_effort_for(p.name) for p in all_platforms()}
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -100,14 +182,21 @@ def experiment_porting_effort() -> dict[str, dict]:
 # ---------------------------------------------------------------------------
 
 
-def _weak_scaling_table(workload, obs=None, label="weak_scaling") -> WeakScalingTable:
-    hub = _obs_hub(obs)
+def weak_scaling_column(workload_name: str, platform_name: str):
+    """One platform's weak-scaling column (one sweep point of F4/F5)."""
+    workload = workload_by_name(workload_name)
+    return weak_scaling_sweep(workload, platform_by_name(platform_name))
+
+
+def _weak_scaling_table(workload, hub, label="weak_scaling") -> WeakScalingTable:
     view = _obs_view(hub)
     columns = {}
     with view.span(label, workload=workload.name):
         for platform in all_platforms():
             with view.span("platform_sweep", platform=platform.name):
-                columns[platform.name] = weak_scaling_sweep(workload, platform)
+                columns[platform.name] = weak_scaling_column(
+                    workload.name, platform.name
+                )
             view.count("platform_sweeps_total", experiment=label)
     return WeakScalingTable(
         workload=workload.name,
@@ -116,14 +205,20 @@ def _weak_scaling_table(workload, obs=None, label="weak_scaling") -> WeakScaling
     )
 
 
-def experiment_fig4_rd_weak_scaling(obs=None) -> WeakScalingTable:
+def experiment_fig4_rd_weak_scaling(
+    config: RunConfig | None = None, *, obs=_UNSET
+) -> WeakScalingTable:
     """Figure 4: RD weak scaling (20^3 elements per process)."""
-    return _weak_scaling_table(RD_WORKLOAD, obs=obs, label="fig4")
+    _config, hub = _coerce_config("experiment_fig4_rd_weak_scaling", config, obs=obs)
+    return _weak_scaling_table(RD_WORKLOAD, hub, label="fig4")
 
 
-def experiment_fig5_ns_weak_scaling(obs=None) -> WeakScalingTable:
+def experiment_fig5_ns_weak_scaling(
+    config: RunConfig | None = None, *, obs=_UNSET
+) -> WeakScalingTable:
     """Figure 5: NS weak scaling."""
-    return _weak_scaling_table(NS_WORKLOAD, obs=obs, label="fig5")
+    _config, hub = _coerce_config("experiment_fig5_ns_weak_scaling", config, obs=obs)
+    return _weak_scaling_table(NS_WORKLOAD, hub, label="fig5")
 
 
 # ---------------------------------------------------------------------------
@@ -166,48 +261,60 @@ def _mix_topology(num_nodes: int, seed: int) -> ClusterTopology:
     return ClusterTopology(num_nodes, ec2_cc28xlarge.cores_per_node, network)
 
 
-def experiment_table2_placement(seed: int = 7, obs=None) -> list[Table2Row]:
+def table2_row(num_ranks: int, seed: int) -> Table2Row:
+    """One Table II row (one sweep point), deterministic in ``(p, seed)``.
+
+    The row draws its measurement jitter from a generator seeded by
+    ``(seed, p)`` — *not* from a shared sequential stream — so rows can
+    be computed in any order, or in parallel worker processes, and still
+    reproduce the serial table bit for bit.
+    """
+    p = num_ranks
+    nodes = ec2_cc28xlarge.nodes_for_ranks(p)
+    scale = time_scale_for(RD_WORKLOAD)
+    rng = np.random.default_rng((seed, p))
+
+    full_model = PhaseModel(RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale)
+    full_time = full_model.predict(p).total
+
+    mix_model = PhaseModel(
+        RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale,
+        topology=_mix_topology(nodes, seed=seed + p),
+    )
+    mix_time = mix_model.predict(p).total * float(rng.normal(1.0, 0.03))
+
+    return Table2Row(
+        mpi=p,
+        nodes=nodes,
+        full_time_s=full_time,
+        full_real_cost=cost_per_iteration(ec2_cc28xlarge, p, full_time),
+        mix_time_s=mix_time,
+        mix_est_cost=cost_per_iteration(
+            ec2_cc28xlarge, p, mix_time, core_hour_rate=SPOT_CORE_HOUR
+        ),
+    )
+
+
+def experiment_table2_placement(
+    config: RunConfig | None = None, *, seed=_UNSET, obs=_UNSET
+) -> list[Table2Row]:
     """Table II: full-price single-group vs spot-mix assemblies.
 
     Times come from the phase model on the respective topologies (plus a
-    small seeded measurement jitter, since the paper's mix is sometimes
-    faster and sometimes slower than full); costs follow §VII.B —
-    *real* node-hours at $2.40 for the full assembly, the *estimated*
-    all-spot price for the mix.
+    small per-row seeded measurement jitter, since the paper's mix is
+    sometimes faster and sometimes slower than full); costs follow
+    §VII.B — *real* node-hours at $2.40 for the full assembly, the
+    *estimated* all-spot price for the mix.
     """
-    rng = np.random.default_rng(seed)
-    rows = []
-    scale = time_scale_for(RD_WORKLOAD)
-    hub = _obs_hub(obs)
+    config, hub = _coerce_config(
+        "experiment_table2_placement", config, obs=obs, seed=seed
+    )
     view = _obs_view(hub)
-    with view.span("table2", seed=seed):
+    rows = []
+    with view.span("table2", seed=config.seed):
         for p in paper_rank_series(1000):
-            nodes = ec2_cc28xlarge.nodes_for_ranks(p)
-
-            with view.span("table2_row", ranks=p, nodes=nodes):
-                full_model = PhaseModel(
-                    RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale
-                )
-                full_time = full_model.predict(p).total
-
-                mix_model = PhaseModel(
-                    RD_WORKLOAD, ec2_cc28xlarge, time_scale=scale,
-                    topology=_mix_topology(nodes, seed=seed + p),
-                )
-                mix_time = mix_model.predict(p).total * float(rng.normal(1.0, 0.03))
-
-            rows.append(
-                Table2Row(
-                    mpi=p,
-                    nodes=nodes,
-                    full_time_s=full_time,
-                    full_real_cost=cost_per_iteration(ec2_cc28xlarge, p, full_time),
-                    mix_time_s=mix_time,
-                    mix_est_cost=cost_per_iteration(
-                        ec2_cc28xlarge, p, mix_time, core_hour_rate=SPOT_CORE_HOUR
-                    ),
-                )
-            )
+            with view.span("table2_row", ranks=p):
+                rows.append(table2_row(p, config.seed))
     _export_artifacts(hub, "table2")
     return rows
 
@@ -217,26 +324,30 @@ def experiment_table2_placement(seed: int = 7, obs=None) -> list[Table2Row]:
 # ---------------------------------------------------------------------------
 
 
-def _cost_table(workload, obs=None, label="costs") -> WeakScalingTable:
-    """Per-iteration costs for the four platforms plus the 'ec2 mix' curve.
+def cost_column(workload_name: str, column: str):
+    """One column of F6/F7 (one sweep point): a platform, or the mix curve.
 
-    The mix curve uses the same iteration times as ec2 (Table II showed
+    The mix column uses the same iteration times as ec2 (Table II showed
     no significant performance difference) at the estimated all-spot
     rate — the paper's "cost-aware strategy for Amazon's resources".
     """
-    hub = _obs_hub(obs)
+    workload = workload_by_name(workload_name)
+    if column == MIX_COLUMN:
+        return weak_scaling_sweep(
+            workload, ec2_cc28xlarge, core_hour_rate=SPOT_CORE_HOUR
+        )
+    return weak_scaling_sweep(workload, platform_by_name(column))
+
+
+def _cost_table(workload, hub, label="costs") -> WeakScalingTable:
+    """Per-iteration costs for the four platforms plus the 'ec2 mix' curve."""
     view = _obs_view(hub)
     columns = {}
     with view.span(label, workload=workload.name):
-        for platform in all_platforms():
-            with view.span("platform_sweep", platform=platform.name):
-                columns[platform.name] = weak_scaling_sweep(workload, platform)
+        for name in [p.name for p in all_platforms()] + [MIX_COLUMN]:
+            with view.span("platform_sweep", platform=name):
+                columns[name] = cost_column(workload.name, name)
             view.count("platform_sweeps_total", experiment=label)
-        with view.span("platform_sweep", platform="ec2 mix"):
-            columns["ec2 mix"] = weak_scaling_sweep(
-                workload, ec2_cc28xlarge, core_hour_rate=SPOT_CORE_HOUR
-            )
-        view.count("platform_sweeps_total", experiment=label)
     return WeakScalingTable(
         workload=workload.name,
         columns=columns,
@@ -244,14 +355,20 @@ def _cost_table(workload, obs=None, label="costs") -> WeakScalingTable:
     )
 
 
-def experiment_fig6_rd_costs(obs=None) -> WeakScalingTable:
+def experiment_fig6_rd_costs(
+    config: RunConfig | None = None, *, obs=_UNSET
+) -> WeakScalingTable:
     """Figure 6: RD per-iteration cost curves."""
-    return _cost_table(RD_WORKLOAD, obs=obs, label="fig6")
+    _config, hub = _coerce_config("experiment_fig6_rd_costs", config, obs=obs)
+    return _cost_table(RD_WORKLOAD, hub, label="fig6")
 
 
-def experiment_fig7_ns_costs(obs=None) -> WeakScalingTable:
+def experiment_fig7_ns_costs(
+    config: RunConfig | None = None, *, obs=_UNSET
+) -> WeakScalingTable:
     """Figure 7: NS per-iteration cost curves."""
-    return _cost_table(NS_WORKLOAD, obs=obs, label="fig7")
+    _config, hub = _coerce_config("experiment_fig7_ns_costs", config, obs=obs)
+    return _cost_table(NS_WORKLOAD, hub, label="fig7")
 
 
 # ---------------------------------------------------------------------------
@@ -287,18 +404,10 @@ class ResilienceReport:
     artifacts: tuple[str, ...] = ()
 
 
-def experiment_resilience(
-    checkpoint_dir=None,
-    num_ranks: int = 2,
-    num_steps: int = 8,
-    seed: int = 5,
-    spike_probability: float = 0.5,
-    step_hours: float = 1.0,
-    checkpoint_seconds: float = 30.0,
-    restart_seconds: float = 120.0,
-    obs=None,
+def resilience_report(
+    params: ResilienceParams, hub: Observability | None = None
 ) -> ResilienceReport:
-    """A mix assembly on a volatile spot market, run to completion.
+    """The resilience artifact body (one sweep point).
 
     The defaults model the §VII.B nightmare scenario: a market spiking
     every other hour, a mostly-spot assembly, one time step per billing
@@ -320,26 +429,27 @@ def experiment_resilience(
     )
     from repro.resilience import FaultPlan, ResilientRunner
 
+    seed = params.seed
     market = SpotMarket(
-        CC2_8XLARGE, spike_probability=spike_probability, seed=seed
+        CC2_8XLARGE, spike_probability=params.spike_probability, seed=seed
     )
     service = EC2Service(spot_market=market, seed=seed)
-    cluster = service.assemble_mix(num_ranks, seed=seed)
+    cluster = service.assemble_mix(params.num_ranks, seed=seed)
     spot_ranks = tuple(
         i for i, inst in enumerate(cluster.instances) if inst.pricing == "spot"
     )
 
     plan = FaultPlan.from_spot_market(
-        market, num_steps, step_hours, list(spot_ranks), seed=seed
+        market, params.num_steps, params.step_hours, list(spot_ranks), seed=seed
     )
-    problem = RDProblem(mesh_shape=(4, 4, 4), num_steps=num_steps)
+    problem = RDProblem(mesh_shape=(4, 4, 4), num_steps=params.num_steps)
+    checkpoint_dir = params.checkpoint_dir
     if checkpoint_dir is None:
         tmp = tempfile.TemporaryDirectory()
         checkpoint_dir = tmp.name
-    hub = _obs_hub(obs)
     runner = ResilientRunner(
         problem,
-        num_ranks,
+        params.num_ranks,
         plan=plan,
         checkpoint_every=2,
         checkpoint_dir=checkpoint_dir,
@@ -348,25 +458,26 @@ def experiment_resilience(
     )
     result = runner.run()
 
-    run_seconds = num_steps * step_hours * 3600.0
+    run_seconds = params.num_steps * params.step_hours * 3600.0
     outcome = cluster.run_with_interruptions(
-        run_seconds, market, seed=seed, checkpoint_interval_s=step_hours * 3600.0
+        run_seconds, market, seed=seed,
+        checkpoint_interval_s=params.step_hours * 3600.0,
     )
     cluster.terminate()
     on_demand_cost = (
-        num_ranks * CC2_8XLARGE.on_demand_hourly * run_seconds / 3600.0
+        params.num_ranks * CC2_8XLARGE.on_demand_hourly * run_seconds / 3600.0
     )
 
     model = CheckpointRestartModel(
-        checkpoint_seconds=checkpoint_seconds,
-        restart_seconds=restart_seconds,
+        checkpoint_seconds=params.checkpoint_seconds,
+        restart_seconds=params.restart_seconds,
         failure_rate_per_hour=failure_rate_from_market(market, len(spot_ranks)),
     )
-    interval_s = step_hours * 3600.0
+    interval_s = params.step_hours * 3600.0
 
     return ResilienceReport(
-        num_ranks=num_ranks,
-        num_steps=num_steps,
+        num_ranks=params.num_ranks,
+        num_steps=params.num_steps,
         spot_ranks=spot_ranks,
         restarts=result.stats.restarts,
         lost_steps=result.stats.lost_steps,
@@ -384,3 +495,48 @@ def experiment_resilience(
         optimal_interval_s=model.optimal_interval_seconds(),
         artifacts=_export_artifacts(hub, "resilience"),
     )
+
+
+def experiment_resilience(
+    config: RunConfig | None = None,
+    checkpoint_dir=_UNSET,
+    num_ranks=_UNSET,
+    num_steps=_UNSET,
+    seed=_UNSET,
+    spike_probability=_UNSET,
+    step_hours=_UNSET,
+    checkpoint_seconds=_UNSET,
+    restart_seconds=_UNSET,
+    obs=_UNSET,
+) -> ResilienceReport:
+    """A mix assembly on a volatile spot market, run to completion.
+
+    Parameters live in ``config.resilience`` (a
+    :class:`~repro.harness.config.ResilienceParams`); every individual
+    keyword is deprecated.  ``checkpoint_dir`` stays un-deprecated as a
+    convenience because scratch space is not an experiment input.
+    """
+    legacy = {
+        "num_ranks": num_ranks,
+        "num_steps": num_steps,
+        "seed": seed,
+        "spike_probability": spike_probability,
+        "step_hours": step_hours,
+        "checkpoint_seconds": checkpoint_seconds,
+        "restart_seconds": restart_seconds,
+    }
+    overrides = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if overrides and config is not None:
+        raise ExperimentError(
+            "experiment_resilience: pass either config= or the deprecated "
+            "keywords, not both"
+        )
+    for key in overrides:
+        _warn_deprecated("experiment_resilience", key)
+    config, hub = _coerce_config("experiment_resilience", config, obs=obs)
+    params = config.resilience
+    if overrides:
+        params = replace(params, **overrides)
+    if checkpoint_dir is not _UNSET and checkpoint_dir is not None:
+        params = replace(params, checkpoint_dir=str(checkpoint_dir))
+    return resilience_report(params, hub)

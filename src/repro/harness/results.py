@@ -2,10 +2,129 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
 from repro.perfmodel.weak_scaling import WeakScalingPoint
+
+
+@dataclass(frozen=True)
+class Table1Matrix:
+    """Table I as a typed result: attribute -> platform -> cell text.
+
+    Replaces the bare ``dict[str, dict[str, str]]`` return of
+    ``experiment_table1``.  Mapping-style access (``matrix[attr][name]``,
+    ``.items()``) and :meth:`as_dict` keep pre-redesign renderers and
+    benchmarks working unchanged.
+    """
+
+    rows: dict[str, dict[str, str]]
+
+    def attributes(self) -> list[str]:
+        """Attribute names (Table I's row labels) in table order."""
+        return list(self.rows)
+
+    def platforms(self) -> list[str]:
+        """Platform names (Table I's columns) in the paper's order."""
+        first = next(iter(self.rows.values()))
+        return list(first)
+
+    def cell(self, attribute: str, platform: str) -> str:
+        """One cell's text; raises :class:`ExperimentError` when absent."""
+        try:
+            return self.rows[attribute][platform]
+        except KeyError:
+            raise ExperimentError(
+                f"Table I has no cell ({attribute!r}, {platform!r})"
+            ) from None
+
+    def as_dict(self) -> dict[str, dict[str, str]]:
+        """The historical ``dict[str, dict[str, str]]`` shape."""
+        return {attr: dict(cells) for attr, cells in self.rows.items()}
+
+    # -- mapping shims (legacy renderers index the result directly) -------
+
+    def __getitem__(self, attribute: str) -> dict[str, str]:
+        return self.rows[attribute]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def items(self):
+        """(attribute, cells) pairs, dict-style."""
+        return self.rows.items()
+
+
+@dataclass(frozen=True)
+class PortingEffort:
+    """One platform's §VI porting story: hours, gaps, and the actions."""
+
+    platform: str
+    total_hours: float
+    by_method: dict[str, tuple[str, ...]]
+    missing_packages: tuple[str, ...]
+    actions: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        """The historical per-platform dict shape."""
+        return {
+            "total_hours": self.total_hours,
+            "by_method": {k: list(v) for k, v in self.by_method.items()},
+            "missing_packages": list(self.missing_packages),
+            "actions": list(self.actions),
+        }
+
+    # -- mapping shim ------------------------------------------------------
+
+    def __getitem__(self, key: str):
+        try:
+            return self.as_dict()[key]
+        except KeyError:
+            raise ExperimentError(
+                f"porting effort for {self.platform!r} has no field {key!r}"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.as_dict()
+
+    def __iter__(self):
+        return iter(self.as_dict())
+
+
+@dataclass(frozen=True)
+class PortingEffortReport:
+    """§VI across all platforms, replacing the old ``dict[str, dict]``."""
+
+    entries: dict[str, PortingEffort] = field(default_factory=dict)
+
+    def platforms(self) -> list[str]:
+        """Platform names in the paper's order."""
+        return list(self.entries)
+
+    def effort(self, platform: str) -> PortingEffort:
+        """One platform's record; raises when unknown."""
+        try:
+            return self.entries[platform]
+        except KeyError:
+            raise ExperimentError(
+                f"no porting-effort record for {platform!r}"
+            ) from None
+
+    def as_dict(self) -> dict[str, dict]:
+        """The historical ``platform -> fields`` nested-dict shape."""
+        return {name: e.as_dict() for name, e in self.entries.items()}
+
+    # -- mapping shims -----------------------------------------------------
+
+    def __getitem__(self, platform: str) -> PortingEffort:
+        return self.effort(platform)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def items(self):
+        """(platform, effort) pairs, dict-style."""
+        return self.entries.items()
 
 
 @dataclass(frozen=True)

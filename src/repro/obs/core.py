@@ -203,6 +203,65 @@ class Observability:
                 1.0, rank=record.rank, labels={"op": record.label}
             )
 
+    # -- cross-process telemetry --------------------------------------------
+
+    def telemetry_payload(self) -> dict:
+        """Everything a worker process measured, as one picklable dict.
+
+        Spans are serialised as nested trees (fresh ids are minted on
+        absorb), metrics via :meth:`MetricsRegistry.payload`.  Tracer
+        records are *not* included — the tracer is live-streamed into
+        metrics through the sink, so the communication totals survive
+        the hop even though individual message events do not.
+        """
+
+        def nest(span: Span) -> dict:
+            return {
+                "name": span.name,
+                "rank": span.rank,
+                "t_start": span.t_start,
+                "t_end": span.t_end,
+                "attrs": dict(span.attrs),
+                "children": [nest(c) for c in span.children],
+            }
+
+        return {
+            "spans": {
+                rank: [nest(root) for root in roots]
+                for rank, roots in self.all_roots().items()
+            },
+            "metrics": self.metrics.payload(),
+        }
+
+    def absorb_telemetry(self, payload: dict) -> None:
+        """Merge a worker hub's :meth:`telemetry_payload` into this hub.
+
+        Span trees are re-rooted into the recorded rank's stack with
+        freshly minted span ids; metric slots merge per (rank, labels).
+        This is the parent side of the sweep engine's worker telemetry
+        propagation.
+        """
+        if not self.config.enabled:
+            return
+
+        def rebuild(node: dict, parent_id: int | None) -> Span:
+            span = Span(
+                name=node["name"],
+                rank=node["rank"],
+                t_start=node["t_start"],
+                t_end=node["t_end"],
+                attrs=dict(node["attrs"]),
+                parent_id=parent_id,
+            )
+            span.children = [rebuild(c, span.span_id) for c in node["children"]]
+            return span
+
+        for rank, roots in payload.get("spans", {}).items():
+            stack = self._stack_for(int(rank))
+            for root in roots:
+                stack.roots.append(rebuild(root, None))
+        self.metrics.absorb(payload.get("metrics", []))
+
     # -- export -------------------------------------------------------------
 
     def export(self, out_dir: str | Path | None = None,

@@ -302,6 +302,76 @@ class MetricsRegistry:
         return out
 
 
+    def payload(self) -> list[dict]:
+        """Picklable instrument snapshots (cross-process metric transfer).
+
+        Each entry carries one instrument's identity plus raw slot data;
+        :meth:`absorb` on another registry merges it losslessly —
+        counters add, gauges overwrite, histograms merge bucket counts —
+        which is how the parallel sweep engine propagates worker-process
+        metrics back into the parent hub.
+        """
+        out = []
+        for inst in self.instruments():
+            entry: dict = {"name": inst.name, "kind": inst.kind, "help": inst.help}
+            if inst.kind == "histogram":
+                entry["buckets"] = list(inst.buckets)
+            slots = []
+            for (rank, labels), slot in sorted(
+                inst.slots().items(), key=lambda kv: (kv[0][0], kv[0][1])
+            ):
+                record: dict = {"rank": rank, "labels": [list(kv) for kv in labels]}
+                if inst.kind == "histogram":
+                    record.update(
+                        bucket_counts=list(slot.bucket_counts),
+                        sum=slot.sum,
+                        count=slot.count,
+                    )
+                else:
+                    record["value"] = slot.value
+                slots.append(record)
+            entry["slots"] = slots
+            out.append(entry)
+        return out
+
+    def absorb(self, payload: list[dict]) -> None:
+        """Merge another registry's :meth:`payload` into this one."""
+        if not self.enabled:
+            return
+        for entry in payload:
+            kind = entry["kind"]
+            if kind == "counter":
+                inst = self.counter(entry["name"], entry.get("help", ""))
+            elif kind == "gauge":
+                inst = self.gauge(entry["name"], entry.get("help", ""))
+            elif kind == "histogram":
+                inst = self.histogram(
+                    entry["name"], entry.get("help", ""),
+                    buckets=tuple(entry["buckets"]),
+                )
+            else:
+                raise ObservabilityError(
+                    f"cannot absorb metric {entry['name']!r} of kind {kind!r}"
+                )
+            for record in entry["slots"]:
+                labels = {k: v for k, v in record["labels"]}
+                rank = record["rank"]
+                if kind == "counter":
+                    inst.inc(record["value"], rank=rank, labels=labels)
+                elif kind == "gauge":
+                    inst.set(record["value"], rank=rank, labels=labels)
+                else:
+                    slot = inst._slot(rank, labels)
+                    if len(slot.bucket_counts) != len(record["bucket_counts"]):
+                        raise ObservabilityError(
+                            f"histogram {entry['name']!r}: bucket mismatch on absorb"
+                        )
+                    for i, c in enumerate(record["bucket_counts"]):
+                        slot.bucket_counts[i] += c
+                    slot.sum += record["sum"]
+                    slot.count += record["count"]
+
+
 class _NullCounter(Counter):
     def __init__(self):
         super().__init__("null")

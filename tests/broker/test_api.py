@@ -1,0 +1,109 @@
+"""The unified ``repro.run()`` entry point and its registry."""
+
+import pytest
+
+import repro
+from repro.broker.registry import REGISTRY, artifact_names, resolve_artifacts
+from repro.errors import ExperimentError
+from repro.harness.config import RunConfig
+from repro.harness.results import (
+    PortingEffortReport,
+    Table1Matrix,
+    WeakScalingTable,
+)
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        assert artifact_names() == (
+            "table1", "porting", "fig4", "fig5", "table2", "fig6", "fig7",
+            "resilience",
+        )
+
+    def test_all_alias_expands_and_dedups(self):
+        specs = resolve_artifacts(("fig4", "all", "fig4"))
+        assert tuple(s.name for s in specs) == (
+            "fig4",
+        ) + tuple(n for n in artifact_names() if n != "fig4")
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown artifact"):
+            resolve_artifacts(("fig99",))
+
+    def test_every_point_evaluates_standalone(self):
+        # Point evaluation is what crosses the process boundary; each
+        # must work in isolation with just (key, config, hub).
+        config = RunConfig()
+        for spec in REGISTRY.values():
+            keys = spec.points(config)
+            assert keys
+            value = spec.evaluate(keys[0], config, None)
+            assert value is not None
+
+
+class TestRunSmoke:
+    """Every registered artifact comes out of repro.run()."""
+
+    @pytest.fixture(scope="class")
+    def full_run(self):
+        return repro.run(repro.RunRequest(artifacts=("all",), use_cache=False))
+
+    @pytest.mark.parametrize("name", artifact_names())
+    def test_artifact_produced_and_renders(self, full_run, name):
+        artifact = full_run.artifact(name)
+        assert artifact is not None
+        text = full_run.render(name)
+        assert isinstance(text, str) and text
+
+    def test_typed_results_come_back(self, full_run):
+        assert isinstance(full_run.artifact("table1"), Table1Matrix)
+        assert isinstance(full_run.artifact("porting"), PortingEffortReport)
+        assert isinstance(full_run.artifact("fig4"), WeakScalingTable)
+
+    def test_stats_account_for_every_point(self, full_run):
+        assert full_run.stats.points == full_run.stats.misses
+        assert full_run.stats.points >= len(artifact_names())
+
+    def test_unknown_artifact_raises_before_running(self):
+        with pytest.raises(ExperimentError, match="unknown artifact"):
+            repro.run("fig99")
+
+    def test_string_shorthand(self):
+        result = repro.run("fig4", use_cache=False)
+        assert result.names() == ("fig4",)
+
+    def test_request_and_kwargs_are_exclusive(self):
+        with pytest.raises(ExperimentError, match="not both"):
+            repro.run(repro.RunRequest(), parallel=2)
+
+
+class TestSerialParallelIdentity:
+    """A parallel sweep is bit-identical to a serial one."""
+
+    @pytest.mark.parametrize("name", ["fig4", "fig6", "table2"])
+    def test_bit_identical_artifacts(self, name):
+        serial = repro.run(repro.RunRequest(artifacts=(name,), use_cache=False))
+        fanned = repro.run(
+            repro.RunRequest(artifacts=(name,), parallel=2, use_cache=False)
+        )
+        assert serial.render(name) == fanned.render(name)
+
+    def test_table2_rows_identical_fieldwise(self):
+        serial = repro.run(
+            repro.RunRequest(artifacts=("table2",), use_cache=False)
+        ).artifact("table2")
+        fanned = repro.run(
+            repro.RunRequest(artifacts=("table2",), parallel=3, use_cache=False)
+        ).artifact("table2")
+        for a, b in zip(serial, fanned):
+            assert a.mix_time_s == b.mix_time_s
+            assert a.full_real_cost == b.full_real_cost
+
+    def test_seed_still_changes_results(self):
+        a = repro.run(repro.RunRequest(
+            artifacts=("table2",), config=RunConfig(seed=1), use_cache=False,
+        )).artifact("table2")
+        b = repro.run(repro.RunRequest(
+            artifacts=("table2",), config=RunConfig(seed=2), use_cache=False,
+        )).artifact("table2")
+        assert any(x.mix_time_s != y.mix_time_s for x, y in zip(a, b))

@@ -1,0 +1,127 @@
+"""The assembly broker against the paper's placement stories."""
+
+import pytest
+
+from repro.broker.assembly import (
+    SPOT_MIX,
+    BrokerRequest,
+    broker_assemblies,
+    render_broker_report,
+    section_7d_request,
+)
+from repro.errors import BrokerError
+from repro.harness.paper_data import PAPER_TABLE2
+
+
+class TestSection7D:
+    """§VII.D: at 1000 ranks only EC2 can host the run, and the
+    spot/on-demand mix beats the all-on-demand assembly on cost while
+    still meeting the deadline (Table II's economics)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return broker_assemblies(section_7d_request())
+
+    def test_on_prem_and_grid_are_infeasible(self, report):
+        for name in ("puma", "ellipse", "lagrange"):
+            plan = report.plan(name)
+            assert not plan.feasible
+            assert "exceed" in plan.reason
+
+    def test_mix_wins_on_cost(self, report):
+        assert report.best.name == SPOT_MIX
+        mix, full = report.plan(SPOT_MIX), report.plan("ec2")
+        assert mix.cost_dollars < full.cost_dollars
+        # The discount survives checkpoint/rework overhead: still >30%.
+        assert mix.cost_dollars < 0.7 * full.cost_dollars
+
+    def test_both_ec2_plans_meet_the_deadline(self, report):
+        assert report.plan(SPOT_MIX).meets_deadline
+        assert report.plan("ec2").meets_deadline
+
+    def test_mix_carries_the_risk(self, report):
+        mix, full = report.plan(SPOT_MIX), report.plan("ec2")
+        assert full.interruption_probability == 0.0
+        assert mix.interruption_probability > 0.5
+        assert mix.expected_reclaims > 1.0
+        assert mix.checkpoint_interval_s is not None
+
+    def test_matches_table2_economics(self, report):
+        paper = PAPER_TABLE2[1000]
+        mix, full = report.plan(SPOT_MIX), report.plan("ec2")
+        # The all-spot estimated cost per iteration is Table II's
+        # 'est. cost' column; the on-demand plan is the 'real cost' one.
+        est_per_iter = mix.est_cost_all_spot / mix.num_iterations
+        assert est_per_iter == pytest.approx(paper.mix_est_cost, rel=0.25)
+        assert full.cost_per_iteration == pytest.approx(
+            paper.full_real_cost, rel=0.45
+        )
+
+    def test_phase_breakdown_is_complete(self, report):
+        mix = report.plan(SPOT_MIX)
+        assert [p.name for p in mix.phases] == [
+            "provision", "queue", "compute", "checkpoint+rework",
+        ]
+        assert mix.phase("compute").cost_dollars > 0
+        assert mix.phase("provision").cost_dollars > 0  # §VI man-hours
+        assert mix.launch_command  # the scheduler's command line
+
+
+class TestConstraints:
+    def test_tight_deadline_flags_slow_plans(self):
+        report = broker_assemblies(BrokerRequest(
+            app="rd", num_ranks=64, num_iterations=100,
+            deadline_s=600.0,
+        ))
+        flagged = [p for p in report.plans if p.feasible and not p.meets_deadline]
+        assert flagged  # queue waits alone blow a 10-minute deadline
+
+    def test_budget_constraint(self):
+        report = broker_assemblies(BrokerRequest(
+            app="rd", num_ranks=1000, budget_dollars=1.0,
+        ))
+        with pytest.raises(BrokerError, match="no assembly satisfies"):
+            report.best
+
+    def test_risk_cap_excludes_the_mix(self):
+        report = broker_assemblies(BrokerRequest(
+            app="rd", num_ranks=1000,
+            max_interruption_probability=0.01,
+        ))
+        assert not report.plan(SPOT_MIX).within_risk
+        assert report.best.name == "ec2"
+
+    def test_small_job_every_platform_feasible(self):
+        # At 64 ranks the whole portfolio qualifies; the spot mix fits
+        # entirely inside the spare pool, so it wins on sheer price.
+        report = broker_assemblies(BrokerRequest(app="rd", num_ranks=64))
+        assert sum(p.feasible for p in report.plans) == 5
+        assert report.best.name == SPOT_MIX
+        assert report.best.spot_nodes == report.best.nodes
+
+    def test_acceptable_plans_rank_ahead(self):
+        report = broker_assemblies(section_7d_request())
+        flags = [p.acceptable for p in report.plans]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(BrokerError):
+            BrokerRequest(num_ranks=0)
+        with pytest.raises(BrokerError):
+            BrokerRequest(cost_weight=-1.0)
+        with pytest.raises(BrokerError):
+            BrokerRequest(spot_spike_probability=1.5)
+
+
+class TestRendering:
+    def test_report_renders_rank_order_and_breakdown(self):
+        text = render_broker_report(broker_assemblies(section_7d_request()))
+        assert "1. ec2-mix" in text
+        assert "infeasible" in text
+        assert "checkpoint+rework" in text
+        assert "Young tau*" in text
+
+    def test_deterministic(self):
+        a = render_broker_report(broker_assemblies(section_7d_request()))
+        b = render_broker_report(broker_assemblies(section_7d_request()))
+        assert a == b

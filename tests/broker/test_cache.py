@@ -1,0 +1,89 @@
+"""Content-addressed sweep caching: hits, invalidation, resilience."""
+
+import pytest
+
+import repro
+from repro.broker import engine as engine_mod
+from repro.broker.cache import CacheStats, SweepCache, point_key
+from repro.harness.config import RunConfig
+
+
+def _request(tmp_path, **kwargs):
+    kwargs.setdefault("artifacts", ("fig4",))
+    kwargs.setdefault("config", RunConfig(cache_dir=str(tmp_path / "cache")))
+    return repro.RunRequest(**kwargs)
+
+
+class TestCacheRoundTrip:
+    def test_cold_then_warm(self, tmp_path):
+        cold = repro.run(_request(tmp_path))
+        assert cold.stats.hits == 0 and cold.stats.misses > 0
+        warm = repro.run(_request(tmp_path))
+        assert warm.stats.misses == 0
+        assert warm.stats.hit_rate == 1.0
+        assert warm.render("fig4") == cold.render("fig4")
+
+    def test_no_cache_bypasses(self, tmp_path):
+        repro.run(_request(tmp_path))
+        again = repro.run(_request(tmp_path, use_cache=False))
+        assert again.stats.hits == 0
+
+    def test_seed_change_misses(self, tmp_path):
+        repro.run(_request(tmp_path, artifacts=("table2",)))
+        other = repro.run(repro.RunRequest(
+            artifacts=("table2",),
+            config=RunConfig(seed=11, cache_dir=str(tmp_path / "cache")),
+        ))
+        assert other.stats.hits == 0
+
+    def test_code_fingerprint_invalidates(self, tmp_path, monkeypatch):
+        repro.run(_request(tmp_path))
+        # A source edit moves the fingerprint, which moves every key.
+        # The engine resolved the name at import time, so patch there.
+        monkeypatch.setattr(engine_mod, "code_fingerprint", lambda: "edited")
+        stale = repro.run(_request(tmp_path))
+        assert stale.stats.hits == 0
+
+    def test_parallel_run_reuses_serial_entries(self, tmp_path):
+        serial = repro.run(_request(tmp_path))
+        warm = repro.run(_request(tmp_path, parallel=2))
+        assert warm.stats.hits == serial.stats.misses
+
+
+class TestSweepCache:
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = point_key("a", "b", "c", "d")
+        cache.put(key, {"x": 1})
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get(key)
+        assert not hit and value is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(point_key("a", "1", "", ""), 1)
+        cache.put(point_key("a", "2", "", ""), 2)
+        assert cache.clear() == 2
+        assert cache.get(point_key("a", "1", "", ""))[0] is False
+
+    def test_distinct_inputs_distinct_keys(self):
+        keys = {
+            point_key("fig4", "puma", "t", "f"),
+            point_key("fig4", "ellipse", "t", "f"),
+            point_key("fig5", "puma", "t", "f"),
+            point_key("fig4", "puma", "t2", "f"),
+            point_key("fig4", "puma", "t", "f2"),
+        }
+        assert len(keys) == 5
+
+
+class TestCacheStats:
+    def test_summary_is_the_ci_contract(self):
+        stats = CacheStats(hits=9, misses=1)
+        assert stats.summary() == "points=10 hits=9 misses=1 hit_rate=90.0%"
+        assert stats.hit_rate == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert CacheStats().hit_rate == 0.0

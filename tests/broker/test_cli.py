@@ -1,0 +1,88 @@
+"""The unified CLI: ``repro run`` and ``repro broker``."""
+
+import re
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestRunCommand:
+    def test_list(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig4", "table2", "resilience"):
+            assert name in out
+
+    def test_single_artifact_with_summary_line(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        match = re.search(r"\[sweep\] points=(\d+) hits=(\d+) misses=(\d+)", out)
+        assert match, out
+        assert match.group(1) == "4"
+
+    def test_warm_rerun_hits_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        main(["run", "fig4", "--cache-dir", "c"])
+        capsys.readouterr()
+        main(["run", "fig4", "--cache-dir", "c"])
+        out = capsys.readouterr().out
+        assert "hits=4 misses=0 hit_rate=100.0%" in out
+
+    def test_no_cache_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        main(["run", "fig4", "--cache-dir", "c"])
+        capsys.readouterr()
+        main(["run", "fig4", "--cache-dir", "c", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "hits=0" in out
+
+    def test_parallel_matches_serial_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        main(["run", "fig6", "--no-cache"])
+        serial = capsys.readouterr().out
+        main(["run", "fig6", "--no-cache", "--parallel", "2"])
+        fanned = capsys.readouterr().out
+
+        def body(text):  # strip the [sweep] accounting, which differs
+            return [l for l in text.splitlines() if not l.startswith("[sweep]")]
+
+        assert body(serial) == body(fanned)
+
+    def test_obs_out_exports(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig4", "--no-cache", "--obs-out", "o"]) == 0
+        out = capsys.readouterr().out
+        assert "exported" in out
+        assert (tmp_path / "o" / "obs-trace.json").exists()
+
+    def test_legacy_subcommand_goes_through_registry(self, capsys):
+        assert main(["fig4"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(["run", "fig4", "--no-cache"]) == 0
+        unified = capsys.readouterr().out
+        assert legacy.strip() in unified
+
+
+class TestBrokerCommand:
+    def test_section_7d_scenario(self, capsys):
+        assert main([
+            "broker", "--ranks", "1000", "--iterations", "100",
+            "--deadline-h", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1. ec2-mix" in out
+        assert "infeasible" in out
+        assert "checkpoint+rework" in out
+
+    def test_top_limits_listing(self, capsys):
+        main(["broker", "--ranks", "1000", "--top", "2"])
+        out = capsys.readouterr().out
+        assert "2. " in out and "3. " not in out
+
+    def test_risk_cap(self, capsys):
+        main(["broker", "--ranks", "1000", "--max-risk", "0.01"])
+        out = capsys.readouterr().out
+        assert "best: ec2 (on-demand)" in out

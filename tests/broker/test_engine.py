@@ -1,0 +1,94 @@
+"""Sweep-engine mechanics: fan-out, telemetry propagation, accounting."""
+
+import json
+
+import pytest
+
+from repro.broker.engine import run_sweep
+from repro.harness.config import RunConfig
+from repro.obs import Observability, ObsConfig
+
+
+class TestRunSweep:
+    def test_multiple_artifacts_one_sweep(self):
+        report = run_sweep(("fig4", "fig6"), use_cache=False)
+        assert set(report.results) == {"fig4", "fig6"}
+        # fig4 sweeps 4 platforms; fig6 adds the ec2-mix column.
+        assert report.stats.misses == 9
+
+    def test_workers_accounted(self):
+        report = run_sweep("fig4", parallel=2, use_cache=False)
+        assert report.workers == 2
+        report = run_sweep("fig4", use_cache=False)
+        assert report.workers == 1
+
+    def test_cached_points_skip_evaluation(self, tmp_path):
+        config = RunConfig(cache_dir=str(tmp_path))
+        run_sweep("fig4", config=config)
+        warm = run_sweep("fig4", config=config)
+        assert warm.stats.hits == 4 and warm.stats.misses == 0
+
+
+class TestTelemetryPropagation:
+    def test_parallel_workers_report_spans_to_parent_hub(self, tmp_path):
+        config = RunConfig(obs=ObsConfig(out_dir=tmp_path, prefix="sweep"))
+        report = run_sweep("fig4", config=config, parallel=2, use_cache=False)
+        assert report.stats.misses == 4
+        trace = json.loads((tmp_path / "sweep-trace.json").read_text())
+        points = [
+            e for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e.get("name") == "sweep_point"
+        ]
+        assert len(points) == 4  # one per platform, absorbed from workers
+
+    def test_serial_observed_sweep_counts_points(self):
+        hub = Observability(ObsConfig())
+        run_sweep("fig4", parallel=0, use_cache=False, hub=hub)
+        assert hub.metrics.counter("sweep_points_total").total(
+            {"artifact": "fig4", "cached": "false"}
+        ) == 4.0
+        assert hub.metrics.counter("sweep_cache_misses_total").total() == 4.0
+
+    def test_cache_hits_counted_in_metrics(self, tmp_path):
+        config = RunConfig(cache_dir=str(tmp_path))
+        run_sweep("fig4", config=config)
+        hub = Observability(ObsConfig())
+        run_sweep("fig4", config=config, hub=hub)
+        assert hub.metrics.counter("sweep_cache_hits_total").total() == 4.0
+
+    def test_parallel_observed_matches_serial_result(self, tmp_path):
+        serial = run_sweep("fig6", use_cache=False)
+        config = RunConfig(obs=ObsConfig(out_dir=tmp_path))
+        fanned = run_sweep("fig6", config=config, parallel=2, use_cache=False)
+        s, f = serial.results["fig6"], fanned.results["fig6"]
+        assert s.columns.keys() == f.columns.keys()
+        for key in s.columns:
+            assert s.columns[key] == f.columns[key]
+
+
+class TestHubAbsorption:
+    """The cross-process telemetry payload round-trips faithfully."""
+
+    def test_spans_and_metrics_round_trip(self):
+        src = Observability(ObsConfig())
+        view = src.wall_view()
+        with view.span("outer", kind="test"):
+            with view.span("inner"):
+                view.count("things_total", flavor="a")
+        payload = src.telemetry_payload()
+
+        dst = Observability(ObsConfig())
+        dst.absorb_telemetry(payload)
+        roots = dst.span_roots(0)
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert roots[0].attrs == {"kind": "test"}
+        assert dst.metrics.counter("things_total").total({"flavor": "a"}) == 1.0
+
+    def test_absorb_into_disabled_hub_is_noop(self):
+        src = Observability(ObsConfig())
+        with src.wall_view().span("x"):
+            pass
+        dst = Observability(ObsConfig(enabled=False))
+        dst.absorb_telemetry(src.telemetry_payload())
+        assert dst.all_roots() == {}

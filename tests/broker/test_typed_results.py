@@ -1,0 +1,111 @@
+"""Typed experiment results and the RunConfig deprecation story."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.config import ResilienceParams, RunConfig
+from repro.harness.experiments import (
+    experiment_fig4_rd_weak_scaling,
+    experiment_porting_effort,
+    experiment_table1,
+)
+from repro.harness.results import (
+    PortingEffort,
+    PortingEffortReport,
+    Table1Matrix,
+)
+from repro.obs import Observability, ObsConfig
+
+
+class TestTable1Matrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return experiment_table1()
+
+    def test_typed(self, matrix):
+        assert isinstance(matrix, Table1Matrix)
+        assert "ec2" in matrix.platforms()
+        assert matrix.cell("# cpu/cores", "ec2")
+
+    def test_as_dict_shim(self, matrix):
+        data = matrix.as_dict()
+        assert isinstance(data, dict)
+        assert data["# cpu/cores"]["ec2"] == matrix.cell("# cpu/cores", "ec2")
+
+    def test_mapping_compatibility(self, matrix):
+        # Legacy consumers index the result like the old dict return.
+        assert matrix["# cpu/cores"]["ec2"]
+        assert set(iter(matrix)) == set(matrix.attributes())
+        assert dict(matrix.items())
+
+
+class TestPortingEffort:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return experiment_porting_effort()
+
+    def test_typed(self, report):
+        assert isinstance(report, PortingEffortReport)
+        effort = report.effort("ec2")
+        assert isinstance(effort, PortingEffort)
+        assert effort.total_hours > 0
+        assert effort.actions
+
+    def test_as_dict_shim(self, report):
+        data = report.as_dict()
+        assert data["ec2"]["total_hours"] == report.effort("ec2").total_hours
+
+    def test_mapping_compatibility(self, report):
+        entry = report["ec2"]
+        assert entry["total_hours"] > 0
+        assert "by_method" in entry
+        with pytest.raises(ExperimentError):
+            report.effort("nonexistent")
+
+
+class TestRunConfig:
+    def test_frozen_and_defaulted(self):
+        config = RunConfig()
+        assert config.seed == 7
+        assert config.obs is None
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 1
+
+    def test_with_seed(self):
+        assert RunConfig().with_seed(3).seed == 3
+
+    def test_cache_token_tracks_values_not_plumbing(self):
+        base = RunConfig()
+        assert RunConfig(seed=3).cache_token() != base.cache_token()
+        assert RunConfig(
+            resilience=ResilienceParams(num_steps=4)
+        ).cache_token() != base.cache_token()
+        # Observability and cache location never change results.
+        assert RunConfig(obs=ObsConfig()).cache_token() == base.cache_token()
+        assert RunConfig(cache_dir="/x").cache_token() == base.cache_token()
+
+    def test_resilience_params_validate(self):
+        with pytest.raises(ExperimentError):
+            ResilienceParams(num_ranks=0)
+        with pytest.raises(ExperimentError):
+            ResilienceParams(spike_probability=2.0)
+
+
+class TestDeprecations:
+    def test_obs_keyword_warns(self):
+        with pytest.warns(DeprecationWarning, match="obs"):
+            experiment_fig4_rd_weak_scaling(obs=Observability(ObsConfig()))
+
+    def test_config_and_legacy_keyword_conflict(self):
+        with pytest.raises(ExperimentError, match="both"):
+            experiment_fig4_rd_weak_scaling(
+                RunConfig(), obs=Observability(ObsConfig())
+            )
+
+    def test_config_path_emits_no_warning(self, recwarn):
+        experiment_fig4_rd_weak_scaling(RunConfig())
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

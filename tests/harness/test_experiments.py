@@ -9,6 +9,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.harness import (
+    RunConfig,
     experiment_fig4_rd_weak_scaling,
     experiment_fig5_ns_weak_scaling,
     experiment_fig6_rd_costs,
@@ -162,8 +163,14 @@ class TestTable2:
             assert row.full_real_cost == pytest.approx(paper_cost, rel=0.45), row.mpi
 
     def test_deterministic_for_seed(self):
-        a = experiment_table2_placement(seed=3)
-        b = experiment_table2_placement(seed=3)
+        a = experiment_table2_placement(RunConfig(seed=3))
+        b = experiment_table2_placement(RunConfig(seed=3))
+        assert all(x.mix_time_s == y.mix_time_s for x, y in zip(a, b))
+
+    def test_legacy_seed_keyword_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="seed"):
+            a = experiment_table2_placement(seed=3)
+        b = experiment_table2_placement(RunConfig(seed=3))
         assert all(x.mix_time_s == y.mix_time_s for x, y in zip(a, b))
 
 

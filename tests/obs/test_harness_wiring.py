@@ -2,6 +2,9 @@
 
 import json
 
+import pytest
+
+from repro.harness.config import RunConfig
 from repro.harness.experiments import (
     experiment_fig4_rd_weak_scaling,
     experiment_fig6_rd_costs,
@@ -16,7 +19,7 @@ class TestExperimentObs:
 
     def test_obsconfig_exports_and_attaches_artifacts(self, tmp_path):
         table = experiment_fig4_rd_weak_scaling(
-            obs=ObsConfig(out_dir=tmp_path)
+            RunConfig(obs=ObsConfig(out_dir=tmp_path))
         )
         assert len(table.artifacts) == 4
         names = {p.rsplit("/", 1)[-1] for p in table.artifacts}
@@ -32,9 +35,13 @@ class TestExperimentObs:
         assert len(sweep_slices) == 4  # one per platform
 
     def test_shared_hub_accumulates_spans(self):
+        # Sharing one live hub across generators is the legacy pattern;
+        # it still works, but under a DeprecationWarning.
         hub = Observability(ObsConfig())
-        experiment_fig4_rd_weak_scaling(obs=hub)
-        experiment_fig6_rd_costs(obs=hub)
+        with pytest.warns(DeprecationWarning):
+            experiment_fig4_rd_weak_scaling(obs=hub)
+        with pytest.warns(DeprecationWarning):
+            experiment_fig6_rd_costs(obs=hub)
         names = [root.name for root in hub.span_roots(0)]
         assert names == ["fig4", "fig6"]
         assert hub.metrics.counter("platform_sweeps_total").total(
@@ -43,6 +50,7 @@ class TestExperimentObs:
 
     def test_disabled_config_collects_nothing(self):
         hub = Observability(ObsConfig(enabled=False))
-        table = experiment_fig4_rd_weak_scaling(obs=hub)
+        with pytest.warns(DeprecationWarning):
+            table = experiment_fig4_rd_weak_scaling(obs=hub)
         assert table.artifacts == ()
         assert hub.all_roots() == {}
