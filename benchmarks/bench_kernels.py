@@ -177,6 +177,15 @@ def main(argv=None):
         f"RD phases ({phases['num_ranks']} ranks): {means}; critical path "
         f"bound by rank {bound['rank']} {bound['phase']}"
     )
+    colls = metrics["collectives"]
+    large = colls["cases"]["large"]
+    print(
+        f"collectives ({colls['num_ranks']} ranks, {colls['interconnect']}): "
+        f"large allreduce {large['fixed']['algorithm']} -> "
+        f"{large['adaptive']['algorithm']}, "
+        f"{large['offnode_bytes_ratio']:.1f}x fewer NIC bytes, "
+        f"{large['speedup']:.2f}x faster"
+    )
     return 0
 
 

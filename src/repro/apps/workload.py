@@ -45,6 +45,11 @@ class AppWorkload:
     ``allreduces_per_iteration`` — blocking reduction rounds per Krylov
     iteration: 3 for the classic solvers (two dots plus the norm), 1
     for the fused Chronopoulos–Gear CG (see :meth:`with_fused_solver`).
+    ``allreduce_bytes`` — payload of one reduction message: one double
+    for the classic solvers, the batched 3-double vector for the fused
+    variant.  The adaptive collective layer selects its algorithm by
+    this size (:mod:`repro.simmpi.selector`), so the analytic model
+    needs it to mirror the simulator's choice.
     """
 
     name: str
@@ -56,6 +61,7 @@ class AppWorkload:
     base_solver_iters: float
     iter_growth: float
     allreduces_per_iteration: float = 3.0
+    allreduce_bytes: float = 8.0
 
     def __post_init__(self) -> None:
         if self.fields < 1 or self.order < 1:
@@ -168,8 +174,10 @@ class AppWorkload:
         The Chronopoulos–Gear recurrence batches the per-iteration
         reductions into a single allreduce round, so the latency term of
         the solve phase drops 3x while flops stay (essentially) put.
+        Each message carries the batched 3-double vector instead of one
+        scalar — still deep inside the selector's small-message regime.
         """
-        return replace(self, allreduces_per_iteration=1.0)
+        return replace(self, allreduces_per_iteration=1.0, allreduce_bytes=24.0)
 
     def assembly_halo_bytes(self, elements_per_rank: int, num_ranks: int) -> float:
         """Assembly-phase communication: ghost data for coefficients."""

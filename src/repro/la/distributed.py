@@ -74,9 +74,14 @@ class DistVector:
         return out
 
     def dot(self, other: "DistVector") -> float:
-        """Global dot product: local dot + allreduce(SUM)."""
+        """Global dot product: local dot + allreduce(SUM).
+
+        The reduction goes through the adaptive collective layer
+        (``algorithm="auto"``); at these scalar payloads the selector
+        resolves to recursive doubling on every modeled platform.
+        """
         local = float(self.owned @ other.owned)
-        return float(self.comm.allreduce(local, op=SUM))
+        return float(self.comm.allreduce(local, op=SUM, site="la.dot"))
 
     def dot_many(self, pairs: list[tuple["DistVector", "DistVector"]]) -> np.ndarray:
         """Several global dot products in ONE allreduce round.
@@ -86,7 +91,9 @@ class DistVector:
         small array, so latency is paid once instead of once per dot.
         """
         local = np.array([float(a.owned @ b.owned) for a, b in pairs])
-        return np.asarray(self.comm.allreduce(local, op=SUM), dtype=float)
+        return np.asarray(
+            self.comm.allreduce(local, op=SUM, site="la.dot_many"), dtype=float
+        )
 
     def norm(self) -> float:
         """Global 2-norm."""

@@ -11,7 +11,11 @@ configurations and compare.  Three measurements:
   distributed CG (deterministic counts from the simulator);
 * :func:`measure_rd_phases` — a small distributed RD run under full
   observability: the paper's per-phase means (virtual time), collective
-  counts, and the critical-path bound.
+  counts, and the critical-path bound;
+* :func:`measure_collectives` — adaptive vs fixed-algorithm allreduce
+  on a modeled 1 GbE cluster: off-node bytes, virtual time, and the
+  algorithms the selector chose, plus the selection tables for the
+  paper's platforms.
 """
 
 from __future__ import annotations
@@ -216,6 +220,112 @@ def measure_rd_phases(
     }
 
 
+def measure_collectives(
+    num_nodes=4, cores_per_node=4, reps=3,
+    small_doubles=3, large_doubles=65536,
+    table_platforms=("puma", "lagrange", "ec2"), table_ranks=64,
+):
+    """Adaptive vs fixed-algorithm allreduce on a modeled 1 GbE cluster.
+
+    Runs ``reps`` allreduces per case (a small fused-CG-style payload
+    and a large segmentable one) twice: pinned to the seed's recursive
+    doubling, then with ``algorithm="auto"``.  Everything recorded is
+    deterministic — virtual seconds, per-rank NIC bytes
+    (``offnode_bytes_sent``), and the algorithms the selector resolved —
+    which is what makes the ``collectives`` section gateable.  The
+    headline number is ``offnode_bytes_ratio``: on fat 1 GbE nodes the
+    hierarchical schedules keep all but the node leaders off the NIC, so
+    total fabric bytes drop well below the flat recursive-doubling
+    baseline for large messages while small messages stay on the
+    latency-optimal tree.
+
+    ``selection_table`` additionally records, per paper platform, what
+    the selector would pick at ``table_ranks`` ranks across message
+    sizes — the documented decision table of ``docs/collectives.md``.
+    """
+    from repro.network.model import GIGABIT_ETHERNET, NetworkModel
+    from repro.network.topology import ClusterTopology
+    from repro.platforms import platform_by_name
+    from repro.simmpi import SUM, CollectiveSelector, run_spmd
+
+    topology = ClusterTopology(num_nodes, cores_per_node, NetworkModel(GIGABIT_ETHERNET))
+    num_ranks = num_nodes * cores_per_node
+
+    def run_case(n_doubles, algorithm):
+        def main(comm):
+            payload = np.full(n_doubles, float(comm.rank + 1))
+            t0, b0, o0 = comm.time, comm.bytes_sent, comm.offnode_bytes_sent
+            for _ in range(reps):
+                result = comm.allreduce(
+                    payload, op=SUM, algorithm=algorithm, site="bench.collectives"
+                )
+            expected = num_ranks * (num_ranks + 1) / 2.0
+            return {
+                "seconds": comm.time - t0,
+                "bytes": comm.bytes_sent - b0,
+                "offnode_bytes": comm.offnode_bytes_sent - o0,
+                "algorithms": dict(comm.algorithm_counts),
+                "max_error": float(np.max(np.abs(np.asarray(result) - expected))),
+            }
+
+        per_rank = run_spmd(main, num_ranks, topology=topology, real_timeout=60.0).returns
+        algorithms: dict[str, int] = {}
+        for r in per_rank:
+            for key, count in r["algorithms"].items():
+                algorithms[key] = algorithms.get(key, 0) + count
+        resolved = sorted(
+            key.split(".", 1)[1] for key in algorithms if key.startswith("allreduce.")
+        )
+        return {
+            "algorithm": resolved[0] if len(set(resolved)) == 1 else resolved,
+            "seconds_per_call": max(r["seconds"] for r in per_rank) / reps,
+            "offnode_bytes_per_call": sum(r["offnode_bytes"] for r in per_rank) / reps,
+            "total_bytes_per_call": sum(r["bytes"] for r in per_rank) / reps,
+            "max_error": max(r["max_error"] for r in per_rank),
+        }
+
+    cases = {}
+    for name, doubles in (("small", small_doubles), ("large", large_doubles)):
+        fixed = run_case(doubles, "recursive_doubling")
+        adaptive = run_case(doubles, "auto")
+        cases[name] = {
+            "nbytes": doubles * 8,
+            "fixed": fixed,
+            "adaptive": adaptive,
+            "offnode_bytes_ratio": (
+                fixed["offnode_bytes_per_call"]
+                / max(adaptive["offnode_bytes_per_call"], 1.0)
+            ),
+            "speedup": fixed["seconds_per_call"] / adaptive["seconds_per_call"],
+        }
+
+    selection_table = {}
+    for platform_name in table_platforms:
+        spec = platform_by_name(platform_name)
+        nodes = spec.nodes_for_ranks(table_ranks)
+        topo = spec.topology(num_nodes=nodes) if spec.on_demand else spec.topology()
+        selector = CollectiveSelector(topo, table_ranks)
+        selection_table[platform_name] = {
+            "interconnect": spec.interconnect.name,
+            "num_ranks": table_ranks,
+            "rows": selector.selection_table(),
+        }
+
+    return {
+        "num_nodes": num_nodes,
+        "cores_per_node": cores_per_node,
+        "num_ranks": num_ranks,
+        "reps": reps,
+        "small_doubles": small_doubles,
+        "large_doubles": large_doubles,
+        "interconnect": "1 GbE",
+        "cases": cases,
+        "table_platforms": list(table_platforms),
+        "table_ranks": table_ranks,
+        "selection_table": selection_table,
+    }
+
+
 def collect_kernel_metrics(smoke=False):
     """The BENCH_kernels.json payload."""
     if smoke:
@@ -224,20 +334,25 @@ def collect_kernel_metrics(smoke=False):
         phases = measure_rd_phases(
             mesh_shape=(5, 5, 5), num_ranks=2, num_steps=6, discard=3
         )
+        colls = measure_collectives(reps=2, large_doubles=16384)
     else:
         rd = measure_rd_step_paths()
         dist = measure_dist_cg_rounds()
         phases = measure_rd_phases()
+        colls = measure_collectives()
     return {
         "benchmark": "kernels",
         "smoke": smoke,
         "rd_step_path": rd,
         "dist_cg_rounds": dist,
         "rd_phases": phases,
+        "collectives": colls,
         "targets": {
             "rd_step_speedup_min": 3.0,
             "dist_cg_rounds_ratio_min": 1.5,
             "fused_rounds_per_iteration": 1.0,
+            "collectives_offnode_bytes_ratio_min": 1.5,
+            "collectives_small_algorithm": "recursive_doubling",
         },
     }
 

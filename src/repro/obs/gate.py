@@ -2,8 +2,9 @@
 
 ``BENCH_kernels.json`` records what the optimised kernels achieved when
 the baseline was captured: the RD step-path speedup, the allreduce
-rounds of classic/fused distributed CG, and the per-phase virtual-time
-means and collective counts of a small distributed RD run.  The gate
+rounds of classic/fused distributed CG, the per-phase virtual-time
+means and collective counts of a small distributed RD run, and the
+off-node byte savings of the adaptive collective layer.  The gate
 re-runs the same measurements at the configurations the baseline
 recorded (:func:`measure_fresh`) and compares (:func:`compare`):
 
@@ -34,6 +35,7 @@ from pathlib import Path
 from repro.errors import BenchGateError
 from repro.obs.benchmarks import (
     REPO_ROOT,
+    measure_collectives,
     measure_dist_cg_rounds,
     measure_rd_phases,
     measure_rd_step_paths,
@@ -102,7 +104,9 @@ def load_baseline(path=DEFAULT_BASELINE) -> dict:
         raise BenchGateError(f"bench baseline {path} is not valid JSON: {exc}") from exc
     missing = [
         key
-        for key in ("rd_step_path", "dist_cg_rounds", "rd_phases", "targets")
+        for key in (
+            "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives", "targets"
+        )
         if key not in baseline
     ]
     if missing:
@@ -118,7 +122,17 @@ def measure_fresh(baseline) -> dict:
     rd_cfg = baseline["rd_step_path"]
     cg_cfg = baseline["dist_cg_rounds"]
     ph_cfg = baseline["rd_phases"]
+    co_cfg = baseline["collectives"]
     return {
+        "collectives": measure_collectives(
+            num_nodes=co_cfg["num_nodes"],
+            cores_per_node=co_cfg["cores_per_node"],
+            reps=co_cfg["reps"],
+            small_doubles=co_cfg["small_doubles"],
+            large_doubles=co_cfg["large_doubles"],
+            table_platforms=tuple(co_cfg["table_platforms"]),
+            table_ranks=co_cfg["table_ranks"],
+        ),
         "rd_step_path": measure_rd_step_paths(
             mesh_shape=tuple(rd_cfg["mesh_shape"]),
             num_steps=rd_cfg["num_steps"],
@@ -164,6 +178,7 @@ def compare(
         base_rd, fresh_rd = baseline["rd_step_path"], fresh["rd_step_path"]
         base_cg, fresh_cg = baseline["dist_cg_rounds"], fresh["dist_cg_rounds"]
         base_ph, fresh_ph = baseline["rd_phases"], fresh["rd_phases"]
+        base_co, fresh_co = baseline["collectives"], fresh["collectives"]
 
         checks.append(
             _lower(
@@ -243,6 +258,56 @@ def compare(
                 fresh_ph["nodal_error"],
                 max(base_ph["nodal_error"] * 10.0, 1e-9),
                 "solution accuracy must not degrade",
+            )
+        )
+
+        small_alg = fresh_co["cases"]["small"]["adaptive"]["algorithm"]
+        target_alg = targets["collectives_small_algorithm"]
+        checks.append(
+            GateCheck(
+                "collectives.small.adaptive_algorithm",
+                1.0 if small_alg == target_alg else 0.0,
+                1.0,
+                small_alg == target_alg,
+                f"small messages must stay on {target_alg}, got {small_alg!r}",
+            )
+        )
+        base_large_alg = base_co["cases"]["large"]["adaptive"]["algorithm"]
+        fresh_large_alg = fresh_co["cases"]["large"]["adaptive"]["algorithm"]
+        checks.append(
+            GateCheck(
+                "collectives.large.adaptive_algorithm",
+                1.0 if fresh_large_alg == base_large_alg else 0.0,
+                1.0,
+                fresh_large_alg == base_large_alg,
+                f"selector decision is deterministic: baseline "
+                f"{base_large_alg!r}, fresh {fresh_large_alg!r}",
+            )
+        )
+        checks.append(
+            _lower(
+                "collectives.large.offnode_bytes_ratio",
+                fresh_co["cases"]["large"]["offnode_bytes_ratio"],
+                targets["collectives_offnode_bytes_ratio_min"],
+                "adaptive schedules must keep cutting NIC bytes",
+            )
+        )
+        checks.append(
+            _upper(
+                "collectives.large.adaptive_offnode_bytes",
+                fresh_co["cases"]["large"]["adaptive"]["offnode_bytes_per_call"],
+                base_co["cases"]["large"]["adaptive"]["offnode_bytes_per_call"]
+                * count_tolerance,
+                "schedule bytes are deterministic",
+            )
+        )
+        checks.append(
+            _upper(
+                "collectives.large.adaptive_seconds",
+                fresh_co["cases"]["large"]["adaptive"]["seconds_per_call"],
+                fresh_co["cases"]["large"]["fixed"]["seconds_per_call"]
+                * count_tolerance,
+                "adaptive choice must not lose to the fixed baseline",
             )
         )
     except KeyError as exc:

@@ -22,13 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import math
-
 from repro.errors import ExperimentError
 from repro.apps.workload import AppWorkload
 from repro.network.contention import nic_sharing_factor
 from repro.network.topology import ClusterTopology
 from repro.platforms.spec import PlatformSpec
+from repro.simmpi import collectives as coll
+from repro.simmpi.selector import CollectiveSelector, Selection
 
 
 @dataclass(frozen=True)
@@ -153,13 +153,42 @@ class PhaseModel:
             per_flow = max(per_flow, fabric_wide)
         return messages * alpha + per_flow
 
+    def collective_selection(self, num_ranks: int) -> Selection | None:
+        """The allreduce schedule the simulator would pick at this size.
+
+        The analytic model mirrors the adaptive collective layer: it
+        asks the same :class:`~repro.simmpi.selector.CollectiveSelector`
+        (same topology, same message bytes) which algorithm the
+        executed solver would run, so model and simulator agree on the
+        rounds and bytes of every reduction.  None at one rank (no
+        communication to model).
+        """
+        if num_ranks == 1:
+            return None
+        topo = self._topology(num_ranks)
+        selector = CollectiveSelector(topo, num_ranks)
+        return selector.select_allreduce(int(self.workload.allreduce_bytes))
+
     def _allreduce_time(self, num_ranks: int, count: float) -> float:
         if num_ranks == 1 or count <= 0:
             return 0.0
-        alpha, _beta = self._comm_params(num_ranks)
-        rounds = math.ceil(math.log2(num_ranks))
-        # Recursive doubling: one small message per round each way.
-        return count * rounds * 2.0 * alpha
+        chosen = self.collective_selection(num_ranks)
+        topo = self._topology(num_ranks)
+        shape = coll.allreduce_shape(
+            chosen.algorithm,
+            num_ranks,
+            self.workload.allreduce_bytes,
+            ranks_per_node=topo.cores_per_node,
+        )
+        # Same rounds and bytes the simulator executes; the model keeps
+        # its round-trip convention (each round charges the exchange
+        # both ways) on the round's gating link.
+        per_call = 0.0
+        for r in shape.rounds:
+            link = topo.network.internode if r.internode else topo.network.intranode
+            flows = r.flows if r.internode else 1.0
+            per_call += 2.0 * link.latency + r.nbytes * flows / link.bandwidth
+        return count * per_call
 
     # -- phases ----------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.simmpi.datatypes import (
 from repro.simmpi.clock import VirtualClock
 from repro.simmpi.comm import Communicator, Request
 from repro.simmpi.launcher import SPMDResult, run_spmd
+from repro.simmpi.selector import CollectiveSelector, Selection
 from repro.simmpi.tracing import TraceRecord, Tracer
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "PROD",
     "payload_nbytes",
     "VirtualClock",
+    "CollectiveSelector",
+    "Selection",
     "Communicator",
     "Request",
     "SPMDResult",

@@ -6,15 +6,31 @@ point-to-point messages.  Keeping the schedules separate makes them unit
 testable and reusable by the analytic performance model, which costs the
 same rounds without executing them.
 
-Algorithms are the textbook ones Open MPI uses at these scales: binomial
-trees for bcast/reduce, recursive doubling (with a pre/post fold for
-non-powers-of-two) for allreduce, dissemination for barrier, ring for
-allgather.
+Algorithms are the textbook ones Open MPI/MPICH use at these scales:
+binomial trees for bcast/reduce, recursive doubling (with a pre/post
+fold for non-powers-of-two) for allreduce, dissemination for barrier,
+ring for allgather — plus the large-message family: segmented-ring and
+Rabenseifner (reduce-scatter + allgather) allreduce, scatter-allgather
+(van de Geijn) broadcast, and hierarchical node-aware variants that
+fold intra-node over shared memory before a leaders-only inter-node
+exchange.
+
+Two layers live here:
+
+* **execution plans** (who sends which segment to whom, per round) that
+  :meth:`~repro.simmpi.comm.Communicator.allreduce` executes; and
+* **schedule shapes** (:class:`ScheduleShape`: per-round bytes, an
+  intra-/inter-node classification under block rank placement, and the
+  number of concurrent off-node flows per NIC) that both the
+  :mod:`~repro.simmpi.selector` and :mod:`repro.perfmodel` cost without
+  executing, so the simulator and the analytic model agree on rounds
+  and bytes per collective (see ``docs/collectives.md``).
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.errors import CommunicatorError
 
@@ -118,3 +134,336 @@ def _check_rank(rank: int, size: int) -> None:
         raise CommunicatorError(f"size must be >= 1, got {size}")
     if not (0 <= rank < size):
         raise CommunicatorError(f"rank {rank} outside communicator of size {size}")
+
+
+# -- large-message execution plans --------------------------------------------
+
+
+def ring_reduce_scatter_steps(rank: int, size: int) -> list[tuple[int, int]]:
+    """Per-step ``(send_block, recv_block)`` of the segmented-ring reduce-scatter.
+
+    The vector is split into ``size`` blocks.  At every step each rank
+    ships its current block to ``rank + 1`` and folds the block arriving
+    from ``rank - 1`` into its local data.  After ``size - 1`` steps rank
+    ``r`` holds the complete reduction of block :func:`ring_owned_block`.
+    Every block is accumulated in the same fixed ring order, so the
+    result is bit-identical on all ranks once allgathered.
+    """
+    _check_rank(rank, size)
+    return [((rank - s) % size, (rank - s - 1) % size) for s in range(size - 1)]
+
+
+def ring_allgather_steps(rank: int, size: int) -> list[tuple[int, int]]:
+    """Per-step ``(send_block, recv_block)`` of the ring allgather phase."""
+    _check_rank(rank, size)
+    return [((rank + 1 - s) % size, (rank - s) % size) for s in range(size - 1)]
+
+
+def ring_owned_block(rank: int, size: int) -> int:
+    """Block fully reduced on ``rank`` after the ring reduce-scatter."""
+    _check_rank(rank, size)
+    return (rank + 1) % size
+
+
+def recursive_halving_blocks(
+    rank: int, pof2: int
+) -> list[tuple[int, tuple[int, int], tuple[int, int]]]:
+    """Rabenseifner reduce-scatter plan: ``(mask, keep, send)`` per round.
+
+    ``keep``/``send`` are half-open block-index ranges over the ``pof2``
+    segments of the vector.  Round one exchanges halves with the partner
+    at distance ``pof2 / 2``; each subsequent round halves the kept
+    range again.  After the last round ``keep == (rank, rank + 1)``: the
+    rank owns exactly its segment.  The allgather phase replays the list
+    in reverse (send ``keep``, receive ``send``), doubling the owned
+    range back to the full vector.
+    """
+    if pof2 < 1 or (pof2 & (pof2 - 1)) != 0:
+        raise CommunicatorError(f"pof2 must be a power of two >= 1, got {pof2}")
+    _check_rank(rank, pof2)
+    lo, hi = 0, pof2
+    plan = []
+    mask = pof2 >> 1
+    while mask >= 1:
+        mid = (lo + hi) // 2
+        if rank & mask:
+            keep, send = (mid, hi), (lo, mid)
+            lo = mid
+        else:
+            keep, send = (lo, mid), (mid, hi)
+            hi = mid
+        plan.append((mask, keep, send))
+        mask >>= 1
+    return plan
+
+
+def binomial_subtree(virtual: int, size: int) -> list[int]:
+    """Virtual ranks in the binomial-tree subtree rooted at ``virtual``.
+
+    Sorted, inclusive of ``virtual`` itself.  The scatter half of the
+    van de Geijn broadcast ships a child exactly its subtree's segments.
+    """
+    _check_rank(virtual, size)
+    out = [virtual]
+    k = 0 if virtual == 0 else virtual.bit_length()
+    while (1 << k) < size:
+        child = virtual + (1 << k)
+        if child < size:
+            out.extend(binomial_subtree(child, size))
+        k += 1
+    return sorted(out)
+
+
+def binomial_scatter_rounds(size: int) -> list[int]:
+    """Distances per round of the scatter half of a van de Geijn bcast.
+
+    The root owns all ``pof2`` segments (pof2 = largest power of two <=
+    size); in the round at distance ``d`` every holder of a ``2d``-wide
+    segment range passes the upper half to its partner ``d`` away.
+    Largest distance first — the mirror image of recursive halving.
+    """
+    pof2, masks = recursive_doubling_plan(size)
+    return list(reversed(masks))
+
+
+# -- schedule shapes (shared with the selector and the perf model) -----------
+
+
+@dataclass(frozen=True)
+class CollRound:
+    """One round of a collective schedule, as the cost models see it.
+
+    ``nbytes`` is the payload on the critical rank for that round;
+    ``internode`` says whether the slowest hop of the round crosses the
+    node boundary under block placement; ``flows`` is how many
+    concurrent off-node flows share one NIC during the round (1 for
+    ring-style neighbour traffic, ranks-per-node for full pairwise
+    exchanges).
+    """
+
+    nbytes: float
+    internode: bool
+    flows: float = 1.0
+
+
+@dataclass(frozen=True)
+class ScheduleShape:
+    """Rounds and bytes of one collective algorithm on one layout.
+
+    This is the contract between the executor and the cost models: the
+    simulator executes exactly these rounds with real messages, the
+    selector and :class:`~repro.perfmodel.phases.PhaseModel` price the
+    same rounds analytically.
+    """
+
+    algorithm: str
+    rounds: tuple[CollRound, ...]
+
+    @property
+    def round_count(self) -> int:
+        """Sequential message rounds on the critical path."""
+        return len(self.rounds)
+
+    @property
+    def internode_round_count(self) -> int:
+        """Rounds whose slowest hop crosses the node boundary."""
+        return sum(1 for r in self.rounds if r.internode)
+
+    @property
+    def bytes_per_rank(self) -> float:
+        """Payload bytes the critical rank sends across all rounds."""
+        return float(sum(r.nbytes for r in self.rounds))
+
+    @property
+    def internode_bytes(self) -> float:
+        """Bytes the critical rank pushes through the NIC."""
+        return float(sum(r.nbytes for r in self.rounds if r.internode))
+
+
+FLAT_ALLREDUCE_ALGORITHMS = ("recursive_doubling", "ring", "rabenseifner")
+HIER_ALLREDUCE_ALGORITHMS = (
+    "hier_recursive_doubling",
+    "hier_ring",
+    "hier_rabenseifner",
+)
+ALLREDUCE_ALGORITHMS = FLAT_ALLREDUCE_ALGORITHMS + HIER_ALLREDUCE_ALGORITHMS
+BCAST_ALGORITHMS = ("binomial", "linear", "scatter_allgather", "hierarchical")
+
+
+def effective_ranks_per_node(size: int, cores_per_node: int) -> int:
+    """Ranks sharing a node under block placement (at most ``size``)."""
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    if cores_per_node < 1:
+        raise CommunicatorError(f"cores_per_node must be >= 1, got {cores_per_node}")
+    return max(1, min(cores_per_node, size))
+
+
+def mask_is_intranode(mask: int, size: int, ranks_per_node: int) -> bool:
+    """Whether every XOR-``mask`` pair stays on one node under block placement.
+
+    Pairs ``(r, r ^ mask)`` live inside aligned ``2 * mask``-wide rank
+    blocks; they all fit within nodes exactly when the node width is a
+    multiple of the block width.
+    """
+    if size <= ranks_per_node:
+        return True
+    return ranks_per_node % (2 * mask) == 0
+
+
+def _ring_internode(size: int, ranks_per_node: int) -> bool:
+    # A ring step is gated by its slowest hop: once the communicator
+    # spans nodes, every step includes at least one node-boundary hop.
+    return size > ranks_per_node
+
+
+def allreduce_shape(
+    algorithm: str, size: int, nbytes: float, ranks_per_node: int = 1
+) -> ScheduleShape:
+    """The :class:`ScheduleShape` of one allreduce algorithm.
+
+    ``ranks_per_node`` controls both the intra-/inter-node round
+    classification and the NIC flow count of full pairwise rounds.
+    """
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    if nbytes < 0:
+        raise CommunicatorError(f"nbytes must be >= 0, got {nbytes}")
+    c = effective_ranks_per_node(size, ranks_per_node)
+    if algorithm == "recursive_doubling":
+        return ScheduleShape(algorithm, tuple(_rd_rounds(size, nbytes, c)))
+    if algorithm == "ring":
+        return ScheduleShape(algorithm, tuple(_ring_allreduce_rounds(size, nbytes, c)))
+    if algorithm == "rabenseifner":
+        return ScheduleShape(algorithm, tuple(_rabenseifner_rounds(size, nbytes, c)))
+    if algorithm in HIER_ALLREDUCE_ALGORITHMS:
+        return ScheduleShape(
+            algorithm,
+            tuple(_hier_allreduce_rounds(algorithm[len("hier_"):], size, nbytes, c)),
+        )
+    raise CommunicatorError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def bcast_shape(
+    algorithm: str, size: int, nbytes: float, ranks_per_node: int = 1
+) -> ScheduleShape:
+    """The :class:`ScheduleShape` of one broadcast algorithm."""
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    if nbytes < 0:
+        raise CommunicatorError(f"nbytes must be >= 0, got {nbytes}")
+    c = effective_ranks_per_node(size, ranks_per_node)
+    if algorithm == "binomial":
+        return ScheduleShape(algorithm, tuple(_binomial_bcast_rounds(size, nbytes, c)))
+    if algorithm == "linear":
+        rounds = [
+            CollRound(nbytes, internode=size > c, flows=1.0)
+            for _ in range(size - 1)
+        ]
+        return ScheduleShape(algorithm, tuple(rounds))
+    if algorithm == "scatter_allgather":
+        return ScheduleShape(
+            algorithm, tuple(_scatter_allgather_rounds(size, nbytes, c))
+        )
+    if algorithm == "hierarchical":
+        return ScheduleShape(algorithm, tuple(_hier_bcast_rounds(size, nbytes, c)))
+    raise CommunicatorError(f"unknown bcast algorithm {algorithm!r}")
+
+
+def _rd_rounds(size: int, nbytes: float, c: int) -> list[CollRound]:
+    pof2, masks = recursive_doubling_plan(size)
+    fold = size != pof2
+    fold_internode = size > c
+    rounds = []
+    if fold:
+        rounds.append(CollRound(nbytes, fold_internode, flows=float(c)))
+    for mask in masks:
+        intra = mask_is_intranode(mask, size, c)
+        rounds.append(CollRound(nbytes, not intra, flows=1.0 if intra else float(c)))
+    if fold:
+        rounds.append(CollRound(nbytes, fold_internode, flows=float(c)))
+    return rounds
+
+
+def _ring_allreduce_rounds(size: int, nbytes: float, c: int) -> list[CollRound]:
+    if size == 1:
+        return []
+    segment = nbytes / size
+    internode = _ring_internode(size, c)
+    return [
+        CollRound(segment, internode, flows=1.0) for _ in range(2 * (size - 1))
+    ]
+
+
+def _rabenseifner_rounds(size: int, nbytes: float, c: int) -> list[CollRound]:
+    pof2, masks = recursive_doubling_plan(size)
+    fold = size != pof2
+    fold_internode = size > c
+    rounds = []
+    if fold:
+        rounds.append(CollRound(nbytes, fold_internode, flows=float(c)))
+    # Reduce-scatter by recursive halving (largest distance first) then
+    # allgather by recursive doubling: mirrored rounds, halved payloads.
+    for mask in reversed(masks):
+        intra = mask_is_intranode(mask, size, c)
+        payload = nbytes * mask / pof2
+        rounds.append(CollRound(payload, not intra, flows=1.0 if intra else float(c)))
+    for mask in masks:
+        intra = mask_is_intranode(mask, size, c)
+        payload = nbytes * mask / pof2
+        rounds.append(CollRound(payload, not intra, flows=1.0 if intra else float(c)))
+    if fold:
+        rounds.append(CollRound(nbytes, fold_internode, flows=float(c)))
+    return rounds
+
+
+def _hier_allreduce_rounds(
+    inter_algorithm: str, size: int, nbytes: float, c: int
+) -> list[CollRound]:
+    leaders = -(-size // c)  # ceil: one leader per occupied node
+    intra = binomial_rounds(c)
+    rounds = [CollRound(nbytes, internode=False) for _ in range(intra)]
+    # Leaders-only exchange: one rank per node on the NIC, so flows
+    # collapse to 1 — the whole point of the node-aware variants.
+    inter = allreduce_shape(inter_algorithm, leaders, nbytes, ranks_per_node=1)
+    rounds.extend(inter.rounds)
+    rounds.extend(CollRound(nbytes, internode=False) for _ in range(intra))
+    return rounds
+
+
+def _binomial_bcast_rounds(size: int, nbytes: float, c: int) -> list[CollRound]:
+    _, masks = recursive_doubling_plan(size)
+    rounds = []
+    for mask in masks:
+        intra = mask_is_intranode(mask, size, c)
+        rounds.append(CollRound(nbytes, not intra, flows=1.0))
+    if (1 << len(masks)) < size:
+        # Non-power-of-two tail round reaching the last ranks.
+        rounds.append(CollRound(nbytes, size > c, flows=1.0))
+    return rounds
+
+
+def _scatter_allgather_rounds(size: int, nbytes: float, c: int) -> list[CollRound]:
+    if size == 1:
+        return []
+    pof2, _ = recursive_doubling_plan(size)
+    rounds = []
+    for dist in binomial_scatter_rounds(size):
+        intra = mask_is_intranode(dist, size, c)
+        # The busiest holder forwards half of its current range.
+        rounds.append(CollRound(nbytes * dist / pof2, not intra, flows=1.0))
+    segment = nbytes / size
+    internode = _ring_internode(size, c)
+    rounds.extend(CollRound(segment, internode, flows=1.0) for _ in range(size - 1))
+    return rounds
+
+
+def _hier_bcast_rounds(size: int, nbytes: float, c: int) -> list[CollRound]:
+    leaders = -(-size // c)
+    rounds = [CollRound(nbytes, internode=False)]  # root hands off to its leader
+    inter = bcast_shape("binomial", leaders, nbytes, ranks_per_node=1)
+    rounds.extend(inter.rounds)
+    rounds.extend(
+        CollRound(nbytes, internode=False) for _ in range(binomial_rounds(c))
+    )
+    return rounds

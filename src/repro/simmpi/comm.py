@@ -18,9 +18,12 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Any
 
+import numpy as np
+
 from repro.errors import CommunicatorError, DataVolumeExceededError
 from repro.network.topology import ClusterTopology
 from repro.simmpi import collectives as coll
+from repro.simmpi.selector import CollectiveSelector
 from repro.simmpi.clock import VirtualClock
 from repro.simmpi.datatypes import (
     ANY_SOURCE,
@@ -137,9 +140,18 @@ class Communicator:
         self.volume_limit_bytes = volume_limit_bytes
         self.nic_concurrency = max(1.0, float(nic_concurrency))
         self.bytes_sent = 0
+        #: Bytes this rank pushed through the NIC (destination on another
+        #: node) — the fabric-load share of ``bytes_sent``, and the
+        #: quantity the adaptive collective layer is designed to shrink.
+        self.offnode_bytes_sent = 0
         self.messages_sent = 0
         self.collective_counts: dict[str, int] = defaultdict(int)
+        #: Executions per resolved algorithm, keyed "collective.algorithm"
+        #: (what the adaptive layer actually chose, including explicit picks).
+        self.algorithm_counts: dict[str, int] = defaultdict(int)
         self._coll_seq = 0
+        self._node_groups_cache: list[list[int]] | None = None
+        self._selector_cache: CollectiveSelector | None = None
 
     # -- identity -------------------------------------------------------------
 
@@ -206,6 +218,8 @@ class Communicator:
         world_dest = self.group[dest]
         src_node = self.topology.node_of_rank(self.world_rank)
         dst_node = self.topology.node_of_rank(world_dest)
+        if src_node != dst_node:
+            self.offnode_bytes_sent += nbytes
         concurrency = 1 if src_node == dst_node else max(1.0, self.nic_concurrency)
         link = self.topology.network.link_between(src_node, dst_node)
         # Store-and-forward injection: the sender's NIC serializes the
@@ -341,6 +355,39 @@ class Communicator:
         self._coll_seq += 1
         return _COLL_TAG_BASE + (self._coll_seq % (1 << 20))
 
+    # -- adaptive algorithm selection ---------------------------------------
+
+    def _node_groups(self) -> list[list[int]]:
+        """Local ranks grouped by hosting node (canonical order on all ranks)."""
+        if self._node_groups_cache is None:
+            by_node: dict[int, list[int]] = {}
+            for local, world in enumerate(self.group):
+                by_node.setdefault(self.topology.node_of_rank(world), []).append(local)
+            self._node_groups_cache = [by_node[n] for n in sorted(by_node)]
+        return self._node_groups_cache
+
+    def selector(self) -> CollectiveSelector:
+        """The algorithm selector for this communicator's rank placement."""
+        if self._selector_cache is None:
+            occupancy = max(len(g) for g in self._node_groups())
+            self._selector_cache = CollectiveSelector(
+                self.topology, self.size, ranks_per_node=occupancy
+            )
+        return self._selector_cache
+
+    def _record_algorithm(self, collective: str, algorithm: str, site: str) -> None:
+        self.algorithm_counts[f"{collective}.{algorithm}"] += 1
+        from repro.obs.core import current as _obs_current
+
+        obs = _obs_current()
+        if obs.enabled:
+            obs.count(
+                "collective_algorithm_total",
+                collective=collective,
+                algorithm=algorithm,
+                site=site or "unlabeled",
+            )
+
     @_traced_collective
     def barrier(self) -> None:
         """Dissemination barrier; synchronizes virtual clocks."""
@@ -354,27 +401,43 @@ class Communicator:
             self._absorb(msg)
 
     @_traced_collective
-    def bcast(self, payload: Any, root: int = 0, algorithm: str = "binomial") -> Any:
+    def bcast(
+        self,
+        payload: Any,
+        root: int = 0,
+        algorithm: str = "binomial",
+        nbytes: int | None = None,
+        site: str = "",
+    ) -> Any:
         """Broadcast; every rank returns the payload.
 
         ``algorithm``: ``"binomial"`` (log2(p) rounds, the Open MPI
-        default at these scales) or ``"linear"`` (root sends p-1
-        messages — the naive baseline the ablation benchmarks compare
-        against).
+        default at these scales), ``"linear"`` (root sends p-1 messages
+        — the naive baseline the ablation benchmarks compare against),
+        ``"scatter_allgather"`` (van de Geijn: binomial segment scatter
+        + ring allgather, the large-message schedule; requires an
+        ndarray payload at the root), ``"hierarchical"`` (node leaders
+        relay over the fabric, shared memory fans out on-node), or
+        ``"auto"``.
+
+        ``"auto"`` consults the :meth:`selector` — but only when
+        ``nbytes`` (a payload-size hint every rank knows; non-roots do
+        not hold the payload) is given; without the hint it degrades to
+        the binomial tree on every rank.  ``site`` labels the chosen
+        algorithm in the obs metrics.
         """
         self._check_peer(root)
         tag = self._next_coll_tag()
+        if algorithm == "auto":
+            if nbytes is None:
+                algorithm = "binomial"
+            else:
+                algorithm = self.selector().select_bcast(int(nbytes)).algorithm
+        self._record_algorithm("bcast", algorithm, site)
         if algorithm == "binomial":
-            parent = coll.binomial_parent(self.rank, self.size, root)
-            if parent is not None:
-                msg = self.engine.wait_for_message(
-                    self.world_rank, self.context, self.group[parent], tag
-                )
-                self._absorb(msg)
-                payload = msg.payload
-            for child in coll.binomial_children(self.rank, self.size, root):
-                self._send_impl(payload, child, tag, internal=True)
-            return payload
+            return self._bcast_members(
+                payload, tag, list(range(self.size)), self.rank, root_pos=root
+            )
         if algorithm == "linear":
             if self.rank == root:
                 for dest in range(self.size):
@@ -386,7 +449,104 @@ class Communicator:
             )
             self._absorb(msg)
             return msg.payload
+        if algorithm == "scatter_allgather":
+            return self._bcast_scatter_allgather(payload, root, tag)
+        if algorithm == "hierarchical":
+            return self._bcast_hierarchical(payload, root, tag)
         raise CommunicatorError(f"unknown bcast algorithm {algorithm!r}")
+
+    def _bcast_members(
+        self, payload: Any, tag: int, members: list[int], me_rank: int, root_pos: int = 0
+    ) -> Any:
+        """Binomial-tree bcast over ``members`` (a sublist of local ranks)."""
+        size = len(members)
+        me = members.index(me_rank)
+        parent = coll.binomial_parent(me, size, root_pos)
+        if parent is not None:
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[members[parent]], tag
+            )
+            self._absorb(msg)
+            payload = msg.payload
+        for child in coll.binomial_children(me, size, root_pos):
+            self._send_impl(payload, members[child], tag, internal=True)
+        return payload
+
+    def _bcast_scatter_allgather(self, payload: Any, root: int, tag: int) -> Any:
+        """van de Geijn bcast: binomial scatter of segments + ring allgather."""
+        if self.size == 1:
+            return payload
+        virtual = (self.rank - root) % self.size
+        meta = None  # (shape, dtype) travels with the scattered segments
+        segments: dict[int, np.ndarray] = {}
+        if virtual == 0:
+            if not isinstance(payload, np.ndarray):
+                raise CommunicatorError(
+                    "scatter_allgather bcast requires an ndarray payload at the root"
+                )
+            meta = (payload.shape, payload.dtype)
+            segments = dict(enumerate(np.array_split(payload.ravel(), self.size)))
+        else:
+            parent = coll.binomial_parent(self.rank, self.size, root)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[parent], tag
+            )
+            self._absorb(msg)
+            meta, segments = msg.payload
+            segments = dict(segments)
+        # Forward each child its subtree's share of the segments; after
+        # the loop this rank holds exactly its own segment.
+        for child in coll.binomial_children(self.rank, self.size, root):
+            child_virtual = (child - root) % self.size
+            share = {
+                i: segments.pop(i)
+                for i in coll.binomial_subtree(child_virtual, self.size)
+                if i in segments
+            }
+            self._send_impl((meta, share), child, tag, internal=True)
+        # Ring allgather (in virtual numbering): circulate one segment
+        # per step until every rank holds all of them.
+        collected = dict(segments)
+        carry = (virtual, segments[virtual])
+        send_to = (self.rank + 1) % self.size
+        recv_from = (self.rank - 1) % self.size
+        for _ in range(self.size - 1):
+            self._send_impl(carry, send_to, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[recv_from], tag
+            )
+            self._absorb(msg)
+            carry = msg.payload
+            collected[carry[0]] = carry[1]
+        if virtual == 0:
+            return payload
+        flat = np.concatenate([collected[i] for i in range(self.size)])
+        return flat.astype(meta[1], copy=False).reshape(meta[0])
+
+    def _bcast_hierarchical(self, payload: Any, root: int, tag: int) -> Any:
+        """Leader-relay bcast: fabric hops leaders-only, shm fan-out on-node."""
+        groups = self._node_groups()
+        my_group = next(g for g in groups if self.rank in g)
+        leader = my_group[0]
+        leaders = [g[0] for g in groups]
+        root_group = next(g for g in groups if root in g)
+        root_leader = root_group[0]
+        # Hand off to the root's node leader (one shm hop, skipped if
+        # the root already leads its node).
+        if root != root_leader:
+            if self.rank == root:
+                self._send_impl(payload, root_leader, tag, internal=True)
+            elif self.rank == root_leader:
+                msg = self.engine.wait_for_message(
+                    self.world_rank, self.context, self.group[root], tag
+                )
+                self._absorb(msg)
+                payload = msg.payload
+        if self.rank == leader:
+            payload = self._bcast_members(
+                payload, tag, leaders, self.rank, root_pos=leaders.index(root_leader)
+            )
+        return self._bcast_members(payload, tag, my_group, self.rank, root_pos=0)
 
     @_traced_collective
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0,
@@ -429,16 +589,64 @@ class Communicator:
         raise CommunicatorError(f"unknown reduce algorithm {algorithm!r}")
 
     @_traced_collective
-    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
-        """Recursive-doubling allreduce (with fold for non-powers-of-two)."""
+    def allreduce(
+        self, value: Any, op: ReduceOp = SUM, algorithm: str = "auto", site: str = ""
+    ) -> Any:
+        """Allreduce; every rank returns the reduction.
+
+        ``algorithm`` picks the schedule: ``"recursive_doubling"`` (the
+        small-message default, with a pre/post fold for non-powers-of-
+        two), ``"ring"`` (segmented reduce-scatter + allgather,
+        bandwidth-optimal for large ndarrays), ``"rabenseifner"``
+        (recursive-halving reduce-scatter + recursive-doubling
+        allgather), the node-aware ``"hier_recursive_doubling"`` /
+        ``"hier_ring"`` / ``"hier_rabenseifner"`` (binomial fold to the
+        node leader over shared memory, leaders-only exchange over the
+        fabric, binomial fan-out), or ``"auto"`` — the :meth:`selector`
+        costs every eligible schedule against the platform's network
+        model and picks the cheapest.  The selection is a pure function
+        of (size, bytes, topology), so every rank resolves the same
+        algorithm without communicating.
+
+        The segmented algorithms (ring, Rabenseifner and their
+        hierarchical forms) require an ndarray ``value``; ``"auto"``
+        only considers them when the payload qualifies.  All variants
+        return bit-identical results on every rank of one call.
+        ``site`` labels the chosen algorithm in the obs metrics.
+        """
         tag = self._next_coll_tag()
-        pof2, masks = coll.recursive_doubling_plan(self.size)
-        excess = self.size - pof2
+        if algorithm == "auto":
+            segmentable = isinstance(value, np.ndarray)
+            algorithm = self.selector().select_allreduce(
+                payload_nbytes(value), segmentable=segmentable
+            ).algorithm
+        self._record_algorithm("allreduce", algorithm, site)
+        members = list(range(self.size))
+        if algorithm == "recursive_doubling":
+            return self._allreduce_rd(value, op, tag, members, self.rank)
+        if algorithm == "ring":
+            return self._allreduce_ring(value, op, tag, members, self.rank)
+        if algorithm == "rabenseifner":
+            return self._allreduce_rabenseifner(value, op, tag, members, self.rank)
+        if algorithm in coll.HIER_ALLREDUCE_ALGORITHMS:
+            return self._allreduce_hierarchical(
+                value, op, tag, inter_algorithm=algorithm[len("hier_"):]
+            )
+        raise CommunicatorError(f"unknown allreduce algorithm {algorithm!r}")
+
+    def _allreduce_rd(
+        self, value: Any, op: ReduceOp, tag: int, members: list[int], me_rank: int
+    ) -> Any:
+        """Recursive-doubling allreduce over ``members`` (local-rank sublist)."""
+        size = len(members)
+        me = members.index(me_rank)
+        pof2, masks = coll.recursive_doubling_plan(size)
+        excess = size - pof2
         accum = value
 
         # Pre-phase: the top `excess` ranks fold into partners below pof2.
-        if self.rank >= pof2:
-            partner = self.rank - pof2
+        if me >= pof2:
+            partner = members[me - pof2]
             self._send_impl(accum, partner, tag, internal=True)
             # Wait for the final result in the post-phase.
             msg = self.engine.wait_for_message(
@@ -447,15 +655,15 @@ class Communicator:
             self._absorb(msg)
             return msg.payload
 
-        if self.rank < excess:
+        if me < excess:
             msg = self.engine.wait_for_message(
-                self.world_rank, self.context, self.group[self.rank + pof2], tag
+                self.world_rank, self.context, self.group[members[me + pof2]], tag
             )
             self._absorb(msg)
             accum = op(accum, msg.payload)
 
         for mask in masks:
-            partner = self.rank ^ mask
+            partner = members[me ^ mask]
             self._send_impl(accum, partner, tag, internal=True)
             msg = self.engine.wait_for_message(
                 self.world_rank, self.context, self.group[partner], tag
@@ -463,8 +671,146 @@ class Communicator:
             self._absorb(msg)
             accum = op(accum, msg.payload)
 
-        if self.rank < excess:
-            self._send_impl(accum, self.rank + pof2, tag, internal=True)
+        if me < excess:
+            self._send_impl(accum, members[me + pof2], tag, internal=True)
+        return accum
+
+    def _require_ndarray(self, value: Any, algorithm: str) -> np.ndarray:
+        if not isinstance(value, np.ndarray):
+            raise CommunicatorError(
+                f"{algorithm} allreduce requires an ndarray payload it can "
+                f"segment, got {type(value).__name__}"
+            )
+        return value
+
+    def _allreduce_ring(
+        self, value: Any, op: ReduceOp, tag: int, members: list[int], me_rank: int
+    ) -> Any:
+        """Segmented-ring allreduce: reduce-scatter + allgather.
+
+        Every block is folded in the same fixed ring order, so all ranks
+        return bit-identical arrays even for non-associative float ops.
+        """
+        arr = self._require_ndarray(value, "ring")
+        size = len(members)
+        if size == 1:
+            return arr
+        me = members.index(me_rank)
+        segments = np.array_split(arr.ravel(), size)
+        send_to = members[(me + 1) % size]
+        recv_world = self.group[members[(me - 1) % size]]
+        for send_block, recv_block in coll.ring_reduce_scatter_steps(me, size):
+            self._send_impl(segments[send_block], send_to, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, recv_world, tag
+            )
+            self._absorb(msg)
+            segments[recv_block] = op(segments[recv_block], msg.payload)
+        for send_block, recv_block in coll.ring_allgather_steps(me, size):
+            self._send_impl(segments[send_block], send_to, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, recv_world, tag
+            )
+            self._absorb(msg)
+            segments[recv_block] = msg.payload
+        return np.concatenate(segments).reshape(arr.shape)
+
+    def _allreduce_rabenseifner(
+        self, value: Any, op: ReduceOp, tag: int, members: list[int], me_rank: int
+    ) -> Any:
+        """Rabenseifner allreduce: recursive-halving reduce-scatter +
+        recursive-doubling allgather, with the non-power-of-two fold."""
+        arr = self._require_ndarray(value, "rabenseifner")
+        size = len(members)
+        if size == 1:
+            return arr
+        me = members.index(me_rank)
+        pof2, _ = coll.recursive_doubling_plan(size)
+        excess = size - pof2
+        accum: Any = arr
+        if me >= pof2:
+            partner = members[me - pof2]
+            self._send_impl(accum, partner, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[partner], tag
+            )
+            self._absorb(msg)
+            return msg.payload
+        if me < excess:
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[members[me + pof2]], tag
+            )
+            self._absorb(msg)
+            accum = op(accum, msg.payload)
+
+        work = np.array(accum, copy=True).ravel()
+        bounds = np.zeros(pof2 + 1, dtype=np.intp)
+        np.cumsum([s.size for s in np.array_split(work, pof2)], out=bounds[1:])
+        plan = coll.recursive_halving_blocks(me, pof2)
+        for mask, keep, send in plan:
+            partner = members[me ^ mask]
+            s0, s1 = bounds[send[0]], bounds[send[1]]
+            k0, k1 = bounds[keep[0]], bounds[keep[1]]
+            self._send_impl(work[s0:s1].copy(), partner, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[partner], tag
+            )
+            self._absorb(msg)
+            work[k0:k1] = op(work[k0:k1], msg.payload)
+        for mask, keep, send in reversed(plan):
+            partner = members[me ^ mask]
+            k0, k1 = bounds[keep[0]], bounds[keep[1]]
+            s0, s1 = bounds[send[0]], bounds[send[1]]
+            self._send_impl(work[k0:k1].copy(), partner, tag, internal=True)
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[partner], tag
+            )
+            self._absorb(msg)
+            work[s0:s1] = msg.payload
+        result = work.reshape(arr.shape)
+        if me < excess:
+            self._send_impl(result, members[me + pof2], tag, internal=True)
+        return result
+
+    def _allreduce_hierarchical(
+        self, value: Any, op: ReduceOp, tag: int, inter_algorithm: str
+    ) -> Any:
+        """Node-aware allreduce: binomial fold to the node leader over
+        shared memory, leaders-only inter-node exchange, binomial fan-out."""
+        groups = self._node_groups()
+        my_group = next(g for g in groups if self.rank in g)
+        accum = self._reduce_members(value, op, tag, my_group, self.rank)
+        if self.rank == my_group[0]:
+            leaders = [g[0] for g in groups]
+            if inter_algorithm == "recursive_doubling":
+                accum = self._allreduce_rd(accum, op, tag, leaders, self.rank)
+            elif inter_algorithm == "ring":
+                accum = self._allreduce_ring(accum, op, tag, leaders, self.rank)
+            elif inter_algorithm == "rabenseifner":
+                accum = self._allreduce_rabenseifner(accum, op, tag, leaders, self.rank)
+            else:
+                raise CommunicatorError(
+                    f"unknown hierarchical inter-node algorithm {inter_algorithm!r}"
+                )
+        return self._bcast_members(accum, tag, my_group, self.rank, root_pos=0)
+
+    def _reduce_members(
+        self, value: Any, op: ReduceOp, tag: int, members: list[int], me_rank: int
+    ) -> Any:
+        """Binomial reduce over ``members`` to position 0 (None elsewhere)."""
+        size = len(members)
+        me = members.index(me_rank)
+        accum = value
+        for child in reversed(coll.binomial_children(me, size, 0)):
+            msg = self.engine.wait_for_message(
+                self.world_rank, self.context, self.group[members[child]], tag
+            )
+            self._absorb(msg)
+            accum = op(accum, msg.payload)
+        parent = coll.binomial_parent(me, size, 0)
+        if parent is not None:
+            self._send_impl(accum, members[parent], tag, internal=True)
+            return None
         return accum
 
     @_traced_collective

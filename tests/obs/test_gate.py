@@ -44,17 +44,56 @@ BASELINE = {
         "nodal_error": 6e-11,
         "critical_path_bound": {"rank": 1, "phase": "preconditioner"},
     },
+    "collectives": {
+        "num_nodes": 4,
+        "cores_per_node": 4,
+        "num_ranks": 16,
+        "reps": 3,
+        "small_doubles": 3,
+        "large_doubles": 65536,
+        "table_platforms": ["puma", "lagrange", "ec2"],
+        "table_ranks": 64,
+        "cases": {
+            "small": {
+                "nbytes": 24,
+                "fixed": {"algorithm": "recursive_doubling",
+                          "seconds_per_call": 1.06e-4,
+                          "offnode_bytes_per_call": 768.0},
+                "adaptive": {"algorithm": "recursive_doubling",
+                             "seconds_per_call": 1.06e-4,
+                             "offnode_bytes_per_call": 768.0},
+                "offnode_bytes_ratio": 1.0,
+                "speedup": 1.0,
+            },
+            "large": {
+                "nbytes": 524288,
+                "fixed": {"algorithm": "recursive_doubling",
+                          "seconds_per_call": 9.5e-3,
+                          "offnode_bytes_per_call": 16777216.0},
+                "adaptive": {"algorithm": "hier_rabenseifner",
+                             "seconds_per_call": 7.9e-3,
+                             "offnode_bytes_per_call": 3145728.0},
+                "offnode_bytes_ratio": 5.33,
+                "speedup": 1.2,
+            },
+        },
+    },
     "targets": {
         "rd_step_speedup_min": 3.0,
         "dist_cg_rounds_ratio_min": 1.5,
         "fused_rounds_per_iteration": 1.0,
+        "collectives_offnode_bytes_ratio_min": 1.5,
+        "collectives_small_algorithm": "recursive_doubling",
     },
 }
 
 
 def fresh_like_baseline():
     return copy.deepcopy(
-        {k: BASELINE[k] for k in ("rd_step_path", "dist_cg_rounds", "rd_phases")}
+        {
+            k: BASELINE[k]
+            for k in ("rd_step_path", "dist_cg_rounds", "rd_phases", "collectives")
+        }
     )
 
 
@@ -128,6 +167,39 @@ class TestCompare:
         fresh["rd_phases"]["phase_means"]["solve"] *= 1.3  # < 1.6x
         fresh["rd_step_path"]["incremental_seconds"] *= 1.5
         assert gate.compare(BASELINE, fresh).passed
+
+    def test_selector_small_message_drift_fails(self):
+        """Acceptance: the selector must keep recursive doubling for
+        small messages on the modeled 1 GbE cluster."""
+        fresh = fresh_like_baseline()
+        fresh["collectives"]["cases"]["small"]["adaptive"]["algorithm"] = "ring"
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "collectives.small.adaptive_algorithm"
+            for c in report.failures
+        )
+
+    def test_lost_offnode_byte_savings_fail(self):
+        fresh = fresh_like_baseline()
+        case = fresh["collectives"]["cases"]["large"]
+        case["offnode_bytes_ratio"] = 1.1
+        case["adaptive"]["offnode_bytes_per_call"] = 15e6
+        report = gate.compare(BASELINE, fresh)
+        failing = {c.name for c in report.failures}
+        assert "collectives.large.offnode_bytes_ratio" in failing
+        assert "collectives.large.adaptive_offnode_bytes" in failing
+
+    def test_adaptive_slower_than_fixed_fails(self):
+        fresh = fresh_like_baseline()
+        case = fresh["collectives"]["cases"]["large"]
+        case["adaptive"]["seconds_per_call"] = (
+            case["fixed"]["seconds_per_call"] * 1.5
+        )
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "collectives.large.adaptive_seconds"
+            for c in report.failures
+        )
 
     def test_missing_key_is_an_error_not_a_failure(self):
         fresh = fresh_like_baseline()

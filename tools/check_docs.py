@@ -1,0 +1,185 @@
+"""Documentation quality gate: docstring coverage + markdown links.
+
+Two checks, no third-party dependencies (the CI image has no
+``interrogate``, so the coverage half re-implements its core with
+:mod:`ast`):
+
+* **docstring coverage** over ``src/repro``: every module, public
+  class, and public function/method counts as one documentable object;
+  the measured coverage must not drop below ``--min-coverage``
+  (gated at the baseline captured when this tool was added, so new
+  undocumented surface fails CI while the historical floor never
+  ratchets down);
+* **markdown links** in ``README.md`` and ``docs/*.md``: every
+  relative ``[text](target)`` must resolve to an existing file
+  (anchors are stripped; ``http(s)``/``mailto`` targets are skipped —
+  this repo is designed to work offline).
+
+Run from the repo root (or anywhere — paths are derived from this
+file's location)::
+
+    python tools/check_docs.py
+    python tools/check_docs.py --min-coverage 97.0 --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Coverage floor: the percentage measured when the gate was introduced,
+#: rounded down.  Raise it as coverage improves; never lower it.
+DEFAULT_MIN_COVERAGE = 97.0
+
+
+# -- docstring coverage -------------------------------------------------------
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_documentable(tree: ast.Module):
+    """Yield (kind, qualname, has_docstring) for one parsed module.
+
+    Counts the module itself, public classes, and public
+    functions/methods.  Nested (function-local) defs are skipped: they
+    are implementation details, and the SPMD pattern of defining a
+    ``main(comm)`` closure inside every driver would otherwise dominate
+    the denominator.
+    """
+    yield "module", "<module>", ast.get_docstring(tree) is not None
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            yield "class", node.name, ast.get_docstring(node) is not None
+            for child in node.body:
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_public(child.name):
+                    yield (
+                        "method",
+                        f"{node.name}.{child.name}",
+                        ast.get_docstring(child) is not None,
+                    )
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and _is_public(node.name):
+            yield "function", node.name, ast.get_docstring(node) is not None
+
+
+def docstring_coverage(source_root: Path = SOURCE_ROOT):
+    """(coverage %, total, missing list) over every module in the tree."""
+    total = 0
+    missing: list[str] = []
+    base = source_root.parent if source_root == SOURCE_ROOT else source_root
+    for path in sorted(source_root.rglob("*.py")):
+        rel = path.relative_to(base)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for kind, qualname, documented in iter_documentable(tree):
+            total += 1
+            if not documented:
+                missing.append(f"{rel}: {kind} {qualname}")
+    covered = total - len(missing)
+    coverage = 100.0 * covered / total if total else 100.0
+    return coverage, total, missing
+
+
+# -- markdown link checking ---------------------------------------------------
+
+
+def extract_links(text: str):
+    """Relative link targets of every ``[text](target)`` in ``text``.
+
+    Fenced code blocks are skipped (shell snippets legitimately contain
+    ``[...]``), as are external and in-page targets.
+    """
+    links: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        i = 0
+        while True:
+            close = line.find("](", i)
+            if close == -1:
+                break
+            end = line.find(")", close + 2)
+            if end == -1:
+                break
+            target = line[close + 2 : end].strip()
+            i = end + 1
+            if not target or target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            links.append(target.split("#", 1)[0])
+    return links
+
+
+def doc_pages(repo_root: Path = REPO_ROOT):
+    """The markdown files the link check covers."""
+    pages = [repo_root / name for name in DOC_FILES if (repo_root / name).exists()]
+    docs_dir = repo_root / "docs"
+    if docs_dir.is_dir():
+        pages.extend(sorted(docs_dir.glob("*.md")))
+    return pages
+
+
+def broken_links(repo_root: Path = REPO_ROOT):
+    """``(page, target)`` pairs whose relative target does not exist."""
+    broken: list[tuple[str, str]] = []
+    for page in doc_pages(repo_root):
+        for target in extract_links(page.read_text()):
+            if not (page.parent / target).exists():
+                broken.append((str(page.relative_to(repo_root)), target))
+    return broken
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-coverage", type=float, default=DEFAULT_MIN_COVERAGE,
+        help="docstring coverage floor in percent (default %(default)s)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="list every undocumented object",
+    )
+    args = parser.parse_args(argv)
+
+    coverage, total, missing = docstring_coverage()
+    print(
+        f"docstring coverage: {coverage:.1f}% "
+        f"({total - len(missing)}/{total} documented, floor {args.min_coverage:g}%)"
+    )
+    failed = False
+    if coverage < args.min_coverage:
+        failed = True
+        print(f"FAIL: coverage below the {args.min_coverage:g}% floor")
+    if missing and (args.verbose or coverage < args.min_coverage):
+        for item in missing:
+            print(f"  missing: {item}")
+
+    broken = broken_links()
+    pages = doc_pages()
+    print(f"markdown links: {len(pages)} pages checked")
+    if broken:
+        failed = True
+        for page, target in broken:
+            print(f"FAIL: {page} -> {target} (missing file)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
