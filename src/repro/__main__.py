@@ -44,7 +44,8 @@ def _cmd_run(args) -> int:
     if args.all or not names:
         names = ("all",)
     obs = ObsConfig(out_dir=args.obs_out) if args.obs_out else None
-    config = RunConfig(seed=args.seed, obs=obs, cache_dir=args.cache_dir)
+    config = RunConfig(seed=args.seed, obs=obs, cache_dir=args.cache_dir,
+                       engine=args.engine)
     result = run(RunRequest(
         artifacts=names,
         config=config,
@@ -331,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--seed", type=int, default=7)
     runp.add_argument("--obs-out", default=None, metavar="DIR",
                       help="observe the sweep and export artifacts to DIR")
+    runp.add_argument("--engine", choices=("events", "threads"), default=None,
+                      help="simmpi execution core for SPMD points "
+                           "(default: REPRO_SIMMPI_ENGINE or events)")
     runp.set_defaults(func=_cmd_run)
 
     brokerp = sub.add_parser(

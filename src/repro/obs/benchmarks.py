@@ -15,7 +15,12 @@ configurations and compare.  Three measurements:
 * :func:`measure_collectives` — adaptive vs fixed-algorithm allreduce
   on a modeled 1 GbE cluster: off-node bytes, virtual time, and the
   algorithms the selector chose, plus the selection tables for the
-  paper's platforms.
+  paper's platforms;
+* :func:`measure_engine_throughput` — ranks-per-second of the
+  event-driven vs threaded simmpi engines at the paper's rank counts,
+  the executed weak-scaling sweep over the full Fig. 4–7 rank series
+  (p = 1 ... 1000), and a p = 4096 collective micro-run contrasting the
+  1 GbE and InfiniBand interconnect models at saturation.
 """
 
 from __future__ import annotations
@@ -326,6 +331,148 @@ def measure_collectives(
     }
 
 
+def _sweep_step_program(comm, steps):
+    """The per-rank workload of the engine benchmark: ``steps`` rounds of
+    allreduce + barrier — the communication skeleton of one weak-scaling
+    sweep point."""
+    total = 0.0
+    for k in range(steps):
+        total += comm.allreduce(float(comm.rank + k))
+        comm.barrier()
+    return total
+
+
+def measure_engine_throughput(
+    rank_counts=(8, 64, 512, 1000),
+    steps=3,
+    sweep_max_ranks=1000,
+    saturation_ranks=4096,
+    saturation_doubles=8192,
+):
+    """Ranks-per-second of the two simmpi engines, plus the scale runs
+    only the event-driven engine can execute.
+
+    Three measurements, all on the default modeled 1 GbE cluster:
+
+    * ``points`` — the ``steps``-round allreduce+barrier workload under
+      both engines at each ``rank_counts`` entry: wall seconds,
+      ``ranks_per_second`` (rank-program completions per wall second),
+      and the events/threads throughput ratio.  Virtual makespans are
+      recorded from both engines and must agree exactly (bit-identity on
+      the benchmark path).
+    * ``sweep`` — the same workload executed at every point of the
+      paper's weak-scaling rank series (p = 1, 8, 27, ... 1000) under
+      the event engine on one OS thread: the Fig. 4–7 axis, executed,
+      with the total wall cost.
+    * ``saturation`` — a ``saturation_ranks`` (default 4096) allreduce
+      + barrier micro-run, events engine only, on the 1 GbE model vs
+      InfiniBand 4X DDR: the virtual-time ratio shows where the slower
+      interconnect model saturates while the wall cost shows the engine
+      absorbing a 4096-rank collective.  The per-rank payload (64 KiB
+      default) is bandwidth-dominated on both fabrics but small enough
+      that 4096 live copies fit comfortably in memory.
+
+    A note on the ratio's magnitude: the event engine's advantage over
+    the threaded engine comes from eliminating OS preemption, condition
+    polling, and thread-spawn storms, so it grows with core count and
+    rank count.  On a single-core container the threaded engine's
+    contention pathologies are muted and the measured ratio at p = 512
+    is a few x (growing with p), not the order of magnitude seen on
+    multi-core hosts — the gate floors are set to what a one-core
+    worst case sustains.
+    """
+    from repro.apps.workload import paper_rank_series
+    from repro.network.model import (
+        GIGABIT_ETHERNET,
+        INFINIBAND_4X_DDR,
+        NetworkModel,
+    )
+    from repro.network.topology import ClusterTopology
+    from repro.simmpi import run_spmd
+
+    def timed_run(p, engine, link=GIGABIT_ETHERNET, program=None, kwargs=None):
+        cores = 32
+        topology = ClusterTopology(
+            max(1, -(-p // cores)), cores, NetworkModel(link)
+        )
+        start = time.perf_counter()
+        result = run_spmd(
+            program if program is not None else _sweep_step_program,
+            p,
+            topology=topology,
+            kwargs=kwargs if kwargs is not None else {"steps": steps},
+            real_timeout=600.0,
+            engine=engine,
+        )
+        wall = time.perf_counter() - start
+        return {
+            "wall_seconds": wall,
+            "ranks_per_second": p / wall,
+            "virtual_makespan": result.max_time,
+        }
+
+    points = []
+    for p in rank_counts:
+        events = timed_run(p, "events")
+        threads = timed_run(p, "threads")
+        points.append(
+            {
+                "num_ranks": p,
+                "events": events,
+                "threads": threads,
+                "ratio": events["ranks_per_second"] / threads["ranks_per_second"],
+                "makespans_match": (
+                    events["virtual_makespan"] == threads["virtual_makespan"]
+                ),
+            }
+        )
+
+    sweep_series = [p for p in paper_rank_series(1000) if p <= sweep_max_ranks]
+    sweep_points = [
+        {"num_ranks": p, **timed_run(p, "events")} for p in sweep_series
+    ]
+
+    def saturation_program(comm, doubles):
+        payload = np.full(doubles, float(comm.rank + 1))
+        t0 = comm.time
+        # Pinned algorithm: the contrast under test is the interconnect
+        # model, and the O(log p)-round schedule keeps the wall cost of
+        # a 4096-rank run in seconds (auto would pick a segmented
+        # schedule whose millions of simulated messages measure the
+        # selector, not the fabric).
+        comm.allreduce(payload, algorithm="recursive_doubling")
+        comm.barrier()
+        return comm.time - t0
+
+    saturation = {}
+    for name, link in (("1gbe", GIGABIT_ETHERNET), ("infiniband", INFINIBAND_4X_DDR)):
+        run = timed_run(
+            saturation_ranks, "events", link=link,
+            program=saturation_program, kwargs={"doubles": saturation_doubles},
+        )
+        saturation[name] = run
+
+    return {
+        "steps": steps,
+        "rank_counts": list(rank_counts),
+        "points": points,
+        "sweep": {
+            "rank_series": sweep_series,
+            "points": sweep_points,
+            "total_wall_seconds": sum(pt["wall_seconds"] for pt in sweep_points),
+        },
+        "saturation": {
+            "num_ranks": saturation_ranks,
+            "payload_doubles": saturation_doubles,
+            **saturation,
+            "virtual_time_ratio": (
+                saturation["1gbe"]["virtual_makespan"]
+                / saturation["infiniband"]["virtual_makespan"]
+            ),
+        },
+    }
+
+
 def collect_kernel_metrics(smoke=False):
     """The BENCH_kernels.json payload."""
     if smoke:
@@ -335,11 +482,16 @@ def collect_kernel_metrics(smoke=False):
             mesh_shape=(5, 5, 5), num_ranks=2, num_steps=6, discard=3
         )
         colls = measure_collectives(reps=2, large_doubles=16384)
+        engine = measure_engine_throughput(
+            rank_counts=(8, 64), steps=2, sweep_max_ranks=125,
+            saturation_ranks=512, saturation_doubles=16384,
+        )
     else:
         rd = measure_rd_step_paths()
         dist = measure_dist_cg_rounds()
         phases = measure_rd_phases()
         colls = measure_collectives()
+        engine = measure_engine_throughput()
     return {
         "benchmark": "kernels",
         "smoke": smoke,
@@ -347,12 +499,21 @@ def collect_kernel_metrics(smoke=False):
         "dist_cg_rounds": dist,
         "rd_phases": phases,
         "collectives": colls,
+        "engine_throughput": engine,
         "targets": {
             "rd_step_speedup_min": 3.0,
             "dist_cg_rounds_ratio_min": 1.5,
             "fused_rounds_per_iteration": 1.0,
             "collectives_offnode_bytes_ratio_min": 1.5,
             "collectives_small_algorithm": "recursive_doubling",
+            # Engine floors are one-core worst cases (see the
+            # measure_engine_throughput docstring): the events/threads
+            # ratio scales with host cores and rank count, so multi-core
+            # CI sees far larger margins at p = 512.
+            "engine_throughput_ratio_min": 1.3,
+            "engine_throughput_ratio_min_top": 2.5,
+            "engine_sweep_budget_seconds": 120.0,
+            "engine_saturation_virtual_ratio_min": 2.0,
         },
     }
 

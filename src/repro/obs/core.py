@@ -13,11 +13,15 @@ sequential solve, or a whole experiment).  It owns
 Instrumented application code asks the hub for a :class:`RankObs` bound
 to a rank and a clock (``obs.rank_view(comm)`` inside an SPMD body,
 ``obs.wall_view()`` for sequential code).  Opening a span *activates*
-the view on the current thread, so library layers (assembly kernels,
+the view in the ambient slot, so library layers (assembly kernels,
 Krylov loops, preconditioners) can attach child spans through the
 ambient :func:`current` without threading an argument through every
-signature — and because simmpi gives each rank its own thread, the
-ambient context is per-rank by construction.
+signature.  The slot is *task-local*: under the event-driven engine
+every rank is a cooperative task on one OS thread, so the active view
+lives in the current :class:`~repro.simmpi.events.Task`'s ``locals``
+dict; outside a task (the threaded engine, sequential code) it falls
+back to a plain thread-local.  Either way the ambient context is
+per-rank by construction.
 """
 
 from __future__ import annotations
@@ -31,14 +35,41 @@ from pathlib import Path
 from repro.errors import ObservabilityError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span, SpanStack
+from repro.simmpi.events import current_task
 from repro.simmpi.tracing import TraceRecord, Tracer
 
 _tls = threading.local()
 
+_AMBIENT_KEY = "obs_active"
+
+
+def _get_ambient():
+    """The raw ambient slot: task-local when a rank task is running."""
+    task = current_task()
+    if task is not None:
+        return task.locals.get(_AMBIENT_KEY)
+    return getattr(_tls, "active", None)
+
+
+def _set_ambient(view) -> None:
+    """Store (or with None, clear) the ambient slot for this task/thread."""
+    task = current_task()
+    if task is not None:
+        if view is None:
+            task.locals.pop(_AMBIENT_KEY, None)
+        else:
+            task.locals[_AMBIENT_KEY] = view
+    elif view is None:
+        if hasattr(_tls, "active"):
+            del _tls.active
+    else:
+        _tls.active = view
+
 
 def current() -> "RankObs":
-    """The rank view active on this thread (a no-op view when none is)."""
-    return getattr(_tls, "active", NULL_RANK_OBS)
+    """The rank view active on this task/thread (a no-op view when none is)."""
+    view = _get_ambient()
+    return view if view is not None else NULL_RANK_OBS
 
 
 @dataclass(frozen=True)
@@ -80,18 +111,15 @@ class RankObs:
 
     @contextmanager
     def span(self, name: str, **attrs):
-        """Open a nested span; activates this view on the thread."""
-        prev = getattr(_tls, "active", None)
-        _tls.active = self
+        """Open a nested span; activates this view in the ambient slot."""
+        prev = _get_ambient()
+        _set_ambient(self)
         span = self._stack.open(name, self.now(), attrs)
         try:
             yield span
         finally:
             self._stack.close(self.now())
-            if prev is None:
-                del _tls.active
-            else:
-                _tls.active = prev
+            _set_ambient(prev)
 
     # -- metrics shortcuts (rank-stamped) ---------------------------------
 

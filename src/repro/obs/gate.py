@@ -3,8 +3,11 @@
 ``BENCH_kernels.json`` records what the optimised kernels achieved when
 the baseline was captured: the RD step-path speedup, the allreduce
 rounds of classic/fused distributed CG, the per-phase virtual-time
-means and collective counts of a small distributed RD run, and the
-off-node byte savings of the adaptive collective layer.  The gate
+means and collective counts of a small distributed RD run, the
+off-node byte savings of the adaptive collective layer, and the
+engine-throughput section (event-driven vs threaded ranks-per-second,
+the executed p = 1000 weak-scaling series, and the p = 4096
+interconnect-saturation micro-run).  The gate
 re-runs the same measurements at the configurations the baseline
 recorded (:func:`measure_fresh`) and compares (:func:`compare`):
 
@@ -37,6 +40,7 @@ from repro.obs.benchmarks import (
     REPO_ROOT,
     measure_collectives,
     measure_dist_cg_rounds,
+    measure_engine_throughput,
     measure_rd_phases,
     measure_rd_step_paths,
 )
@@ -105,7 +109,8 @@ def load_baseline(path=DEFAULT_BASELINE) -> dict:
     missing = [
         key
         for key in (
-            "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives", "targets"
+            "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
+            "engine_throughput", "targets",
         )
         if key not in baseline
     ]
@@ -123,7 +128,15 @@ def measure_fresh(baseline) -> dict:
     cg_cfg = baseline["dist_cg_rounds"]
     ph_cfg = baseline["rd_phases"]
     co_cfg = baseline["collectives"]
+    en_cfg = baseline["engine_throughput"]
     return {
+        "engine_throughput": measure_engine_throughput(
+            rank_counts=tuple(en_cfg["rank_counts"]),
+            steps=en_cfg["steps"],
+            sweep_max_ranks=max(en_cfg["sweep"]["rank_series"]),
+            saturation_ranks=en_cfg["saturation"]["num_ranks"],
+            saturation_doubles=en_cfg["saturation"]["payload_doubles"],
+        ),
         "collectives": measure_collectives(
             num_nodes=co_cfg["num_nodes"],
             cores_per_node=co_cfg["cores_per_node"],
@@ -308,6 +321,62 @@ def compare(
                 fresh_co["cases"]["large"]["fixed"]["seconds_per_call"]
                 * count_tolerance,
                 "adaptive choice must not lose to the fixed baseline",
+            )
+        )
+
+        base_en, fresh_en = baseline["engine_throughput"], fresh["engine_throughput"]
+        for point in fresh_en["points"]:
+            checks.append(
+                GateCheck(
+                    f"engine_throughput.p{point['num_ranks']}.makespans_match",
+                    1.0 if point["makespans_match"] else 0.0,
+                    1.0,
+                    bool(point["makespans_match"]),
+                    "events and threads virtual makespans are bit-identical",
+                )
+            )
+        ratios = {pt["num_ranks"]: pt["ratio"] for pt in fresh_en["points"]}
+        gated = sorted(p for p in ratios if p >= 512)
+        if gated:
+            checks.append(
+                _lower(
+                    f"engine_throughput.p{gated[0]}.ratio",
+                    ratios[gated[0]],
+                    targets["engine_throughput_ratio_min"],
+                    "events vs threads ranks/sec (one-core worst-case floor)",
+                )
+            )
+        if len(gated) > 1:
+            checks.append(
+                _lower(
+                    f"engine_throughput.p{gated[-1]}.ratio",
+                    ratios[gated[-1]],
+                    targets["engine_throughput_ratio_min_top"],
+                    "the events advantage must grow with rank count",
+                )
+            )
+        checks.append(
+            _lower(
+                "engine_throughput.sweep.max_ranks",
+                max(fresh_en["sweep"]["rank_series"]),
+                max(base_en["sweep"]["rank_series"]),
+                "executed weak-scaling series must still reach the top point",
+            )
+        )
+        checks.append(
+            _upper(
+                "engine_throughput.sweep.total_wall_seconds",
+                fresh_en["sweep"]["total_wall_seconds"],
+                targets["engine_sweep_budget_seconds"],
+                "Fig. 4-7 rank series executed under the event engine",
+            )
+        )
+        checks.append(
+            _lower(
+                "engine_throughput.saturation.virtual_time_ratio",
+                fresh_en["saturation"]["virtual_time_ratio"],
+                targets["engine_saturation_virtual_ratio_min"],
+                "the 1 GbE model must saturate well above InfiniBand",
             )
         )
     except KeyError as exc:

@@ -29,7 +29,14 @@ from repro.simmpi.datatypes import (
 )
 from repro.simmpi.clock import VirtualClock
 from repro.simmpi.comm import Communicator, Request
-from repro.simmpi.launcher import SPMDResult, run_spmd
+from repro.simmpi.events import EventEngine, current_task
+from repro.simmpi.launcher import (
+    ENGINE_KINDS,
+    SPMDResult,
+    default_engine,
+    engine_override,
+    run_spmd,
+)
 from repro.simmpi.selector import CollectiveSelector, Selection
 from repro.simmpi.tracing import TraceRecord, Tracer
 
@@ -49,6 +56,11 @@ __all__ = [
     "Selection",
     "Communicator",
     "Request",
+    "EventEngine",
+    "current_task",
+    "ENGINE_KINDS",
+    "default_engine",
+    "engine_override",
     "SPMDResult",
     "run_spmd",
     "TraceRecord",

@@ -16,7 +16,7 @@ from __future__ import annotations
 import functools
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -131,12 +131,18 @@ class Communicator:
         self.clock = clock if clock is not None else VirtualClock()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.context = context
-        self.group = group if group is not None else list(range(size))
+        #: ``range(size)`` for the identity (world) group: materializing a
+        #: per-rank list and reverse dict made every communicator O(size),
+        #: i.e. O(p^2) across a run -- hundreds of MB at p >= 2048 and GC
+        #: storms across sweeps.  Split communicators keep explicit lists.
+        self.group: Sequence[int] = group if group is not None else range(size)
         if len(self.group) != size:
             raise CommunicatorError(
                 f"group has {len(self.group)} entries for size-{size} communicator"
             )
-        self._world_to_local = {w: l for l, w in enumerate(self.group)}
+        self._world_to_local = (
+            None if group is None else {w: l for l, w in enumerate(group)}
+        )
         self.volume_limit_bytes = volume_limit_bytes
         self.nic_concurrency = max(1.0, float(nic_concurrency))
         self.bytes_sent = 0
@@ -265,7 +271,7 @@ class Communicator:
         start = self.clock.time
         msg = self.engine.wait_for_message(self.world_rank, self.context, world_source, tag)
         self._absorb(msg)
-        local_source = self._world_to_local[msg.source]
+        local_source = self._local_of(msg.source)
         self.tracer.record(
             TraceRecord(
                 self.rank,
@@ -283,6 +289,11 @@ class Communicator:
         """Merge the message's arrival time into this rank's clock."""
         self.clock.merge(msg.arrival_time)
         self.clock.advance(RECV_OVERHEAD)
+
+    def _local_of(self, world: int) -> int:
+        """Local rank of a world rank (identity for the world group)."""
+        table = self._world_to_local
+        return world if table is None else table[world]
 
     def _try_collect(self, source: int, tag: int) -> Message | None:
         world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
@@ -310,7 +321,7 @@ class Communicator:
             for msg in mailbox._messages:
                 if msg.context == self.context and msg.matches(world_source, tag):
                     return Status(
-                        source=self._world_to_local[msg.source],
+                        source=self._local_of(msg.source),
                         tag=msg.tag,
                         nbytes=msg.nbytes,
                     )
@@ -333,7 +344,7 @@ class Communicator:
             mailbox.condition.notify_all()
         self.clock.merge(msg.arrival_time)
         return Status(
-            source=self._world_to_local[msg.source], tag=msg.tag, nbytes=msg.nbytes
+            source=self._local_of(msg.source), tag=msg.tag, nbytes=msg.nbytes
         )
 
     @staticmethod
@@ -830,7 +841,7 @@ class Communicator:
                 self.world_rank, self.context, self.group[src], tag
             )
             self._absorb(msg)
-            out[self._world_to_local[msg.source]] = msg.payload
+            out[self._local_of(msg.source)] = msg.payload
         return out
 
     @_traced_collective
@@ -889,7 +900,7 @@ class Communicator:
                 self.world_rank, self.context, self.group[src], tag
             )
             self._absorb(msg)
-            out[self._world_to_local[msg.source]] = msg.payload
+            out[self._local_of(msg.source)] = msg.payload
         return out
 
     @_traced_collective

@@ -1,16 +1,33 @@
 """SPMD launcher: the simulated ``mpiexec``.
 
-Spawns one thread per rank, hands each a :class:`Communicator`, collects
-return values, clocks and traces.  Failure injection hooks reproduce the
-launch pathologies the paper hit: ellipse's ``mpiexec`` could not
-initialize more than 512 remote daemons, and EC2 required ssh mutual
-authentication and open security-group ports before any launch worked
-(:mod:`repro.platforms` wires those hooks).
+Hands each rank a :class:`Communicator`, runs the rank programs on the
+selected engine, and collects return values, clocks and traces.  Two
+engines share one runtime contract (``engine=`` / ``REPRO_SIMMPI_ENGINE``):
+
+* ``"events"`` (default) -- the discrete-event scheduler of
+  :mod:`repro.simmpi.events`: cooperative rank tasks, deterministic
+  ``(virtual time, rank)`` ordering, exact deadlock detection, and the
+  scale headroom for the paper's p = 1000 axis and beyond;
+* ``"threads"`` -- the legacy free-running thread-per-rank engine of
+  :mod:`repro.simmpi.transport`, kept as a debug fallback (real
+  preemption occasionally shakes out ordering assumptions the
+  cooperative engine cannot).
+
+Both engines produce bit-identical results, virtual clocks, and
+per-rank trace sequences for deterministic rank programs.
+
+Failure injection hooks reproduce the launch pathologies the paper hit:
+ellipse's ``mpiexec`` could not initialize more than 512 remote daemons,
+and EC2 required ssh mutual authentication and open security-group
+ports before any launch worked (:mod:`repro.platforms` wires those
+hooks).
 """
 
 from __future__ import annotations
 
+import os
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -19,8 +36,48 @@ from repro.network.model import GIGABIT_ETHERNET, NetworkModel
 from repro.network.topology import ClusterTopology
 from repro.simmpi.clock import VirtualClock
 from repro.simmpi.comm import Communicator
+from repro.simmpi.events import EventEngine
 from repro.simmpi.tracing import Tracer
 from repro.simmpi.transport import Engine
+
+ENGINE_KINDS = ("events", "threads")
+
+
+def default_engine() -> str:
+    """The engine ``run_spmd`` uses when none is passed explicitly.
+
+    ``REPRO_SIMMPI_ENGINE`` overrides (read per call, so the broker's
+    worker processes and test matrices can flip it), else ``"events"``.
+    """
+    kind = os.environ.get("REPRO_SIMMPI_ENGINE", "").strip() or "events"
+    if kind not in ENGINE_KINDS:
+        raise LaunchError(
+            f"REPRO_SIMMPI_ENGINE={kind!r} is not one of {ENGINE_KINDS}"
+        )
+    return kind
+
+
+@contextmanager
+def engine_override(kind: str | None):
+    """Temporarily pin the default engine (None = leave as-is).
+
+    The sweep engine uses this to honor ``RunConfig.engine`` on its
+    in-process path; worker processes just set the env var.
+    """
+    if kind is None:
+        yield
+        return
+    if kind not in ENGINE_KINDS:
+        raise LaunchError(f"engine {kind!r} is not one of {ENGINE_KINDS}")
+    previous = os.environ.get("REPRO_SIMMPI_ENGINE")
+    os.environ["REPRO_SIMMPI_ENGINE"] = kind
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIMMPI_ENGINE", None)
+        else:
+            os.environ["REPRO_SIMMPI_ENGINE"] = previous
 
 
 @dataclass
@@ -33,6 +90,7 @@ class SPMDResult:
     tracer: Tracer
     bytes_sent: list[int] = field(default_factory=list)
     messages_sent: list[int] = field(default_factory=list)
+    engine: str = "events"
 
     @property
     def max_time(self) -> float:
@@ -65,6 +123,7 @@ def run_spmd(
     launch_hook: Callable[[int], None] | None = None,
     fault_injector=None,
     observability=None,
+    engine: str | None = None,
 ) -> SPMDResult:
     """Run ``target(comm, *args, **kwargs)`` on ``num_ranks`` ranks.
 
@@ -84,10 +143,18 @@ def run_spmd(
     comm event); span instrumentation inside ``target`` still needs the
     hub passed through ``args``/``kwargs`` to open rank views.
 
+    ``engine`` selects the execution core — ``"events"`` (cooperative
+    discrete-event scheduler, the default) or ``"threads"`` (the legacy
+    thread-per-rank debug fallback); None defers to
+    :func:`default_engine`.  Results are bit-identical either way.
+
     Raises the first rank exception after aborting the others.
     """
     if num_ranks < 1:
         raise LaunchError(f"cannot launch {num_ranks} ranks")
+    engine_kind = engine if engine is not None else default_engine()
+    if engine_kind not in ENGINE_KINDS:
+        raise LaunchError(f"engine {engine_kind!r} is not one of {ENGINE_KINDS}")
     if kwargs is None:
         kwargs = {}
     if topology is None:
@@ -99,15 +166,16 @@ def run_spmd(
     if launch_hook is not None:
         launch_hook(num_ranks)
 
-    engine = Engine(num_ranks, real_timeout=real_timeout,
-                    fault_injector=fault_injector)
+    engine_cls = EventEngine if engine_kind == "events" else Engine
+    runtime = engine_cls(num_ranks, real_timeout=real_timeout,
+                         fault_injector=fault_injector)
     if observability is not None:
         tracer = observability.tracer
     else:
         tracer = Tracer(enabled=trace)
     comms = [
         Communicator(
-            engine=engine,
+            engine=runtime,
             rank=r,
             size=num_ranks,
             topology=topology,
@@ -119,6 +187,27 @@ def run_spmd(
         for r in range(num_ranks)
     ]
 
+    if engine_kind == "events":
+        returns = runtime.run(target, comms, args=args, kwargs=kwargs)
+    else:
+        returns = _run_threaded(runtime, target, comms, args, kwargs, real_timeout)
+
+    return SPMDResult(
+        num_ranks=num_ranks,
+        returns=returns,
+        clocks=[c.clock.time for c in comms],
+        tracer=tracer,
+        bytes_sent=[c.bytes_sent for c in comms],
+        messages_sent=[c.messages_sent for c in comms],
+        engine=engine_kind,
+    )
+
+
+def _run_threaded(
+    runtime: Engine, target, comms, args, kwargs, real_timeout: float
+) -> list[Any]:
+    """The legacy engine: one free-running OS thread per rank."""
+    num_ranks = runtime.num_ranks
     returns: list[Any] = [None] * num_ranks
     errors: list[tuple[int, BaseException]] = []
     errors_lock = threading.Lock()
@@ -129,9 +218,9 @@ def run_spmd(
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             with errors_lock:
                 errors.append((rank, exc))
-            engine.abort(exc)
+            runtime.abort(exc)
         finally:
-            engine.rank_finished()
+            runtime.rank_finished()
 
     threads = [
         threading.Thread(target=_rank_main, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
@@ -143,7 +232,7 @@ def run_spmd(
         t.join(timeout=real_timeout + 10.0)
         if t.is_alive():
             exc = SimMPIError(f"thread {t.name} failed to finish (runaway rank)")
-            engine.abort(exc)
+            runtime.abort(exc)
             raise exc
 
     if errors:
@@ -151,17 +240,9 @@ def run_spmd(
         # not the secondary SimMPIError other ranks saw while unwinding, so
         # callers can discriminate injected platform failures
         # (DataVolumeExceededError etc.).
-        root = engine.abort_exception
+        root = runtime.abort_exception
         if root is None:
             errors.sort(key=lambda pair: pair[0])
             root = errors[0][1]
         raise root
-
-    return SPMDResult(
-        num_ranks=num_ranks,
-        returns=returns,
-        clocks=[c.clock.time for c in comms],
-        tracer=tracer,
-        bytes_sent=[c.bytes_sent for c in comms],
-        messages_sent=[c.messages_sent for c in comms],
-    )
+    return returns

@@ -11,17 +11,20 @@ observability layer (:mod:`repro.obs`): an optional ``sink`` callable
 receives every record as it is appended, which is how live metrics and
 the Chrome-trace flow events are fed without a second recorder.
 
-Locking discipline: ``record`` appends under the lock; every reduction
-takes a :meth:`snapshot` (one copy under the lock) and scans outside it,
-so a long aggregation never blocks the rank threads mid-run.
+Concurrency discipline: there is no lock.  Each rank appends only to
+its *own* per-rank buffer (plain ``list.append``, atomic under CPython),
+so the hot path is contention-free under the thread-per-rank engine and
+pure overhead-free under the cooperative event engine, where at most
+one rank runs at a time.  Reductions merge the buffers rank-major --
+deterministic and engine-independent, unlike the old single global list
+whose interleaving depended on the OS schedule.
 """
 
 from __future__ import annotations
 
-import threading
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 
 @dataclass(frozen=True)
@@ -43,34 +46,54 @@ class TraceRecord:
         return self.t_end - self.t_start
 
 
-@dataclass
 class Tracer:
-    """Thread-safe collector of trace records for a whole SPMD run."""
+    """Collector of trace records for a whole SPMD run.
 
-    enabled: bool = True
-    records: list[TraceRecord] = field(default_factory=list)
-    sink: Callable[[TraceRecord], None] | None = None
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    Records live in per-rank append-only buffers (see the module
+    docstring for why there is no lock); :attr:`records` and
+    :meth:`snapshot` expose the rank-major merge.
+    """
+
+    __slots__ = ("enabled", "sink", "_buffers")
+
+    def __init__(self, enabled: bool = True,
+                 sink: Callable[[TraceRecord], None] | None = None):
+        self.enabled = enabled
+        self.sink = sink
+        self._buffers: dict[int, list[TraceRecord]] = {}
+
+    def __repr__(self) -> str:
+        return f"Tracer(enabled={self.enabled}, records={len(self.records)})"
 
     def record(self, record: TraceRecord) -> None:
-        """Append one record (no-op when disabled)."""
+        """Append one record to its rank's buffer (no-op when disabled)."""
         if not self.enabled:
             return
-        with self._lock:
-            self.records.append(record)
+        buffer = self._buffers.get(record.rank)
+        if buffer is None:
+            buffer = self._buffers.setdefault(record.rank, [])
+        buffer.append(record)
         if self.sink is not None:
             self.sink(record)
 
-    def snapshot(self) -> tuple[TraceRecord, ...]:
-        """An immutable copy of the records: one list copy under the lock."""
-        with self._lock:
-            return tuple(self.records)
+    def _merged(self) -> Iterator[TraceRecord]:
+        for rank in sorted(self._buffers):
+            yield from self._buffers[rank]
 
-    # -- reductions (lock held only for the snapshot copy) --------------------
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All records, rank-major (rank order, per-rank append order)."""
+        return list(self._merged())
+
+    def snapshot(self) -> tuple[TraceRecord, ...]:
+        """An immutable rank-major merge of the per-rank buffers."""
+        return tuple(self._merged())
+
+    # -- reductions ------------------------------------------------------------
 
     def by_rank(self, rank: int) -> list[TraceRecord]:
         """All records of one rank, in recording order."""
-        return [r for r in self.snapshot() if r.rank == rank]
+        return list(self._buffers.get(rank, ()))
 
     def total_bytes_sent(self, rank: int | None = None) -> int:
         """Bytes sent by one rank (or all ranks)."""
@@ -130,8 +153,7 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all records."""
-        with self._lock:
-            self.records.clear()
+        self._buffers.clear()
 
     def timeline(self, width: int = 64, kinds: tuple[str, ...] = ("compute", "send", "recv")) -> str:
         """Render a per-rank text timeline (a poor man's Gantt chart).

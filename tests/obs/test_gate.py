@@ -78,12 +78,54 @@ BASELINE = {
             },
         },
     },
+    "engine_throughput": {
+        "steps": 3,
+        "rank_counts": [8, 512, 1000],
+        "points": [
+            {"num_ranks": 8,
+             "events": {"wall_seconds": 0.004, "ranks_per_second": 2000.0,
+                        "virtual_makespan": 2e-5},
+             "threads": {"wall_seconds": 0.005, "ranks_per_second": 1600.0,
+                         "virtual_makespan": 2e-5},
+             "ratio": 1.25, "makespans_match": True},
+            {"num_ranks": 512,
+             "events": {"wall_seconds": 0.5, "ranks_per_second": 1024.0,
+                        "virtual_makespan": 3e-4},
+             "threads": {"wall_seconds": 1.1, "ranks_per_second": 465.0,
+                         "virtual_makespan": 3e-4},
+             "ratio": 2.2, "makespans_match": True},
+            {"num_ranks": 1000,
+             "events": {"wall_seconds": 1.6, "ranks_per_second": 625.0,
+                        "virtual_makespan": 5e-4},
+             "threads": {"wall_seconds": 16.0, "ranks_per_second": 62.5,
+                         "virtual_makespan": 5e-4},
+             "ratio": 10.0, "makespans_match": True},
+        ],
+        "sweep": {
+            "rank_series": [1, 8, 27, 64, 125, 216, 343, 512, 729, 1000],
+            "points": [],
+            "total_wall_seconds": 3.5,
+        },
+        "saturation": {
+            "num_ranks": 4096,
+            "payload_doubles": 8192,
+            "1gbe": {"wall_seconds": 5.8, "ranks_per_second": 700.0,
+                     "virtual_makespan": 7e-3},
+            "infiniband": {"wall_seconds": 5.0, "ranks_per_second": 810.0,
+                           "virtual_makespan": 5.5e-4},
+            "virtual_time_ratio": 12.6,
+        },
+    },
     "targets": {
         "rd_step_speedup_min": 3.0,
         "dist_cg_rounds_ratio_min": 1.5,
         "fused_rounds_per_iteration": 1.0,
         "collectives_offnode_bytes_ratio_min": 1.5,
         "collectives_small_algorithm": "recursive_doubling",
+        "engine_throughput_ratio_min": 1.3,
+        "engine_throughput_ratio_min_top": 2.5,
+        "engine_sweep_budget_seconds": 120.0,
+        "engine_saturation_virtual_ratio_min": 2.0,
     },
 }
 
@@ -92,7 +134,10 @@ def fresh_like_baseline():
     return copy.deepcopy(
         {
             k: BASELINE[k]
-            for k in ("rd_step_path", "dist_cg_rounds", "rd_phases", "collectives")
+            for k in (
+                "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
+                "engine_throughput",
+            )
         }
     )
 
@@ -198,6 +243,52 @@ class TestCompare:
         report = gate.compare(BASELINE, fresh)
         assert any(
             c.name == "collectives.large.adaptive_seconds"
+            for c in report.failures
+        )
+
+    def test_engine_ratio_collapse_fails(self):
+        fresh = fresh_like_baseline()
+        for point in fresh["engine_throughput"]["points"]:
+            if point["num_ranks"] == 512:
+                point["ratio"] = 1.0
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "engine_throughput.p512.ratio" for c in report.failures
+        )
+
+    def test_engine_makespan_mismatch_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["engine_throughput"]["points"][1]["makespans_match"] = False
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "engine_throughput.p512.makespans_match"
+            for c in report.failures
+        )
+
+    def test_engine_sweep_budget_blown_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["engine_throughput"]["sweep"]["total_wall_seconds"] = 300.0
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "engine_throughput.sweep.total_wall_seconds"
+            for c in report.failures
+        )
+
+    def test_engine_sweep_truncated_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["engine_throughput"]["sweep"]["rank_series"] = [1, 8, 27]
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "engine_throughput.sweep.max_ranks"
+            for c in report.failures
+        )
+
+    def test_interconnect_saturation_lost_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["engine_throughput"]["saturation"]["virtual_time_ratio"] = 1.0
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "engine_throughput.saturation.virtual_time_ratio"
             for c in report.failures
         )
 

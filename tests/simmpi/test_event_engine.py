@@ -1,0 +1,220 @@
+"""The event-driven engine: selection, scheduling policy, failure paths.
+
+The scheduler's ``(virtual time, rank)`` ordering is a documented
+contract (:mod:`repro.simmpi.events` module docstring): these tests pin
+it with deterministic wildcard-receive programs that would race under
+the threaded engine, and cover the engine-specific machinery — the
+launcher flag and env override, exact deadlock detection, fault kills
+as scheduler-level cancellation, task-local observability context, and
+the process-wide context pool.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import DeadlockError, LaunchError, RankFailedError
+from repro.obs.core import Observability, current
+from repro.resilience import FaultEvent, FaultInjector, FaultPlan
+from repro.simmpi import (
+    ANY_SOURCE,
+    ENGINE_KINDS,
+    default_engine,
+    engine_override,
+    run_spmd,
+)
+from repro.simmpi.events import pool_stats
+
+
+def run(fn, n, **kw):
+    kw.setdefault("real_timeout", 20.0)
+    kw.setdefault("engine", "events")
+    return run_spmd(fn, n, **kw)
+
+
+class TestEngineSelection:
+    def test_default_engine_is_events(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMMPI_ENGINE", raising=False)
+        assert default_engine() == "events"
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMMPI_ENGINE", "threads")
+        assert default_engine() == "threads"
+        result = run_spmd(lambda comm: comm.rank, 2)
+        assert result.engine == "threads"
+
+    def test_env_var_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMMPI_ENGINE", "fibers")
+        with pytest.raises(LaunchError, match="fibers"):
+            default_engine()
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMMPI_ENGINE", "threads")
+        result = run_spmd(lambda comm: comm.rank, 2, engine="events")
+        assert result.engine == "events"
+
+    def test_bad_engine_flag(self):
+        with pytest.raises(LaunchError, match="carrier-pigeon"):
+            run_spmd(lambda comm: comm.rank, 2, engine="carrier-pigeon")
+
+    def test_engine_override_restores_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMMPI_ENGINE", raising=False)
+        with engine_override("threads"):
+            assert default_engine() == "threads"
+        assert "REPRO_SIMMPI_ENGINE" not in os.environ
+        with engine_override(None):
+            assert default_engine() == "events"
+
+    def test_engine_override_validates(self):
+        with pytest.raises(LaunchError):
+            with engine_override("fibers"):
+                pass
+
+    def test_engine_kinds(self):
+        assert ENGINE_KINDS == ("events", "threads")
+
+
+class TestSchedulingPolicy:
+    """Regression tests for the documented (virtual time, rank) order."""
+
+    def test_wildcard_receive_order_is_rank_order(self):
+        # Rank 0 drains size-1 wildcard receives.  Senders stagger their
+        # *virtual* delays in reverse rank order, but scheduling at
+        # launch is (0.0, rank), so posts -- and therefore mailbox FIFO
+        # order -- follow rank order, not virtual send time.
+        def main(comm):
+            if comm.rank == 0:
+                return [
+                    comm.recv_status(source=ANY_SOURCE)[1].source
+                    for _ in range(comm.size - 1)
+                ]
+            comm.compute(1e-3 * (comm.size - comm.rank))
+            comm.send(comm.rank, dest=0)
+            return None
+
+        expected = list(range(1, 8))
+        for _ in range(3):
+            assert run(main, 8).returns[0] == expected
+
+    def test_woken_receiver_ordered_by_virtual_time(self):
+        # After rank 1's send wakes rank 0, rank 0 re-enters the run
+        # queue at its post-receive clock -- behind still-unstarted
+        # ranks at time 0.  Rank 0's second receive therefore sees rank
+        # 2's message already posted: deterministic, repeatable.
+        def main(comm):
+            if comm.rank == 0:
+                first = comm.recv_status(source=ANY_SOURCE)[1].source
+                second = comm.recv_status(source=ANY_SOURCE)[1].source
+                return (first, second)
+            comm.send(comm.rank, dest=0)
+            return None
+
+        results = {run(main, 3).returns[0] for _ in range(5)}
+        assert results == {(1, 2)}
+
+    def test_identical_traces_run_to_run(self):
+        def main(comm):
+            comm.compute(1e-4 * (comm.rank + 1), label="work")
+            comm.allreduce(comm.rank)
+            comm.barrier()
+            return comm.time
+
+        runs = [run(main, 5, trace=True) for _ in range(3)]
+        baseline = runs[0].tracer.snapshot()
+        for other in runs[1:]:
+            assert other.tracer.snapshot() == baseline
+            assert other.clocks == runs[0].clocks
+
+
+class TestFailurePaths:
+    def test_exact_deadlock_detection(self):
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(DeadlockError):
+            run(main, 3)
+
+    def test_partial_deadlock_detected(self):
+        # rank 0 waits on a message nobody sends; others finish fine
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=99)
+            return comm.rank
+
+        with pytest.raises(DeadlockError):
+            run(main, 4)
+
+    def test_rank_exception_propagates(self):
+        def main(comm):
+            if comm.rank == 2:
+                raise ValueError("rank 2 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 2 exploded"):
+            run(main, 4)
+
+    def test_fault_kill_is_scheduler_cancellation(self):
+        plan = FaultPlan([FaultEvent(kind="rank_kill", rank=1, after_ops=2)])
+
+        def main(comm):
+            for _ in range(4):
+                comm.allreduce(comm.rank)
+            return comm.rank
+
+        with pytest.raises(RankFailedError):
+            run(main, 4, fault_injector=FaultInjector(plan))
+
+
+class TestTaskLocalObservability:
+    def test_ambient_view_is_per_rank(self):
+        obs = Observability()
+
+        def main(comm):
+            view = obs.rank_view(comm)
+            with view.span("step"):
+                comm.barrier()  # other ranks run inside our span
+                seen = current().rank
+                with view.span("inner"):
+                    comm.allreduce(comm.rank)
+                    nested = current().rank
+            after = current().enabled
+            return (seen, nested, after)
+
+        result = run(main, 4, observability=obs)
+        # every rank saw *its own* view despite interleaved execution on
+        # one OS thread, and the slot cleared when the span closed
+        assert result.returns == [(r, r, False) for r in range(4)]
+        obs.check_balanced()
+
+    def test_span_trees_stay_per_rank(self):
+        obs = Observability()
+
+        def main(comm):
+            view = obs.rank_view(comm)
+            with view.span("outer"):
+                comm.barrier()
+                with view.span("inner"):
+                    comm.barrier()
+
+        run(main, 3, observability=obs)
+        for rank in range(3):
+            roots = obs.span_roots(rank)
+            assert [s.name for s in roots] == ["outer"]
+            assert [s.name for s in roots[0].children] == ["inner"]
+            assert all(s.rank == rank for s in roots + roots[0].children)
+
+
+class TestContextPool:
+    def test_stacks_are_reused_across_runs(self):
+        def main(comm):
+            comm.barrier()
+            return comm.rank
+
+        run(main, 8)
+        parked_after_first, cap = pool_stats()
+        assert parked_after_first >= 8
+        assert cap >= parked_after_first
+        run(main, 8)
+        parked_after_second, _ = pool_stats()
+        # the second run drew from the pool instead of growing it
+        assert parked_after_second <= parked_after_first
