@@ -45,7 +45,7 @@ def _cmd_run(args) -> int:
         names = ("all",)
     obs = ObsConfig(out_dir=args.obs_out) if args.obs_out else None
     config = RunConfig(seed=args.seed, obs=obs, cache_dir=args.cache_dir,
-                       engine=args.engine)
+                       engine=args.engine, replay=args.replay)
     result = run(RunRequest(
         artifacts=names,
         config=config,
@@ -335,6 +335,13 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--engine", choices=("events", "threads"), default=None,
                       help="simmpi execution core for SPMD points "
                            "(default: REPRO_SIMMPI_ENGINE or events)")
+    runp.add_argument("--replay", dest="replay", action="store_true",
+                      default=True,
+                      help="let executed platform sweeps record the schedule "
+                           "once and replay it per platform (default)")
+    runp.add_argument("--no-replay", dest="replay", action="store_false",
+                      help="force full per-platform simulation "
+                           "(bit-identical to replay, just slower)")
     runp.set_defaults(func=_cmd_run)
 
     brokerp = sub.add_parser(

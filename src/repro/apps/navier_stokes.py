@@ -364,8 +364,15 @@ def run_ns_distributed(
     cpu_speed_factor: float = 1.0,
     discard: int = 2,
     obs=None,
+    compute_charger=None,
 ):
     """SPMD Navier-Stokes over simmpi: executed numerics, virtual phases.
+
+    ``compute_charger`` — optional ``(phase, measured_seconds) ->
+    virtual_seconds`` callable replacing the wall-clock charge with a
+    deterministic model (:class:`repro.perfmodel.ModeledCompute`), the
+    prerequisite for bit-exact schedule replay (``docs/replay.md``);
+    ``cpu_speed_factor`` is ignored when set.
 
     Mirrors :func:`repro.apps.reaction_diffusion.run_rd_distributed`:
     assembly is replicated (deterministic) and charged to the virtual
@@ -406,8 +413,11 @@ def run_ns_distributed(
 
         view = NULL_RANK_OBS
 
-    def charge(real_seconds: float) -> None:
-        comm.compute(real_seconds / cpu_speed_factor)
+    def charge(phase: str, real_seconds: float) -> None:
+        if compute_charger is not None:
+            comm.compute(compute_charger(phase, real_seconds), label=phase)
+        else:
+            comm.compute(real_seconds / cpu_speed_factor)
 
     # One DistMatrix per operator role: "momentum" is refreshed in place
     # each step; "phi" and "mass" are step-invariant.
@@ -446,7 +456,7 @@ def run_ns_distributed(
                 momentum_op, momentum_rhs, exact_velocity_new = (
                     solver._assemble_momentum(t_new)
                 )
-                charge(_time.perf_counter() - start)
+                charge("assembly", _time.perf_counter() - start)
 
             with clock.phase("preconditioner"), view.span("preconditioner"):
                 # Distributed preconditioning is block-local inside the

@@ -257,6 +257,7 @@ def run_rd_distributed(
     cpu_speed_factor: float = 1.0,
     discard: int = 5,
     obs=None,
+    compute_charger=None,
 ):
     """SPMD RD solve over simmpi: executed numerics, virtual-time phases.
 
@@ -264,6 +265,12 @@ def run_rd_distributed(
     rank's virtual clock scaled by ``cpu_speed_factor`` (a platform with
     2x faster cores charges half the time); communication costs accrue
     through the platform's network model inside the distributed CG.
+
+    ``compute_charger`` — optional ``(phase, measured_seconds) ->
+    virtual_seconds`` callable replacing the wall-clock charge with a
+    deterministic model (:class:`repro.perfmodel.ModeledCompute`); this
+    is what makes schedule recordings replayable bit-for-bit
+    (``docs/replay.md``).  ``cpu_speed_factor`` is ignored when set.
 
     An optional ``obs`` hub (:class:`repro.obs.Observability`) records a
     ``step`` span per time step with the three paper phases as children
@@ -318,8 +325,11 @@ def run_rd_distributed(
 
         view = NULL_RANK_OBS
 
-    def charge(real_seconds: float) -> None:
-        comm.compute(real_seconds / cpu_speed_factor)
+    def charge(phase: str, real_seconds: float) -> None:
+        if compute_charger is not None:
+            comm.compute(compute_charger(phase, real_seconds), label=phase)
+        else:
+            comm.compute(real_seconds / cpu_speed_factor)
 
     solution = bdf.latest()
     for step_idx in range(problem.num_steps):
@@ -344,7 +354,7 @@ def run_rd_distributed(
                 else:
                     # Later steps: communication-free in-place value refresh.
                     dist.update_values(matrix)
-                charge(time.perf_counter() - start)
+                charge("assembly", time.perf_counter() - start)
 
             with clock.phase("preconditioner"), view.span("preconditioner"):
                 start = time.perf_counter()
@@ -356,7 +366,7 @@ def run_rd_distributed(
                     precond = DistJacobiPreconditioner(dist)
                 else:
                     precond = None
-                charge(time.perf_counter() - start)
+                charge("preconditioner", time.perf_counter() - start)
 
             with clock.phase("solve"), view.span("solve"):
                 rhs_dist = dist.vector_from_global(rhs)

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import json
 import pickle
 from pathlib import Path
 
-from repro.errors import SweepCacheError
+from repro.errors import RecordingError, SweepCacheError
 
 #: Default cache directory (relative to the working directory, like
 #: ``.pytest_cache``); override via ``RunConfig.cache_dir``.
@@ -60,6 +61,90 @@ def point_key(
         digest.update(part.encode())
         digest.update(b"\0")
     return digest.hexdigest()
+
+
+def recording_key(
+    workload: str,
+    num_ranks: int,
+    discretization: dict,
+    config_token: str,
+    fingerprint: str | None = None,
+) -> str:
+    """The content address of one schedule recording.
+
+    Keyed on **what the numerics compute** — ``(workload, p,
+    discretization)`` plus the semantic config token and the code
+    fingerprint — and deliberately *not* on the platform, engine, or
+    replay flag: the whole point is that one recording serves every
+    platform of a sweep, and non-semantic knobs (``RunConfig.engine``,
+    ``RunConfig.replay``) are already excluded by
+    :meth:`~repro.harness.config.RunConfig.cache_token`.
+    """
+    fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+    blob = json.dumps(
+        {"workload": workload, "num_ranks": int(num_ranks),
+         "discretization": discretization},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256()
+    for part in ("recording", blob, config_token, fingerprint):
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class RecordingStore:
+    """Content-addressed store for serialized schedule recordings.
+
+    Lives beside the sweep result cache (``<cache_dir>/recordings``)
+    and uses the recording's own self-validating binary format
+    (:meth:`~repro.simmpi.recording.ScheduleRecording.to_bytes`): a
+    corrupt or truncated entry fails its digest check and is treated
+    as a miss and unlinked, exactly like :class:`SweepCache`.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        base = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+        self.dir = base / "recordings"
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}.rec"
+
+    def get(self, key: str):
+        """The stored :class:`ScheduleRecording`, or None on miss/corruption."""
+        from repro.simmpi.recording import ScheduleRecording
+
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return ScheduleRecording.from_bytes(blob)
+        except RecordingError:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, recording) -> None:
+        """Store one recording; atomic via write-to-temp + rename."""
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(".tmp")
+            tmp.write_bytes(recording.to_bytes())
+            tmp.replace(self._path(key))
+        except OSError as exc:
+            raise SweepCacheError(
+                f"cannot write recording under {self.dir}: {exc}"
+            ) from exc
+
+    def clear(self) -> int:
+        """Delete every stored recording; returns the number removed."""
+        removed = 0
+        if self.dir.is_dir():
+            for path in self.dir.glob("*.rec"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
 
 
 class CacheStats:

@@ -42,6 +42,11 @@ from repro.harness.results import (
     weak_scaling_series,
 )
 from repro.apps.workload import NS_WORKLOAD, RD_WORKLOAD, paper_rank_series
+from repro.broker.simsweep import (
+    _assemble_simsweep,
+    _eval_simsweep,
+    render_simsweep,
+)
 from repro.platforms.catalog import all_platforms
 
 
@@ -240,6 +245,11 @@ REGISTRY: dict[str, ArtifactSpec] = {
         ArtifactSpec(
             "resilience", "Resilience - mix assembly under spot reclaims",
             _single_point, _eval_resilience, _assemble_single, _render_resilience,
+        ),
+        ArtifactSpec(
+            "simsweep",
+            "Executed Fig. 4-style sweep - record once, replay per platform",
+            _platform_names, _eval_simsweep, _assemble_simsweep, render_simsweep,
         ),
     )
 }

@@ -78,6 +78,25 @@ class LaunchError(SimMPIError):
     """
 
 
+class RecordingError(SimMPIError):
+    """A schedule recording is malformed, corrupted, or truncated.
+
+    Raised by :meth:`~repro.simmpi.recording.ScheduleRecording.from_bytes`
+    when any header field, digest, or payload byte fails validation —
+    the recording store treats it as a cache miss and drops the entry.
+    """
+
+
+class ReplayIncompatibleError(RecordingError):
+    """A recording cannot be replayed on the requested topology.
+
+    The recorded schedule froze ``algorithm="auto"`` collective choices
+    that the target platform's selector would resolve differently, so a
+    replay would walk the wrong message pattern; callers fall back to
+    full simulation (see ``docs/replay.md``).
+    """
+
+
 class NetworkError(ReproError):
     """Network model misuse or injected fabric failure.
 

@@ -67,7 +67,12 @@ class RunConfig:
     * ``engine`` — which simmpi execution core runs SPMD points
       (``"events"`` / ``"threads"``; None defers to
       ``REPRO_SIMMPI_ENGINE`` or the default).  Both engines are
-      bit-identical, so this is excluded from :meth:`cache_token`.
+      bit-identical, so this is excluded from :meth:`cache_token`;
+    * ``replay`` — whether multi-platform simulation sweeps may take
+      the record/replay fast path (``docs/replay.md``).  Replayed
+      virtual times are bit-identical to full simulation, so this is
+      a pure execution-strategy knob and, like ``engine``, excluded
+      from :meth:`cache_token`.
     """
 
     seed: int = DEFAULT_SEED
@@ -75,6 +80,7 @@ class RunConfig:
     resilience: ResilienceParams = field(default_factory=ResilienceParams)
     cache_dir: str | None = None
     engine: str | None = None
+    replay: bool = True
 
     def __post_init__(self) -> None:
         from repro.simmpi.launcher import ENGINE_KINDS

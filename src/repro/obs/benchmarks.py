@@ -473,6 +473,95 @@ def measure_engine_throughput(
     }
 
 
+def measure_replay(
+    mesh_shape=(6, 6, 12),
+    num_ranks=8,
+    num_steps=2,
+    platforms=("puma", "ellipse", "lagrange", "ec2"),
+):
+    """Record-once/replay-per-platform vs full re-execution (the Fig. 4 shape).
+
+    Runs the distributed RD solve with deterministic modeled compute
+    (:mod:`repro.perfmodel.compute`) on every platform of the portfolio
+    twice: once as a full simulation and once by replaying a single
+    captured :class:`~repro.simmpi.recording.ScheduleRecording` through
+    the platform's network model (``docs/replay.md``).  Reports per-
+    platform wall times and two sweep-level ratios:
+
+    * ``speedup`` — full-execution total over replay total: the cost
+      of each *additional* platform once the recording exists, which
+      is the steady state (the broker caches recordings on disk keyed
+      by workload, so a portfolio sweep pays capture at most once,
+      ever).  This is the >= 10x gate.
+    * ``speedup_including_capture`` — the same sweep charged for the
+      capture too (a cold cache); necessarily bounded by the platform
+      count since the capture *is* one full execution.
+
+    The headline correctness gate rides along: every replayed virtual
+    makespan and per-rank clock vector must be **bit-identical** to
+    its full simulation.
+    """
+    from repro.apps.reaction_diffusion import RDProblem
+    from repro.broker.simsweep import _full_sim, _rank_main, capture_recording
+    from repro.perfmodel.compute import rd_modeled_compute
+    from repro.platforms.catalog import platform_by_name
+    from repro.simmpi.replay import replay_schedule
+
+    problem = RDProblem(mesh_shape=mesh_shape, num_steps=num_steps)
+
+    start = time.perf_counter()
+    recording = capture_recording(problem, num_ranks)
+    record_wall = time.perf_counter() - start
+
+    per_platform = {}
+    full_total = 0.0
+    replay_total = 0.0
+    all_match = True
+    for name in platforms:
+        spec = platform_by_name(name)
+        if spec.on_demand:
+            topology = spec.topology(num_nodes=spec.nodes_for_ranks(num_ranks))
+        else:
+            topology = spec.topology()
+        rate = spec.core_flops()
+
+        start = time.perf_counter()
+        full = _full_sim(problem, num_ranks, topology, rate, engine=None)
+        full_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        replayed = replay_schedule(recording, topology=topology, compute_rate=rate)
+        replay_wall = time.perf_counter() - start
+
+        clocks_match = replayed.clocks == full.clocks
+        makespans_match = replayed.max_time == full.max_time
+        all_match = all_match and clocks_match and makespans_match
+        full_total += full_wall
+        replay_total += replay_wall
+        per_platform[name] = {
+            "full_wall_seconds": full_wall,
+            "replay_wall_seconds": replay_wall,
+            "speedup": full_wall / replay_wall if replay_wall > 0 else float("inf"),
+            "virtual_makespan_s": full.max_time,
+            "makespans_match": makespans_match,
+            "clocks_match": clocks_match,
+        }
+
+    return {
+        "mesh_shape": list(mesh_shape),
+        "num_ranks": num_ranks,
+        "num_steps": num_steps,
+        "platforms": list(platforms),
+        "record_wall_seconds": record_wall,
+        "full_wall_seconds": full_total,
+        "replay_wall_seconds": replay_total,
+        "speedup": full_total / replay_total if replay_total > 0 else float("inf"),
+        "speedup_including_capture": full_total / (record_wall + replay_total),
+        "makespans_match_all": all_match,
+        "per_platform": per_platform,
+    }
+
+
 def collect_kernel_metrics(smoke=False):
     """The BENCH_kernels.json payload."""
     if smoke:
@@ -486,12 +575,14 @@ def collect_kernel_metrics(smoke=False):
             rank_counts=(8, 64), steps=2, sweep_max_ranks=125,
             saturation_ranks=512, saturation_doubles=16384,
         )
+        replay = measure_replay(mesh_shape=(4, 4, 8), num_steps=2)
     else:
         rd = measure_rd_step_paths()
         dist = measure_dist_cg_rounds()
         phases = measure_rd_phases()
         colls = measure_collectives()
         engine = measure_engine_throughput()
+        replay = measure_replay()
     return {
         "benchmark": "kernels",
         "smoke": smoke,
@@ -500,6 +591,7 @@ def collect_kernel_metrics(smoke=False):
         "rd_phases": phases,
         "collectives": colls,
         "engine_throughput": engine,
+        "replay": replay,
         "targets": {
             "rd_step_speedup_min": 3.0,
             "dist_cg_rounds_ratio_min": 1.5,
@@ -514,6 +606,9 @@ def collect_kernel_metrics(smoke=False):
             "engine_throughput_ratio_min_top": 2.5,
             "engine_sweep_budget_seconds": 120.0,
             "engine_saturation_virtual_ratio_min": 2.0,
+            # Per-additional-platform cost ratio of the record/replay
+            # fast path (recording cached); makespan equality is exact.
+            "replay_speedup_min": 10.0,
         },
     }
 

@@ -4,10 +4,11 @@
 the baseline was captured: the RD step-path speedup, the allreduce
 rounds of classic/fused distributed CG, the per-phase virtual-time
 means and collective counts of a small distributed RD run, the
-off-node byte savings of the adaptive collective layer, and the
+off-node byte savings of the adaptive collective layer, the
 engine-throughput section (event-driven vs threaded ranks-per-second,
 the executed p = 1000 weak-scaling series, and the p = 4096
-interconnect-saturation micro-run).  The gate
+interconnect-saturation micro-run), and the record/replay section
+(per-additional-platform speedup with exact makespan equality).  The gate
 re-runs the same measurements at the configurations the baseline
 recorded (:func:`measure_fresh`) and compares (:func:`compare`):
 
@@ -43,6 +44,7 @@ from repro.obs.benchmarks import (
     measure_engine_throughput,
     measure_rd_phases,
     measure_rd_step_paths,
+    measure_replay,
 )
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
@@ -110,7 +112,7 @@ def load_baseline(path=DEFAULT_BASELINE) -> dict:
         key
         for key in (
             "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
-            "engine_throughput", "targets",
+            "engine_throughput", "replay", "targets",
         )
         if key not in baseline
     ]
@@ -129,7 +131,14 @@ def measure_fresh(baseline) -> dict:
     ph_cfg = baseline["rd_phases"]
     co_cfg = baseline["collectives"]
     en_cfg = baseline["engine_throughput"]
+    rp_cfg = baseline["replay"]
     return {
+        "replay": measure_replay(
+            mesh_shape=tuple(rp_cfg["mesh_shape"]),
+            num_ranks=rp_cfg["num_ranks"],
+            num_steps=rp_cfg["num_steps"],
+            platforms=tuple(rp_cfg["platforms"]),
+        ),
         "engine_throughput": measure_engine_throughput(
             rank_counts=tuple(en_cfg["rank_counts"]),
             steps=en_cfg["steps"],
@@ -377,6 +386,35 @@ def compare(
                 fresh_en["saturation"]["virtual_time_ratio"],
                 targets["engine_saturation_virtual_ratio_min"],
                 "the 1 GbE model must saturate well above InfiniBand",
+            )
+        )
+
+        fresh_rp = fresh["replay"]
+        for name, row in fresh_rp["per_platform"].items():
+            checks.append(
+                GateCheck(
+                    f"replay.{name}.makespans_match",
+                    1.0 if row["makespans_match"] else 0.0,
+                    1.0,
+                    bool(row["makespans_match"]),
+                    "replayed virtual makespan equals full simulation exactly",
+                )
+            )
+            checks.append(
+                GateCheck(
+                    f"replay.{name}.clocks_match",
+                    1.0 if row["clocks_match"] else 0.0,
+                    1.0,
+                    bool(row["clocks_match"]),
+                    "replayed per-rank clocks are bit-identical to full sim",
+                )
+            )
+        checks.append(
+            _lower(
+                "replay.speedup",
+                fresh_rp["speedup"],
+                targets["replay_speedup_min"],
+                "wall-time ratio per additional platform (recording cached)",
             )
         )
     except KeyError as exc:

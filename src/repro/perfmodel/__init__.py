@@ -11,6 +11,11 @@ model against executed simmpi runs at small scale.
 """
 
 from repro.perfmodel.phases import PhasePrediction, PhaseModel
+from repro.perfmodel.compute import (
+    ModeledCompute,
+    ns_modeled_compute,
+    rd_modeled_compute,
+)
 from repro.perfmodel.calibration import (
     RD_TIME_SCALE,
     NS_TIME_SCALE,
@@ -26,6 +31,9 @@ from repro.perfmodel.weak_scaling import (
 __all__ = [
     "PhasePrediction",
     "PhaseModel",
+    "ModeledCompute",
+    "rd_modeled_compute",
+    "ns_modeled_compute",
     "RD_TIME_SCALE",
     "NS_TIME_SCALE",
     "calibrate_against_sequential_run",

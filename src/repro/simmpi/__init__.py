@@ -37,6 +37,8 @@ from repro.simmpi.launcher import (
     engine_override,
     run_spmd,
 )
+from repro.simmpi.recording import ScheduleRecorder, ScheduleRecording
+from repro.simmpi.replay import replay_schedule
 from repro.simmpi.selector import CollectiveSelector, Selection
 from repro.simmpi.tracing import TraceRecord, Tracer
 
@@ -63,6 +65,9 @@ __all__ = [
     "engine_override",
     "SPMDResult",
     "run_spmd",
+    "ScheduleRecorder",
+    "ScheduleRecording",
+    "replay_schedule",
     "TraceRecord",
     "Tracer",
 ]

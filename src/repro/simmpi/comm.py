@@ -64,6 +64,8 @@ def _traced_collective(method):
         self.tracer.record(
             TraceRecord(self.rank, "collective", start, self.clock.time, label=name)
         )
+        if self.op_recorder is not None:
+            self.op_recorder.on_collective(self.rank, name)
         return result
 
     return wrapper
@@ -121,6 +123,7 @@ class Communicator:
         group: list[int] | None = None,
         volume_limit_bytes: float | None = None,
         nic_concurrency: float = 1.0,
+        op_recorder: Any = None,
     ):
         if not (0 <= rank < size):
             raise CommunicatorError(f"rank {rank} outside communicator of size {size}")
@@ -158,6 +161,10 @@ class Communicator:
         self._coll_seq = 0
         self._node_groups_cache: list[list[int]] | None = None
         self._selector_cache: CollectiveSelector | None = None
+        #: Schedule recorder (:class:`~repro.simmpi.recording.ScheduleRecorder`)
+        #: when the launch asked for ``record_schedule=True``; its hooks fire
+        #: at the same sites the tracer records, plus inside collectives.
+        self.op_recorder = op_recorder
 
     # -- identity -------------------------------------------------------------
 
@@ -185,6 +192,8 @@ class Communicator:
         self.tracer.record(
             TraceRecord(self.rank, "compute", start, self.clock.time, label=label)
         )
+        if self.op_recorder is not None:
+            self.op_recorder.on_compute(self.rank, seconds, label)
 
     @contextmanager
     def phase(self, label: str):
@@ -257,6 +266,8 @@ class Communicator:
                 tag=tag,
             )
         )
+        if self.op_recorder is not None:
+            self.op_recorder.on_send(self.rank, dest, tag, nbytes)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload."""
@@ -289,6 +300,10 @@ class Communicator:
         """Merge the message's arrival time into this rank's clock."""
         self.clock.merge(msg.arrival_time)
         self.clock.advance(RECV_OVERHEAD)
+        if self.op_recorder is not None:
+            self.op_recorder.on_recv(
+                self.rank, self._local_of(msg.source), msg.tag, msg.nbytes
+            )
 
     def _local_of(self, world: int) -> int:
         """Local rank of a world rank (identity for the world group)."""
@@ -296,6 +311,11 @@ class Communicator:
         return world if table is None else table[world]
 
     def _try_collect(self, source: int, tag: int) -> Message | None:
+        if self.op_recorder is not None:
+            # Request.test polling is timing-dependent control flow: the
+            # outcome (and hence the program's op sequence) can legally
+            # differ on another platform, so the schedule is not portable.
+            self.op_recorder.mark_unsupported("Request.test polling")
         world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
         mailbox = self.engine.mailboxes[self.world_rank]
         with mailbox.condition:
@@ -313,6 +333,8 @@ class Communicator:
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
         """Non-blocking probe: Status of a matching pending message
         (without consuming it), or None.  Does not advance the clock."""
+        if self.op_recorder is not None:
+            self.op_recorder.mark_unsupported("iprobe")
         if source != ANY_SOURCE:
             self._check_peer(source)
         world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
@@ -333,6 +355,10 @@ class Communicator:
         The message stays in the mailbox; the clock merges to its
         arrival time (you cannot know it exists before it arrives).
         """
+        if self.op_recorder is not None:
+            # probe merges the clock without absorbing the message, a
+            # timing effect the op stream cannot represent.
+            self.op_recorder.mark_unsupported("probe")
         if source != ANY_SOURCE:
             self._check_peer(source)
         world_source = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
@@ -386,8 +412,15 @@ class Communicator:
             )
         return self._selector_cache
 
-    def _record_algorithm(self, collective: str, algorithm: str, site: str) -> None:
+    def _record_algorithm(
+        self, collective: str, algorithm: str, site: str,
+        nbytes: int = -1, auto: bool = False, segmentable: bool = False,
+    ) -> None:
         self.algorithm_counts[f"{collective}.{algorithm}"] += 1
+        if self.op_recorder is not None:
+            self.op_recorder.on_algorithm(
+                self.rank, collective, algorithm, nbytes, auto, segmentable
+            )
         from repro.obs.core import current as _obs_current
 
         obs = _obs_current()
@@ -439,12 +472,16 @@ class Communicator:
         """
         self._check_peer(root)
         tag = self._next_coll_tag()
-        if algorithm == "auto":
+        was_auto = algorithm == "auto"
+        if was_auto:
             if nbytes is None:
                 algorithm = "binomial"
             else:
                 algorithm = self.selector().select_bcast(int(nbytes)).algorithm
-        self._record_algorithm("bcast", algorithm, site)
+        self._record_algorithm(
+            "bcast", algorithm, site,
+            nbytes=-1 if nbytes is None else int(nbytes), auto=was_auto,
+        )
         if algorithm == "binomial":
             return self._bcast_members(
                 payload, tag, list(range(self.size)), self.rank, root_pos=root
@@ -626,12 +663,18 @@ class Communicator:
         ``site`` labels the chosen algorithm in the obs metrics.
         """
         tag = self._next_coll_tag()
-        if algorithm == "auto":
-            segmentable = isinstance(value, np.ndarray)
+        was_auto = algorithm == "auto"
+        rec_nbytes = -1
+        segmentable = isinstance(value, np.ndarray)
+        if was_auto:
+            rec_nbytes = payload_nbytes(value)
             algorithm = self.selector().select_allreduce(
-                payload_nbytes(value), segmentable=segmentable
+                rec_nbytes, segmentable=segmentable
             ).algorithm
-        self._record_algorithm("allreduce", algorithm, site)
+        self._record_algorithm(
+            "allreduce", algorithm, site,
+            nbytes=rec_nbytes, auto=was_auto, segmentable=segmentable,
+        )
         members = list(range(self.size))
         if algorithm == "recursive_doubling":
             return self._allreduce_rd(value, op, tag, members, self.rank)
@@ -964,6 +1007,10 @@ class Communicator:
         All ranks must call it (collective).  Returns the new
         sub-communicator for this rank's color.
         """
+        if self.op_recorder is not None:
+            # Sub-communicator traffic would interleave with world traffic
+            # in ways the single-context replay walker does not model.
+            self.op_recorder.mark_unsupported("split/dup sub-communicators")
         if key is None:
             key = self.rank
         triples = self.allgather((int(color), int(key), self.rank))

@@ -176,6 +176,25 @@ def _drain_pool() -> None:
 atexit.register(_drain_pool)
 
 
+def _reset_pool_after_fork() -> None:
+    """Forget the pool in forked children.
+
+    A fork clones the pool's bookkeeping but not its parked OS threads,
+    so a child that popped an inherited entry would release a park lock
+    no thread is waiting on and deadlock (seen under the sweep engine's
+    ``ProcessPoolExecutor`` fan-out after an in-process run).  Children
+    start with an empty pool and grow their own stacks.
+    """
+    global _pool_lock, _pool, _pool_size
+    _pool_lock = threading.Lock()
+    _pool = {}
+    _pool_size = 0
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_pool_after_fork)
+
+
 def pool_stats() -> tuple[int, int]:
     """(parked stacks, cap) -- introspection for tests and benchmarks."""
     with _pool_lock:

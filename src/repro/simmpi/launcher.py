@@ -91,6 +91,13 @@ class SPMDResult:
     bytes_sent: list[int] = field(default_factory=list)
     messages_sent: list[int] = field(default_factory=list)
     engine: str = "events"
+    #: Executions per resolved collective algorithm summed over ranks,
+    #: keyed ``"collective.algorithm"`` (cross-checks a recording).
+    algorithm_counts: dict[str, int] = field(default_factory=dict)
+    #: The captured :class:`~repro.simmpi.recording.ScheduleRecording`
+    #: when launched with ``record_schedule=True``; None when recording
+    #: was off or the rank program touched an unrecordable feature.
+    recording: Any = None
 
     @property
     def max_time(self) -> float:
@@ -124,6 +131,7 @@ def run_spmd(
     fault_injector=None,
     observability=None,
     engine: str | None = None,
+    record_schedule: bool = False,
 ) -> SPMDResult:
     """Run ``target(comm, *args, **kwargs)`` on ``num_ranks`` ranks.
 
@@ -147,6 +155,12 @@ def run_spmd(
     discrete-event scheduler, the default) or ``"threads"`` (the legacy
     thread-per-rank debug fallback); None defers to
     :func:`default_engine`.  Results are bit-identical either way.
+
+    ``record_schedule=True`` attaches a
+    :class:`~repro.simmpi.recording.ScheduleRecorder` to every rank's
+    communicator and exposes the frozen schedule as ``result.recording``
+    (None if the program used features replay cannot represent — see
+    ``docs/replay.md``); fault injection always disables recording.
 
     Raises the first rank exception after aborting the others.
     """
@@ -173,6 +187,13 @@ def run_spmd(
         tracer = observability.tracer
     else:
         tracer = Tracer(enabled=trace)
+    recorder = None
+    if record_schedule:
+        from repro.simmpi.recording import ScheduleRecorder
+
+        recorder = ScheduleRecorder(num_ranks)
+        if fault_injector is not None:
+            recorder.mark_unsupported("fault injection")
     comms = [
         Communicator(
             engine=runtime,
@@ -183,6 +204,7 @@ def run_spmd(
             tracer=tracer,
             volume_limit_bytes=volume_limit_bytes,
             nic_concurrency=nic_concurrency,
+            op_recorder=recorder,
         )
         for r in range(num_ranks)
     ]
@@ -192,6 +214,11 @@ def run_spmd(
     else:
         returns = _run_threaded(runtime, target, comms, args, kwargs, real_timeout)
 
+    algorithm_counts: dict[str, int] = {}
+    for comm in comms:
+        for key, count in comm.algorithm_counts.items():
+            algorithm_counts[key] = algorithm_counts.get(key, 0) + count
+
     return SPMDResult(
         num_ranks=num_ranks,
         returns=returns,
@@ -200,6 +227,8 @@ def run_spmd(
         bytes_sent=[c.bytes_sent for c in comms],
         messages_sent=[c.messages_sent for c in comms],
         engine=engine_kind,
+        algorithm_counts=algorithm_counts,
+        recording=None if recorder is None else recorder.finish(),
     )
 
 

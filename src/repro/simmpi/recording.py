@@ -1,0 +1,307 @@
+"""Schedule recording: capture a run's communication schedule once.
+
+The platform-comparison artifacts re-run identical numerics per
+platform when only the virtual clock differs — the FEM/CG work is
+invariant across the EC2/grid/on-premises models.  This module is the
+"semantics" half of the split ROADMAP item 5 calls for: a
+:class:`ScheduleRecorder` rides along inside every
+:class:`~repro.simmpi.comm.Communicator` of a ``record_schedule=True``
+launch and captures, per rank and in execution order,
+
+* every **send** (local peer, tag, payload bytes),
+* every **receive** (the matched source, tag and bytes — including the
+  receives *inside* collective schedules, which the
+  :class:`~repro.simmpi.tracing.Tracer` never sees),
+* every **compute** charge (modeled seconds plus its label), and
+* collective boundaries and the algorithm the adaptive selector
+  resolved at each call site (with the payload size and whether the
+  choice was ``"auto"``).
+
+The frozen :class:`ScheduleRecording` that comes out is everything the
+"timing replay" half (:mod:`repro.simmpi.replay`) needs to walk the
+same message pattern through any platform's network model without
+touching FEM/CG/LA code.  Recordings serialize to a self-validating
+binary format (magic + version + length + SHA-256 over the payload,
+mirroring the checkpoint format of :mod:`repro.io.checkpoint`) so the
+broker can store them in its content-addressed cache
+(:class:`~repro.broker.cache.RecordingStore`).
+
+Recordings are only valid for deterministic, timing-independent rank
+programs on the world communicator: ``split``/``dup``, ``probe``/
+``iprobe``, ``Request.test`` polling, and fault injection all mark the
+recorder *unsupported* and the launch returns no recording (callers
+fall back to full simulation — see ``docs/replay.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import RecordingError
+from repro.network.topology import ClusterTopology
+from repro.simmpi.selector import CollectiveSelector
+
+#: File magic of the serialized form ("RePro Recorded Schedule").
+MAGIC = b"RPRS"
+#: Bump on any incompatible change to the pickled payload layout.
+VERSION = 1
+
+_HEADER = struct.Struct("<4sIQ32s")
+_PICKLE_PROTOCOL = 4
+
+#: Op-tuple kind codes: ("c", seconds, label), ("s", peer, tag, nbytes),
+#: ("r", peer, tag, nbytes), ("k", collective_name).
+OP_COMPUTE = "c"
+OP_SEND = "s"
+OP_RECV = "r"
+OP_COLLECTIVE = "k"
+
+
+def selector_for(topology: ClusterTopology, num_ranks: int) -> CollectiveSelector:
+    """The selector a world communicator of ``num_ranks`` would build.
+
+    Mirrors :meth:`Communicator.selector` exactly — block placement via
+    ``topology.node_of_rank``, occupancy = the fullest node — so
+    :meth:`ScheduleRecording.compatible_with` re-resolves ``auto``
+    decisions with the same inputs the live communicator would use.
+    """
+    counts: dict[int, int] = {}
+    for world in range(num_ranks):
+        node = topology.node_of_rank(world)
+        counts[node] = counts.get(node, 0) + 1
+    return CollectiveSelector(topology, num_ranks, ranks_per_node=max(counts.values()))
+
+
+class ScheduleRecorder:
+    """Per-rank op capture hooked into every communicator of one launch.
+
+    The hooks are called from inside the rank's own execution context
+    (exactly where the tracer records), so per-rank buffers need no
+    locking under either engine — the same discipline
+    :class:`~repro.simmpi.tracing.Tracer` uses.
+    """
+
+    def __init__(self, num_ranks: int):
+        self.num_ranks = int(num_ranks)
+        self._ops: list[list[tuple]] = [[] for _ in range(self.num_ranks)]
+        self._algorithms: list[list[tuple]] = [[] for _ in range(self.num_ranks)]
+        #: First unsupported feature the run touched (None = recordable).
+        self.invalid_reason: str | None = None
+
+    # -- capture hooks (called by Communicator) -----------------------------
+
+    def on_compute(self, rank: int, seconds: float, label: str) -> None:
+        """One modeled compute charge, in the exact seconds requested."""
+        self._ops[rank].append((OP_COMPUTE, float(seconds), label))
+
+    def on_send(self, rank: int, peer: int, tag: int, nbytes: int) -> None:
+        """One eager send (user-level or collective-internal)."""
+        self._ops[rank].append((OP_SEND, peer, tag, nbytes))
+
+    def on_recv(self, rank: int, peer: int, tag: int, nbytes: int) -> None:
+        """One absorbed receive, with the *matched* source and tag."""
+        self._ops[rank].append((OP_RECV, peer, tag, nbytes))
+
+    def on_collective(self, rank: int, name: str) -> None:
+        """A collective completed on this rank (audit marker, not replayed)."""
+        self._ops[rank].append((OP_COLLECTIVE, name))
+
+    def on_algorithm(
+        self, rank: int, collective: str, algorithm: str,
+        nbytes: int, auto: bool, segmentable: bool,
+    ) -> None:
+        """The algorithm one collective call resolved to on this rank."""
+        self._algorithms[rank].append(
+            (collective, algorithm, int(nbytes), bool(auto), bool(segmentable))
+        )
+
+    def mark_unsupported(self, reason: str) -> None:
+        """Invalidate the recording (first reason wins)."""
+        if self.invalid_reason is None:
+            self.invalid_reason = reason
+
+    def finish(self, meta: dict | None = None) -> "ScheduleRecording | None":
+        """Freeze the capture; None if the run touched unsupported features."""
+        if self.invalid_reason is not None:
+            return None
+        return ScheduleRecording(
+            num_ranks=self.num_ranks,
+            meta=dict(meta) if meta else {},
+            ops=tuple(tuple(rank_ops) for rank_ops in self._ops),
+            algorithms=tuple(tuple(rank_alg) for rank_alg in self._algorithms),
+        )
+
+
+@dataclass(frozen=True, eq=True)
+class ScheduleRecording:
+    """One run's frozen communication schedule, ready to re-time.
+
+    ``ops[r]`` is rank ``r``'s ordered op list (see the ``OP_*`` kind
+    codes); ``algorithms[r]`` the collective-algorithm decisions the
+    run resolved, as ``(collective, algorithm, nbytes, auto,
+    segmentable)`` tuples (``nbytes`` is -1 when the call had no size
+    hint).  ``meta`` carries workload identity — the broker stores
+    ``{"workload", "num_ranks", "discretization"}`` so a cache hit can
+    be sanity-checked — and never affects replay semantics.
+    """
+
+    num_ranks: int
+    ops: tuple[tuple[tuple, ...], ...]
+    algorithms: tuple[tuple[tuple, ...], ...] = ()
+    meta: dict = field(default_factory=dict)
+    version: int = VERSION
+
+    def with_meta(self, **meta: Any) -> "ScheduleRecording":
+        """A copy with ``meta`` entries merged in (recordings are frozen)."""
+        merged = dict(self.meta)
+        merged.update(meta)
+        return replace(self, meta=merged)
+
+    # -- accounting ---------------------------------------------------------
+
+    def op_counts(self) -> dict[str, int]:
+        """Total ops per kind code across all ranks."""
+        counts: dict[str, int] = {}
+        for rank_ops in self.ops:
+            for op in rank_ops:
+                counts[op[0]] = counts.get(op[0], 0) + 1
+        return counts
+
+    def collective_counts(self) -> dict[str, int]:
+        """Collective executions per name, summed over ranks."""
+        counts: dict[str, int] = {}
+        for rank_ops in self.ops:
+            for op in rank_ops:
+                if op[0] == OP_COLLECTIVE:
+                    counts[op[1]] = counts.get(op[1], 0) + 1
+        return counts
+
+    def algorithm_counts(self) -> dict[str, int]:
+        """Resolved-algorithm executions keyed ``"collective.algorithm"``.
+
+        Matches the launch's aggregated
+        :attr:`~repro.simmpi.launcher.SPMDResult.algorithm_counts`
+        exactly — the determinism gate the replay tests assert.
+        """
+        counts: dict[str, int] = {}
+        for rank_decisions in self.algorithms:
+            for collective, algorithm, _nbytes, _auto, _seg in rank_decisions:
+                key = f"{collective}.{algorithm}"
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def total_compute_seconds(self) -> float:
+        """Sum of recorded compute charges (work units at unit rate)."""
+        return sum(
+            op[1] for rank_ops in self.ops for op in rank_ops if op[0] == OP_COMPUTE
+        )
+
+    # -- portability --------------------------------------------------------
+
+    def compatible_with(self, topology: ClusterTopology) -> tuple[bool, str]:
+        """Can this schedule be replayed on ``topology`` verbatim?
+
+        A recording freezes the algorithms its ``"auto"`` collective
+        calls resolved on the *capture* topology.  Selection is a pure
+        function of (collective, size, bytes, topology), so the replay
+        is only faithful when the target topology resolves every
+        recorded ``auto`` decision to the same algorithm; explicit
+        picks are topology-independent and always portable.  Returns
+        ``(ok, reason)`` — ``reason`` is the first divergence found.
+        """
+        if not topology.supports(self.num_ranks):
+            return False, (
+                f"{self.num_ranks} ranks exceed the target's "
+                f"{topology.total_cores} cores"
+            )
+        selector = selector_for(topology, self.num_ranks)
+        for rank_decisions in self.algorithms:
+            for collective, algorithm, nbytes, auto, segmentable in rank_decisions:
+                if not auto:
+                    continue
+                if collective == "bcast":
+                    resolved = (
+                        "binomial" if nbytes < 0
+                        else selector.select_bcast(int(nbytes)).algorithm
+                    )
+                else:
+                    resolved = selector.select_allreduce(
+                        int(nbytes), segmentable=segmentable
+                    ).algorithm
+                if resolved != algorithm:
+                    return False, (
+                        f"auto {collective} of {nbytes} B resolves to "
+                        f"{resolved!r} on the target topology but the "
+                        f"recording froze {algorithm!r}"
+                    )
+        return True, ""
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Self-validating binary form: header + SHA-256 + pickled payload."""
+        payload = pickle.dumps(
+            {
+                "version": self.version,
+                "num_ranks": self.num_ranks,
+                "meta": self.meta,
+                "ops": self.ops,
+                "algorithms": self.algorithms,
+            },
+            protocol=_PICKLE_PROTOCOL,
+        )
+        digest = hashlib.sha256(payload).digest()
+        return _HEADER.pack(MAGIC, VERSION, len(payload), digest) + payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ScheduleRecording":
+        """Parse and validate; :class:`RecordingError` on any corruption.
+
+        Every failure mode — short header, wrong magic or version, a
+        truncated payload, or any flipped byte (caught by the SHA-256
+        digest) — raises, so the recording store can treat bad entries
+        as misses instead of replaying garbage timings.
+        """
+        if len(blob) < _HEADER.size:
+            raise RecordingError(
+                f"recording blob truncated: {len(blob)} bytes is shorter "
+                f"than the {_HEADER.size}-byte header"
+            )
+        magic, version, length, digest = _HEADER.unpack_from(blob)
+        if magic != MAGIC:
+            raise RecordingError(f"bad recording magic {magic!r}")
+        if version != VERSION:
+            raise RecordingError(
+                f"unsupported recording version {version} (expected {VERSION})"
+            )
+        payload = blob[_HEADER.size:]
+        if len(payload) != length:
+            raise RecordingError(
+                f"recording payload length mismatch: header says {length}, "
+                f"got {len(payload)} bytes"
+            )
+        if hashlib.sha256(payload).digest() != digest:
+            raise RecordingError("recording payload digest mismatch (corrupted)")
+        try:
+            doc = pickle.loads(payload)
+            recording = cls(
+                num_ranks=int(doc["num_ranks"]),
+                meta=dict(doc["meta"]),
+                ops=doc["ops"],
+                algorithms=doc["algorithms"],
+                version=int(doc["version"]),
+            )
+        except RecordingError:
+            raise
+        except Exception as exc:  # pragma: no cover - digest catches nearly all
+            raise RecordingError(f"recording payload failed to decode: {exc}") from exc
+        if len(recording.ops) != recording.num_ranks:
+            raise RecordingError(
+                f"recording claims {recording.num_ranks} ranks but carries "
+                f"{len(recording.ops)} op streams"
+            )
+        return recording

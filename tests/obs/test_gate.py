@@ -116,6 +116,26 @@ BASELINE = {
             "virtual_time_ratio": 12.6,
         },
     },
+    "replay": {
+        "mesh_shape": [6, 6, 12],
+        "num_ranks": 8,
+        "num_steps": 2,
+        "platforms": ["puma", "ellipse", "lagrange", "ec2"],
+        "record_wall_seconds": 1.2,
+        "full_wall_seconds": {"puma": 1.1, "ellipse": 1.1,
+                              "lagrange": 1.0, "ec2": 1.0},
+        "replay_wall_seconds": {"puma": 0.013, "ellipse": 0.013,
+                                "lagrange": 0.012, "ec2": 0.012},
+        "speedup": 84.0,
+        "speedup_including_capture": 1.7,
+        "makespans_match_all": True,
+        "per_platform": {
+            name: {"full_wall_seconds": 1.05, "replay_wall_seconds": 0.0125,
+                   "speedup": 84.0, "virtual_makespan_s": 0.02,
+                   "makespans_match": True, "clocks_match": True}
+            for name in ("puma", "ellipse", "lagrange", "ec2")
+        },
+    },
     "targets": {
         "rd_step_speedup_min": 3.0,
         "dist_cg_rounds_ratio_min": 1.5,
@@ -126,6 +146,7 @@ BASELINE = {
         "engine_throughput_ratio_min_top": 2.5,
         "engine_sweep_budget_seconds": 120.0,
         "engine_saturation_virtual_ratio_min": 2.0,
+        "replay_speedup_min": 10.0,
     },
 }
 
@@ -136,7 +157,7 @@ def fresh_like_baseline():
             k: BASELINE[k]
             for k in (
                 "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
-                "engine_throughput",
+                "engine_throughput", "replay",
             )
         }
     )
@@ -291,6 +312,30 @@ class TestCompare:
             c.name == "engine_throughput.saturation.virtual_time_ratio"
             for c in report.failures
         )
+
+    def test_replay_makespan_mismatch_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["replay"]["per_platform"]["lagrange"]["makespans_match"] = False
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "replay.lagrange.makespans_match"
+            for c in report.failures
+        )
+
+    def test_replay_clock_divergence_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["replay"]["per_platform"]["ec2"]["clocks_match"] = False
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "replay.ec2.clocks_match" for c in report.failures
+        )
+
+    def test_replay_speedup_collapse_fails(self):
+        """Acceptance: the fast path must stay >= 10x per platform."""
+        fresh = fresh_like_baseline()
+        fresh["replay"]["speedup"] = 4.0
+        report = gate.compare(BASELINE, fresh)
+        assert any(c.name == "replay.speedup" for c in report.failures)
 
     def test_missing_key_is_an_error_not_a_failure(self):
         fresh = fresh_like_baseline()

@@ -1,0 +1,83 @@
+"""The headline replay gate: replayed clocks are bit-identical.
+
+One recording per (app, p) — captured on the generic test topology at
+unit compute rate — replays through every platform model and must
+reproduce the full simulation's per-rank virtual clocks and makespan
+**bit for bit** (``==`` on floats, no tolerance), under both execution
+engines.
+
+The one designed exception is pinned too: at p = 27 the ec2 topology
+(16-core nodes) resolves the small auto allreduce to a hierarchical
+algorithm where the 4-core capture topology chose flat recursive
+doubling, so the recording must *refuse* to replay there and the
+caller falls back to full simulation.
+"""
+
+import pytest
+
+from repro.errors import ReplayIncompatibleError
+from repro.platforms.catalog import platform_by_name
+from repro.simmpi.replay import replay_schedule
+
+from tests.replay import helpers as H
+
+ENGINES = ("events", "threads")
+
+#: Combinations where the capture topology's auto collective choices do
+#: not transfer — replay must detect the divergence, not replay wrong.
+EXPECTED_BYPASS = {("rd", 27, "ec2"), ("ns", 27, "ec2")}
+
+
+def _cases():
+    for app in ("rd", "ns"):
+        for p in H.RANK_COUNTS:
+            for platform in H.PLATFORMS:
+                yield app, p, platform
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("app,p,platform", list(_cases()))
+def test_replay_matches_full_sim_bit_for_bit(app, p, platform, engine):
+    recording = H.capture(app, p)
+    topology = H.platform_topology(platform, p)
+    ok, reason = recording.compatible_with(topology)
+
+    if (app, p, platform) in EXPECTED_BYPASS:
+        assert not ok and "resolves to" in reason
+        with pytest.raises(ReplayIncompatibleError):
+            replay_schedule(recording, topology=topology, compute_rate=1.0)
+        return
+
+    assert ok, reason
+    full = H.full_sim(app, p, platform)
+    replayed = replay_schedule(
+        recording,
+        topology=topology,
+        compute_rate=platform_by_name(platform).core_flops(),
+        engine=engine,
+    )
+    # Bit-exact, not approximately equal: same floats, rank for rank.
+    assert list(replayed.clocks) == list(full.clocks)
+    assert replayed.max_time == full.max_time
+    assert replayed.total_bytes == full.total_bytes
+
+
+@pytest.mark.parametrize("app", ["rd", "ns"])
+def test_capture_is_engine_invariant(app):
+    """Both engines freeze the identical schedule (same serialized bytes)."""
+    a = H.capture(app, 4, engine="events")
+    b = H.capture(app, 4, engine="threads")
+    assert a.to_bytes() == b.to_bytes()
+
+
+@pytest.mark.parametrize("app", ["rd", "ns"])
+def test_replay_charges_no_numerics(app):
+    """The replay result carries the recording's exact byte volume."""
+    recording = H.capture(app, 8)
+    sent = sum(
+        op[3] for rank_ops in recording.ops for op in rank_ops if op[0] == "s"
+    )
+    replayed = replay_schedule(
+        recording, topology=H.platform_topology("puma", 8), compute_rate=1e9
+    )
+    assert replayed.total_bytes == sent

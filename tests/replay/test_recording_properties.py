@@ -1,0 +1,131 @@
+"""Property tests for the ScheduleRecording binary format.
+
+Mirrors the checkpoint container's property suite
+(``tests/io/test_checkpoint.py``): hypothesis-generated recordings
+round-trip through ``to_bytes``/``from_bytes`` and the content-addressed
+:class:`RecordingStore`, and *every* single-byte corruption and every
+truncation of a serialized recording is rejected — a corrupt schedule
+must become a cache miss, never a replay of garbage timings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.cache import RecordingStore, recording_key
+from repro.errors import RecordingError
+from repro.simmpi.launcher import default_topology
+from repro.simmpi.recording import MAGIC, ScheduleRecording
+from repro.simmpi.replay import replay_schedule
+
+from tests.replay import helpers as H
+
+_label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+
+_op = st.one_of(
+    st.tuples(st.just("c"), st.floats(0, 1e9, allow_nan=False), _label),
+    st.tuples(st.just("s"), st.integers(0, 7), st.integers(0, 1 << 21),
+              st.integers(0, 1 << 20)),
+    st.tuples(st.just("r"), st.integers(0, 7), st.integers(0, 1 << 21),
+              st.integers(0, 1 << 20)),
+    st.tuples(st.just("k"), _label),
+)
+
+_algorithm = st.tuples(
+    st.sampled_from(["bcast", "allreduce"]), _label,
+    st.integers(-1, 1 << 20), st.booleans(), st.booleans(),
+)
+
+
+@st.composite
+def recordings(draw):
+    num_ranks = draw(st.integers(min_value=1, max_value=4))
+    ops = tuple(
+        tuple(draw(st.lists(_op, max_size=8))) for _ in range(num_ranks)
+    )
+    algorithms = tuple(
+        tuple(draw(st.lists(_algorithm, max_size=4))) for _ in range(num_ranks)
+    )
+    meta = draw(
+        st.dictionaries(_label, st.one_of(st.integers(), _label), max_size=3)
+    )
+    return ScheduleRecording(
+        num_ranks=num_ranks, ops=ops, algorithms=algorithms, meta=meta
+    )
+
+
+class TestRoundTrip:
+    @given(recording=recordings())
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_roundtrip_property(self, recording):
+        blob = recording.to_bytes()
+        assert blob[:4] == MAGIC
+        assert ScheduleRecording.from_bytes(blob) == recording
+
+    @given(recording=recordings())
+    @settings(max_examples=25, deadline=None)
+    def test_store_roundtrip_property(self, recording):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = RecordingStore(tmp)
+            key = recording_key("w", recording.num_ranks, {}, "t", "f")
+            store.put(key, recording)
+            assert store.get(key) == recording
+
+    def test_real_capture_roundtrips_and_replays_identically(self, tmp_path):
+        """serialize -> cache put/get -> deserialize -> replay: same clocks."""
+        recording = H.capture("rd", 4)
+        store = RecordingStore(tmp_path)
+        key = recording_key("rd", 4, {"mesh": list(H.RD_MESH)}, "token")
+        store.put(key, recording)
+        restored = store.get(key)
+        assert restored == recording
+        topology = default_topology(4)
+        a = replay_schedule(recording, topology=topology, compute_rate=1e9)
+        b = replay_schedule(restored, topology=topology, compute_rate=1e9)
+        assert list(a.clocks) == list(b.clocks)
+        assert a.max_time == b.max_time
+
+    def test_with_meta_survives_roundtrip(self):
+        recording = ScheduleRecording(num_ranks=1, ops=((),)).with_meta(
+            workload="rd", num_ranks=1
+        )
+        restored = ScheduleRecording.from_bytes(recording.to_bytes())
+        assert restored.meta == {"workload": "rd", "num_ranks": 1}
+
+
+class TestCorruption:
+    """Exhaustive corruption sweeps over one real serialized recording."""
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return ScheduleRecording(
+            num_ranks=2,
+            ops=((("c", 1.5, "assembly"), ("s", 1, 7, 64)), (("r", 0, 7, 64),)),
+            algorithms=((("allreduce", "rabenseifner", 64, True, True),), ()),
+            meta={"workload": "rd"},
+        ).to_bytes()
+
+    def test_every_single_byte_corruption_rejected(self, blob):
+        for pos in range(len(blob)):
+            corrupted = bytearray(blob)
+            corrupted[pos] ^= 0xFF
+            with pytest.raises(RecordingError):
+                ScheduleRecording.from_bytes(bytes(corrupted))
+
+    def test_every_truncation_rejected(self, blob):
+        for end in range(len(blob)):
+            with pytest.raises(RecordingError):
+                ScheduleRecording.from_bytes(blob[:end])
+
+    def test_trailing_garbage_rejected(self, blob):
+        with pytest.raises(RecordingError, match="length mismatch"):
+            ScheduleRecording.from_bytes(blob + b"\x00")
+
+    def test_rank_stream_count_validated(self):
+        lying = ScheduleRecording(num_ranks=3, ops=((), ()))
+        with pytest.raises(RecordingError, match="3 ranks"):
+            ScheduleRecording.from_bytes(lying.to_bytes())
