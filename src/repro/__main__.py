@@ -14,7 +14,9 @@ Usage::
     python -m repro compare --app rd --ranks 64
     python -m repro script --platform ec2 # provisioning shell script
     python -m repro trace --out traces/  # observed RD run + exports
-    python -m repro bench-gate           # fresh kernels vs baseline
+    python -m repro tail traces/         # follow a sweep's telemetry stream
+    python -m repro health traces/       # wait-state report of a finished run
+    python -m repro bench-gate           # fresh kernels vs baseline + history
 
 The single-artifact subcommands (``fig4`` … ``resilience``) are thin
 aliases for ``run <name> --no-cache``: every path goes through the
@@ -257,7 +259,8 @@ def _cmd_trace(args) -> str:
             obs=obs,
         )
 
-    result = run_spmd(body, args.ranks, observability=obs, real_timeout=300.0)
+    result = run_spmd(body, args.ranks, observability=obs, real_timeout=300.0,
+                      causal=args.causal or None)
     obs.check_balanced()
     nodal_error = result.returns[0][2]
 
@@ -277,10 +280,54 @@ def _cmd_trace(args) -> str:
     lines.append(
         f"comm/compute overlap ratio: {overlap['overlap_ratio']:.3f}"
     )
+    health = obs.run_health()
+    if health is not None:
+        lines.append("")
+        lines.append(health.format().rstrip())
+    if result.causal is not None:
+        report = result.causal.check(obs.tracer)
+        lines.append("")
+        lines.append(report.format().rstrip())
     lines.append("")
     lines.append("artifacts:")
     lines.extend(f"  {path}" for path in obs.export())
     return "\n".join(lines)
+
+
+def _cmd_tail(args) -> str:
+    """Show the last rows of a run directory's telemetry stream."""
+    from repro.obs.streaming import stream_path, tail_rows
+
+    path = stream_path(args.dir)
+    kinds = tuple(args.kind) if args.kind else None
+    lines = list(tail_rows(path, last=args.last, kinds=kinds))
+    if not lines:
+        return f"no telemetry rows at {path} (is the sweep observed?)"
+    return "\n".join(lines)
+
+
+def _cmd_health(args) -> str:
+    """Wait-state report from a run directory's exported health JSON."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.health import RunHealthReport
+
+    target = Path(args.dir)
+    candidates = (
+        [target] if target.is_file() else sorted(target.glob("*-health.json"))
+    )
+    if not candidates:
+        return (
+            f"no *-health.json under {target} — run an observed sweep "
+            f"(repro run --obs-out) or repro trace first"
+        )
+    out = []
+    for path in candidates:
+        report = RunHealthReport.from_dict(json.loads(path.read_text()))
+        out.append(f"{path}:")
+        out.append(report.format().rstrip())
+    return "\n".join(out)
 
 
 def _cmd_bench_gate(args) -> int:
@@ -294,6 +341,10 @@ def _cmd_bench_gate(args) -> int:
         forwarded.append("--warn-only")
     forwarded += ["--time-tolerance", str(args.time_tolerance)]
     forwarded += ["--count-tolerance", str(args.count_tolerance)]
+    if args.history is not None:
+        forwarded += ["--history", str(args.history)]
+    if args.no_history:
+        forwarded.append("--no-history")
     return gate.main(forwarded)
 
 
@@ -391,7 +442,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--mesh", type=int, default=6, help="mesh cells per axis")
     trace.add_argument("--discard", type=int, default=5,
                        help="warm-up steps dropped from phase statistics")
+    trace.add_argument("--causal", action="store_true",
+                       help="piggyback vector clocks and print the "
+                            "happens-before check")
     trace.set_defaults(func=_cmd_trace)
+    tail = sub.add_parser(
+        "tail", help="follow a run directory's streaming telemetry"
+    )
+    tail.add_argument("dir", help="observability output directory")
+    tail.add_argument("--last", type=int, default=20,
+                      help="rows to show (default 20)")
+    tail.add_argument("--kind", action="append", default=None,
+                      help="only rows of this kind (repeatable)")
+    tail.set_defaults(func=_cmd_tail)
+    health = sub.add_parser(
+        "health", help="wait-state report from exported health JSON"
+    )
+    health.add_argument("dir", help="run directory (or a *-health.json file)")
+    health.set_defaults(func=_cmd_health)
     bench_gate = sub.add_parser(
         "bench-gate", help="fresh kernel measurements vs BENCH_kernels.json"
     )
@@ -405,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_gate.add_argument(
         "--count-tolerance", type=float, default=DEFAULT_COUNT_TOLERANCE
     )
+    bench_gate.add_argument("--history", default=None,
+                            help="trajectory history JSON "
+                                 "(default BENCH_history.json)")
+    bench_gate.add_argument("--no-history", action="store_true",
+                            help="skip the trajectory-regression check")
     bench_gate.set_defaults(func=_cmd_bench_gate)
     return parser
 

@@ -53,6 +53,16 @@ class RunResult:
         """Cache hit/miss accounting for the sweep."""
         return self.report.stats
 
+    @property
+    def health(self):
+        """The run's :class:`~repro.obs.health.RunHealthReport`.
+
+        Merged across every point the sweep evaluated (cached points
+        contribute nothing — they ran no simulation).  None when the
+        run was unobserved or traced no communication.
+        """
+        return self.report.health
+
     def artifact(self, name: str) -> object:
         """One assembled artifact (a typed table/report object)."""
         try:

@@ -39,6 +39,9 @@ class SweepReport:
     workers: int
     wall_s: float
     artifacts: tuple[str, ...] = ()  # observability export paths
+    #: The sweep's merged :class:`~repro.obs.health.RunHealthReport`
+    #: (None when the run was unobserved or produced no trace).
+    health: object = None
 
     def result(self, name: str) -> object:
         """One artifact's assembled result."""
@@ -91,6 +94,10 @@ def run_sweep(
     stats = CacheStats()
     t0 = time.perf_counter()
 
+    stream = None
+    if observed and hub.config.stream and hub.config.resolved_dir() is not None:
+        stream = hub.attach_stream()
+
     # One flat point list across all requested artifacts.
     points: list[tuple[ArtifactSpec, str, str]] = []
     for spec in specs:
@@ -98,6 +105,13 @@ def run_sweep(
             points.append(
                 (spec, key, point_key(spec.name, key, token, fingerprint))
             )
+    if stream is not None:
+        stream.emit(
+            "sweep_start",
+            artifacts=[s.name for s in specs],
+            points=len(points),
+            workers=max(1, int(parallel)) if parallel else 1,
+        )
 
     values: dict[tuple[str, str], object] = {}
     pending: list[tuple[ArtifactSpec, str, str]] = []
@@ -111,6 +125,9 @@ def run_sweep(
                     "sweep_point", artifact=spec.name, point=key, cached=True
                 ):
                     view.count("sweep_points_total", artifact=spec.name, cached="true")
+                if stream is not None:
+                    stream.emit("point", artifact=spec.name, point=key,
+                                cached=True)
                 continue
         stats.misses += 1
         pending.append((spec, key, ckey))
@@ -134,6 +151,9 @@ def run_sweep(
                     hub.absorb_telemetry(telemetry)
                     view.count("sweep_points_total", artifact=spec.name, cached="false")
                 values[(spec.name, key)] = value
+                if stream is not None:
+                    stream.emit("point", artifact=spec.name, point=key,
+                                cached=False)
                 if cache is not None:
                     cache.put(ckey, value)
     else:
@@ -145,6 +165,9 @@ def run_sweep(
                     value = spec.evaluate(key, config, hub)
                 view.count("sweep_points_total", artifact=spec.name, cached="false")
                 values[(spec.name, key)] = value
+                if stream is not None:
+                    stream.emit("point", artifact=spec.name, point=key,
+                                cached=False)
                 if cache is not None:
                     cache.put(ckey, value)
 
@@ -158,6 +181,19 @@ def run_sweep(
         hub.metrics.counter("sweep_cache_hits_total").inc(float(stats.hits))
         hub.metrics.counter("sweep_cache_misses_total").inc(float(stats.misses))
 
+    health = hub.run_health() if observed else None
+    wall_s = time.perf_counter() - t0
+    if stream is not None:
+        stream.emit(
+            "sweep_end",
+            points=len(points),
+            hits=stats.hits,
+            misses=stats.misses,
+            wall_s=wall_s,
+            wait_fraction=None if health is None else health.wait_fraction,
+        )
+        stream.flush()
+
     exported: tuple[str, ...] = ()
     if observed and hub.config.resolved_dir() is not None:
         exported = tuple(str(p) for p in hub.export(prefix=hub.config.prefix))
@@ -166,6 +202,7 @@ def run_sweep(
         results=results,
         stats=stats,
         workers=workers,
-        wall_s=time.perf_counter() - t0,
+        wall_s=wall_s,
         artifacts=exported,
+        health=health,
     )

@@ -10,11 +10,25 @@ The package the rest of the library reports into:
   Prometheus text exposition;
 * :mod:`repro.obs.analysis` — paper-style phase statistics, the
   critical-path extractor, comm/compute overlap;
+* :mod:`repro.obs.causal` — Lamport/vector clocks piggybacked on every
+  message, with a happens-before checker over the event stream;
+* :mod:`repro.obs.health` — Scalasca-style wait-state classification
+  (late-sender / late-receiver / wait-at-collective) plus
+  load-imbalance and NIC-saturation indices;
+* :mod:`repro.obs.streaming` — the bounded-memory telemetry stream
+  behind ``python -m repro tail``;
 * :mod:`repro.obs.benchmarks` / :mod:`repro.obs.gate` — the kernel
   measurements behind ``BENCH_kernels.json`` and the regression gate
-  that compares fresh measurements against that baseline.
+  that compares fresh measurements against that baseline (and against
+  the committed ``BENCH_history.json`` trajectory).
 """
 
+from repro.obs.causal import (
+    CausalReport,
+    CausalTracker,
+    CausalViolation,
+    validate_order,
+)
 from repro.obs.core import (
     NULL_RANK_OBS,
     Observability,
@@ -30,9 +44,27 @@ from repro.obs.metrics import (
     MetricsRegistry,
     exponential_buckets,
 )
+from repro.obs.health import (
+    RankHealth,
+    RunHealthReport,
+    merge_reports,
+    run_health,
+)
 from repro.obs.spans import Span, SpanStack, iter_spans, spans_named
+from repro.obs.streaming import StreamingSink, read_rows, tail_rows
 
 __all__ = [
+    "CausalReport",
+    "CausalTracker",
+    "CausalViolation",
+    "validate_order",
+    "RankHealth",
+    "RunHealthReport",
+    "merge_reports",
+    "run_health",
+    "StreamingSink",
+    "read_rows",
+    "tail_rows",
     "NULL_RANK_OBS",
     "Observability",
     "ObsConfig",

@@ -24,7 +24,6 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.apps.phases import DEFAULT_DISCARD, PHASE_NAMES
-from repro.errors import ObservabilityError
 from repro.obs.spans import Span, iter_spans, spans_named
 
 # ---------------------------------------------------------------------------
@@ -266,7 +265,10 @@ def critical_path(
     """
     records = [r for r in obs.tracer.snapshot() if r.kind != "phase"]
     if not records:
-        raise ObservabilityError("critical_path: the tracer recorded no events")
+        # A zero-op or p=1 communication-free run has no path to walk;
+        # an empty report (length 0.0, empty attribution) composes with
+        # downstream formatting, where raising would not.
+        return CriticalPathReport(segments=())
     by_rank: dict[int, list] = defaultdict(list)
     for r in records:
         by_rank[r.rank].append(r)
@@ -374,7 +376,9 @@ def overlap_report(obs) -> dict:
             compute[r.rank].append((r.t_start, r.t_end))
     ranks = sorted(set(comm) | set(compute))
     if not ranks:
-        raise ObservabilityError("overlap_report: the tracer recorded no events")
+        # Zero-op / p=1 runs: report an empty window rather than raise,
+        # matching critical_path's empty-trace behaviour.
+        return {"window": 0.0, "ranks": {}, "overlap_ratio": math.nan}
     window = max(t_hi - t_lo, 0.0)
 
     merged_comm = {rank: _merge_intervals(comm[rank]) for rank in ranks}

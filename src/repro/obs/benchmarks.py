@@ -473,6 +473,65 @@ def measure_engine_throughput(
     }
 
 
+def measure_obs_overhead(num_ranks=512, steps=2, events_limit=8):
+    """Wall cost of vector clocks + wait-state health at ``num_ranks``.
+
+    Runs the engine benchmark's allreduce+barrier workload twice under
+    the event engine with tracing on: once plain, once with a
+    :class:`~repro.obs.causal.CausalTracker` piggybacking clocks on
+    every message plus a full :func:`~repro.obs.health.run_health` pass
+    over the trace afterwards.  Reports the wall-time ratio (the cost
+    of turning diagnosis on) and whether the per-rank virtual clocks
+    stayed **bit-identical** — stamps ride outside the payload, so they
+    must.  ``events_limit`` bounds the tracker's per-rank event ring:
+    the clocks stay exact and memory stays flat at p = 512 (each
+    retained event snapshots a ``num_ranks``-wide vector).
+    """
+    from repro.network.model import GIGABIT_ETHERNET, NetworkModel
+    from repro.network.topology import ClusterTopology
+    from repro.obs.causal import CausalTracker
+    from repro.obs.health import run_health
+    from repro.simmpi import run_spmd
+
+    cores = 32
+    topology = ClusterTopology(
+        max(1, -(-num_ranks // cores)), cores, NetworkModel(GIGABIT_ETHERNET)
+    )
+
+    start = time.perf_counter()
+    plain = run_spmd(
+        _sweep_step_program, num_ranks, topology=topology, trace=True,
+        kwargs={"steps": steps}, real_timeout=600.0, engine="events",
+    )
+    plain_wall = time.perf_counter() - start
+
+    tracker = CausalTracker(num_ranks, events_limit=events_limit)
+    start = time.perf_counter()
+    observed = run_spmd(
+        _sweep_step_program, num_ranks, topology=topology, trace=True,
+        kwargs={"steps": steps}, real_timeout=600.0, engine="events",
+        causal=tracker,
+    )
+    health = run_health(observed.tracer)
+    observed_wall = time.perf_counter() - start
+
+    return {
+        "num_ranks": num_ranks,
+        "steps": steps,
+        "events_limit": events_limit,
+        "plain_wall_seconds": plain_wall,
+        "observed_wall_seconds": observed_wall,
+        "overhead_ratio": observed_wall / plain_wall if plain_wall > 0 else 1.0,
+        "clocks_match": plain.clocks == observed.clocks,
+        "makespans_match": plain.max_time == observed.max_time,
+        "health_comm_seconds": health.comm_time,
+        "health_wait_fraction": health.wait_fraction,
+        "causal_events": tracker.dropped_events + sum(
+            len(tracker.events_for(r)) for r in range(num_ranks)
+        ),
+    }
+
+
 def measure_replay(
     mesh_shape=(6, 6, 12),
     num_ranks=8,
@@ -576,6 +635,7 @@ def collect_kernel_metrics(smoke=False):
             saturation_ranks=512, saturation_doubles=16384,
         )
         replay = measure_replay(mesh_shape=(4, 4, 8), num_steps=2)
+        obs_overhead = measure_obs_overhead(num_ranks=128, steps=2)
     else:
         rd = measure_rd_step_paths()
         dist = measure_dist_cg_rounds()
@@ -583,6 +643,7 @@ def collect_kernel_metrics(smoke=False):
         colls = measure_collectives()
         engine = measure_engine_throughput()
         replay = measure_replay()
+        obs_overhead = measure_obs_overhead()
     return {
         "benchmark": "kernels",
         "smoke": smoke,
@@ -592,6 +653,7 @@ def collect_kernel_metrics(smoke=False):
         "collectives": colls,
         "engine_throughput": engine,
         "replay": replay,
+        "obs_overhead": obs_overhead,
         "targets": {
             "rd_step_speedup_min": 3.0,
             "dist_cg_rounds_ratio_min": 1.5,
@@ -609,6 +671,12 @@ def collect_kernel_metrics(smoke=False):
             # Per-additional-platform cost ratio of the record/replay
             # fast path (recording cached); makespan equality is exact.
             "replay_speedup_min": 10.0,
+            # Clocks + health may cost real time but never correctness:
+            # the gate requires bit-identical virtual clocks and bounds
+            # the wall overhead of diagnosis at p = 512 (one-core CI
+            # runners see the worst case — numpy vector merges per
+            # message on a single core).
+            "obs_overhead_ratio_max": 6.0,
         },
     }
 

@@ -87,6 +87,17 @@ class ObsConfig:
     jsonl: bool = True
     prometheus: bool = True
     discard: int = 5  # warm-up iterations the phase statistics drop
+    #: Piggyback Lamport/vector clocks on every message so the run can
+    #: be happens-before checked (:mod:`repro.obs.causal`).  Off by
+    #: default: clocks never perturb virtual time, but they do cost
+    #: real time at large p.
+    causal: bool = False
+    #: Compute a wait-state :class:`~repro.obs.health.RunHealthReport`
+    #: from the trace when telemetry is gathered or exported.
+    health: bool = True
+    #: Stream sweep telemetry rows into ``<out_dir>/stream.jsonl`` so
+    #: ``python -m repro tail`` can watch a live run.
+    stream: bool = True
 
     def resolved_dir(self) -> Path | None:
         """The output directory as a Path (created lazily by export)."""
@@ -174,6 +185,15 @@ class Observability:
         self.tracer = Tracer(enabled=self.config.enabled, sink=self._on_trace_record)
         self._stacks: dict[int, SpanStack] = {}
         self._lock = threading.Lock()
+        #: The run's :class:`~repro.obs.causal.CausalTracker`, attached
+        #: by :func:`~repro.simmpi.launcher.run_spmd` when causal
+        #: tracing is on (None otherwise).
+        self.causal = None
+        #: A :class:`~repro.obs.streaming.StreamingSink` when a live
+        #: telemetry stream is attached (the sweep engine does this).
+        self.stream = None
+        #: Health dicts absorbed from worker telemetry payloads.
+        self._point_healths: list[dict] = []
 
     # -- span storage -------------------------------------------------------
 
@@ -240,7 +260,9 @@ class Observability:
         absorb), metrics via :meth:`MetricsRegistry.payload`.  Tracer
         records are *not* included — the tracer is live-streamed into
         metrics through the sink, so the communication totals survive
-        the hop even though individual message events do not.
+        the hop even though individual message events do not.  With
+        ``config.health``, the trace is reduced to a wait-state health
+        dict before the hop for the same reason.
         """
 
         def nest(span: Span) -> dict:
@@ -253,13 +275,18 @@ class Observability:
                 "children": [nest(c) for c in span.children],
             }
 
-        return {
+        payload = {
             "spans": {
                 rank: [nest(root) for root in roots]
                 for rank, roots in self.all_roots().items()
             },
             "metrics": self.metrics.payload(),
         }
+        if self.config.health and self.tracer.snapshot():
+            from repro.obs.health import run_health
+
+            payload["health"] = run_health(self.tracer).as_dict()
+        return payload
 
     def absorb_telemetry(self, payload: dict) -> None:
         """Merge a worker hub's :meth:`telemetry_payload` into this hub.
@@ -289,6 +316,42 @@ class Observability:
             for root in roots:
                 stack.roots.append(rebuild(root, None))
         self.metrics.absorb(payload.get("metrics", []))
+        health = payload.get("health")
+        if health:
+            with self._lock:
+                self._point_healths.append(health)
+
+    def run_health(self):
+        """The hub's wait-state report (:mod:`repro.obs.health`).
+
+        Prefers the hub's own trace (an in-process run); otherwise
+        merges the health dicts absorbed from worker telemetry.
+        Returns None when neither source has data.
+        """
+        from repro.obs.health import RunHealthReport, merge_reports, run_health
+
+        if self.tracer.snapshot():
+            return run_health(self.tracer)
+        with self._lock:
+            absorbed = list(self._point_healths)
+        if not absorbed:
+            return None
+        return merge_reports([RunHealthReport.from_dict(doc) for doc in absorbed])
+
+    def attach_stream(self, out_dir: str | Path | None = None):
+        """Create (or return) the hub's live telemetry sink.
+
+        ``out_dir`` defaults to the config's; with neither, the sink is
+        memory-only (ring buffer, nothing on disk).
+        """
+        if self.stream is None:
+            from repro.obs.streaming import StreamingSink, stream_path
+
+            target = Path(out_dir) if out_dir is not None else self.config.resolved_dir()
+            self.stream = StreamingSink(
+                None if target is None else stream_path(target)
+            )
+        return self.stream
 
     # -- export -------------------------------------------------------------
 
@@ -322,6 +385,16 @@ class Observability:
             path = target / f"{prefix}-metrics.prom"
             path.write_text(exporters.prometheus_text(self.metrics))
             written.append(path)
+        if self.config.health:
+            health = self.run_health()
+            if health is not None:
+                import json
+
+                path = target / f"{prefix}-health.json"
+                path.write_text(json.dumps(health.as_dict(), indent=2) + "\n")
+                written.append(path)
+        if self.stream is not None:
+            self.stream.flush()
         return tuple(written)
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from collections import defaultdict, deque
 from pathlib import Path
 
@@ -172,15 +173,39 @@ def write_metrics_jsonl(obs, path: str | Path) -> Path:
 # -- Prometheus text exposition ----------------------------------------------
 
 
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name) -> str:
+    """A legal Prometheus metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    name = _METRIC_NAME_RE.sub("_", str(name)) or "_"
+    return "_" + name if name[0].isdigit() else name
+
+
+def _label_name(name) -> str:
+    """A legal Prometheus label name: ``[a-zA-Z_][a-zA-Z0-9_]*``."""
+    name = _LABEL_NAME_RE.sub("_", str(name)) or "_"
+    return "_" + name if name[0].isdigit() else name
+
+
 def _format_labels(labels: dict) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{_label_name(k)}="{_escape(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
 def _escape(value) -> str:
     return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value) -> str:
+    # HELP text escapes only backslash and newline (the exposition-format
+    # spec; double quotes stay literal outside label values).
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value: float) -> str:
@@ -195,15 +220,16 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     """Prometheus text exposition of every instrument, rank as a label."""
     lines: list[str] = []
     for inst in registry.instruments():
-        lines.append(f"# HELP {inst.name} {inst.help or inst.name}")
-        lines.append(f"# TYPE {inst.name} {inst.kind}")
+        name = _metric_name(inst.name)
+        lines.append(f"# HELP {name} {_escape_help(inst.help or inst.name)}")
+        lines.append(f"# TYPE {name} {inst.kind}")
         for labels in inst.label_sets():
             ld = dict(labels)
             for rank in inst.ranks():
                 rl = {**ld, "rank": rank}
                 if inst.kind == "counter":
                     lines.append(
-                        f"{inst.name}{_format_labels(rl)} "
+                        f"{name}{_format_labels(rl)} "
                         f"{_format_value(inst.value(rank=rank, labels=ld))}"
                     )
                 elif inst.kind == "gauge":
@@ -211,7 +237,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     if math.isnan(value):
                         continue
                     lines.append(
-                        f"{inst.name}{_format_labels(rl)} {_format_value(value)}"
+                        f"{name}{_format_labels(rl)} {_format_value(value)}"
                     )
                 else:
                     _histogram_lines(lines, inst, rank, ld, rl)
@@ -223,14 +249,15 @@ def _histogram_lines(lines: list[str], inst: Histogram, rank: int,
     stats = inst.stats(rank=rank, labels=labels)
     if not stats["count"]:
         return
+    name = _metric_name(inst.name)
     for bound, cumulative in inst.cumulative_buckets(rank=rank, labels=labels):
         le = "+Inf" if math.isinf(bound) else _format_value(bound)
         bucket_labels = {**rank_labels, "le": le}
         lines.append(
-            f"{inst.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+            f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
         )
     lines.append(
-        f"{inst.name}_sum{_format_labels(rank_labels)} "
+        f"{name}_sum{_format_labels(rank_labels)} "
         f"{_format_value(stats['sum'])}"
     )
-    lines.append(f"{inst.name}_count{_format_labels(rank_labels)} {stats['count']}")
+    lines.append(f"{name}_count{_format_labels(rank_labels)} {stats['count']}")

@@ -26,6 +26,16 @@ recorded (:func:`measure_fresh`) and compares (:func:`compare`):
 by injecting them into a fresh dict.  ``run_gate`` does measure, and
 ``main`` wraps it as a CLI returning a nonzero exit code on failure
 (unless ``--warn-only``, which is how the CI smoke job runs it).
+
+A second, fully pure gate guards the *trajectory*: the committed
+baseline's headline metrics (:func:`extract_trajectory_metrics`) are
+compared against the last entry of ``BENCH_history.json``
+(:func:`compare_trajectory`) — direction-aware, so a "higher is
+better" metric may not drop below ``last / tolerance`` and a "lower is
+better" one (the observability overhead ratio) may not rise above
+``last * tolerance``.  This catches a PR that quietly regresses a
+previously-won speedup even when the regressed value still clears the
+absolute target floor.
 """
 
 from __future__ import annotations
@@ -42,12 +52,15 @@ from repro.obs.benchmarks import (
     measure_collectives,
     measure_dist_cg_rounds,
     measure_engine_throughput,
+    measure_obs_overhead,
     measure_rd_phases,
     measure_rd_step_paths,
     measure_replay,
 )
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+#: The committed trajectory of headline metrics across prior PRs.
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.json"
 
 #: One-sided slack on timing comparisons (fresh <= baseline * tolerance).
 DEFAULT_TIME_TOLERANCE = 1.6
@@ -112,7 +125,7 @@ def load_baseline(path=DEFAULT_BASELINE) -> dict:
         key
         for key in (
             "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
-            "engine_throughput", "replay", "targets",
+            "engine_throughput", "replay", "obs_overhead", "targets",
         )
         if key not in baseline
     ]
@@ -132,7 +145,13 @@ def measure_fresh(baseline) -> dict:
     co_cfg = baseline["collectives"]
     en_cfg = baseline["engine_throughput"]
     rp_cfg = baseline["replay"]
+    ob_cfg = baseline["obs_overhead"]
     return {
+        "obs_overhead": measure_obs_overhead(
+            num_ranks=ob_cfg["num_ranks"],
+            steps=ob_cfg["steps"],
+            events_limit=ob_cfg["events_limit"],
+        ),
         "replay": measure_replay(
             mesh_shape=tuple(rp_cfg["mesh_shape"]),
             num_ranks=rp_cfg["num_ranks"],
@@ -417,8 +436,149 @@ def compare(
                 "wall-time ratio per additional platform (recording cached)",
             )
         )
+
+        fresh_oo = fresh["obs_overhead"]
+        checks.append(
+            _upper(
+                "obs_overhead.overhead_ratio",
+                fresh_oo["overhead_ratio"],
+                targets["obs_overhead_ratio_max"],
+                f"causal clocks + health at p={fresh_oo['num_ranks']} "
+                "must stay cheap",
+            )
+        )
+        checks.append(
+            GateCheck(
+                "obs_overhead.clocks_match",
+                1.0 if fresh_oo["clocks_match"] else 0.0,
+                1.0,
+                bool(fresh_oo["clocks_match"]),
+                "per-rank virtual clocks are bit-identical with obs on",
+            )
+        )
+        checks.append(
+            GateCheck(
+                "obs_overhead.makespans_match",
+                1.0 if fresh_oo["makespans_match"] else 0.0,
+                1.0,
+                bool(fresh_oo["makespans_match"]),
+                "virtual makespan is bit-identical with obs on",
+            )
+        )
     except KeyError as exc:
         raise BenchGateError(f"bench comparison missing key: {exc}") from exc
+    return GateReport(tuple(checks))
+
+
+#: Multiplicative slack on trajectory comparisons: a "higher is better"
+#: metric may drop to last/TOLERANCE before the gate fails; a "lower is
+#: better" metric may rise to last*TOLERANCE.
+DEFAULT_TRAJECTORY_TOLERANCE = 1.10
+
+
+def extract_trajectory_metrics(baseline) -> dict:
+    """The headline metrics a baseline doc contributes to the history.
+
+    Returns ``{name: {"value": float, "direction": "higher"|"lower"}}``.
+    Pure — reads only the committed ``BENCH_kernels.json`` dict, so the
+    trajectory check never re-measures anything.
+    """
+    en = baseline["engine_throughput"]
+    top = max(en["points"], key=lambda pt: pt["num_ranks"])
+    return {
+        "rd_step_path.speedup": {
+            "value": float(baseline["rd_step_path"]["speedup"]),
+            "direction": "higher",
+        },
+        "dist_cg_rounds.rounds_ratio": {
+            "value": float(baseline["dist_cg_rounds"]["rounds_ratio"]),
+            "direction": "higher",
+        },
+        "collectives.large.offnode_bytes_ratio": {
+            "value": float(
+                baseline["collectives"]["cases"]["large"]["offnode_bytes_ratio"]
+            ),
+            "direction": "higher",
+        },
+        f"engine_throughput.p{top['num_ranks']}.ratio": {
+            "value": float(top["ratio"]),
+            "direction": "higher",
+        },
+        "replay.speedup": {
+            "value": float(baseline["replay"]["speedup"]),
+            "direction": "higher",
+        },
+        "obs_overhead.overhead_ratio": {
+            "value": float(baseline["obs_overhead"]["overhead_ratio"]),
+            "direction": "lower",
+        },
+    }
+
+
+def load_history(path=DEFAULT_HISTORY) -> dict:
+    """Read and sanity-check ``BENCH_history.json``."""
+    path = Path(path)
+    try:
+        history = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchGateError(
+            f"bench history not found at {path}; commit one or pass --no-history"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise BenchGateError(f"bench history {path} is not valid JSON: {exc}") from exc
+    entries = history.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise BenchGateError(
+            f"bench history {path} needs a non-empty 'entries' list"
+        )
+    return history
+
+
+def compare_trajectory(
+    history,
+    current_metrics,
+    tolerance=DEFAULT_TRAJECTORY_TOLERANCE,
+) -> GateReport:
+    """Pure comparison of the current baseline metrics against the history.
+
+    The last history entry is the reference: a ``higher``-direction
+    metric must stay at or above ``last / tolerance``; a ``lower`` one
+    at or below ``last * tolerance``.  A history record may carry its
+    own ``"tolerance"`` (deterministic counts get a tight one,
+    wall-clock ratios a loose one), which overrides the default.
+    Metrics absent from either side are skipped (the history predates
+    them, or a section was retired) — the trajectory gate protects
+    continuity, not schema.
+    """
+    last = history["entries"][-1]
+    label = last.get("label", "last")
+    checks: list[GateCheck] = []
+    for name, rec in sorted(current_metrics.items()):
+        past = last.get("metrics", {}).get(name)
+        if past is None:
+            continue
+        value = float(rec["value"])
+        direction = rec.get("direction", past.get("direction", "higher"))
+        ref = float(past["value"])
+        tol = float(past.get("tolerance", tolerance))
+        if direction == "lower":
+            checks.append(
+                _upper(
+                    f"trajectory.{name}",
+                    value,
+                    ref * tol,
+                    f"vs {label}: {ref:.6g}, lower is better, x{tol:g} slack",
+                )
+            )
+        else:
+            checks.append(
+                _lower(
+                    f"trajectory.{name}",
+                    value,
+                    ref / tol,
+                    f"vs {label}: {ref:.6g}, higher is better, /{tol:g} slack",
+                )
+            )
     return GateReport(tuple(checks))
 
 
@@ -428,10 +588,30 @@ def run_gate(
     count_tolerance=DEFAULT_COUNT_TOLERANCE,
     warn_only=False,
     stream=None,
+    history_path=DEFAULT_HISTORY,
+    use_history=True,
+    trajectory_tolerance=DEFAULT_TRAJECTORY_TOLERANCE,
 ) -> int:
-    """Measure, compare, print; return a process exit code."""
+    """Measure, compare, print; return a process exit code.
+
+    Two independent gates run: the fresh-vs-baseline comparison
+    (re-measures at the baseline's configurations) and, unless
+    ``use_history`` is false, the trajectory comparison of the committed
+    baseline's headline metrics against the last ``BENCH_history.json``
+    entry (pure — no extra measurement).
+    """
     stream = stream if stream is not None else sys.stdout
     baseline = load_baseline(baseline_path)
+    reports: list[GateReport] = []
+    if use_history:
+        history = load_history(history_path)
+        trajectory = compare_trajectory(
+            history,
+            extract_trajectory_metrics(baseline),
+            tolerance=trajectory_tolerance,
+        )
+        print(trajectory.format(), file=stream)
+        reports.append(trajectory)
     fresh = measure_fresh(baseline)
     report = compare(
         baseline,
@@ -440,7 +620,8 @@ def run_gate(
         count_tolerance=count_tolerance,
     )
     print(report.format(), file=stream)
-    if report.passed:
+    reports.append(report)
+    if all(rep.passed for rep in reports):
         return 0
     if warn_only:
         print("bench gate: failures downgraded to warnings (--warn-only)", file=stream)
@@ -469,6 +650,19 @@ def main(argv=None) -> int:
         "--warn-only", action="store_true",
         help="report failures but exit 0 (CI smoke mode)",
     )
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help="trajectory history JSON (default BENCH_history.json)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the trajectory comparison against the history",
+    )
+    parser.add_argument(
+        "--trajectory-tolerance", type=float,
+        default=DEFAULT_TRAJECTORY_TOLERANCE,
+        help="multiplicative slack on trajectory checks (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     try:
         return run_gate(
@@ -476,6 +670,9 @@ def main(argv=None) -> int:
             time_tolerance=args.time_tolerance,
             count_tolerance=args.count_tolerance,
             warn_only=args.warn_only,
+            history_path=args.history,
+            use_history=not args.no_history,
+            trajectory_tolerance=args.trajectory_tolerance,
         )
     except BenchGateError as exc:
         print(f"bench gate error: {exc}", file=sys.stderr)

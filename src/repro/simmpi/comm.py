@@ -59,7 +59,11 @@ def _traced_collective(method):
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
         start = self.clock.time
+        if self.causal is not None:
+            self.causal.on_collective_enter(self.world_rank, name)
         result = method(self, *args, **kwargs)
+        if self.causal is not None:
+            self.causal.on_collective_exit(self.world_rank, name)
         self.collective_counts[name] += 1
         self.tracer.record(
             TraceRecord(self.rank, "collective", start, self.clock.time, label=name)
@@ -124,6 +128,7 @@ class Communicator:
         volume_limit_bytes: float | None = None,
         nic_concurrency: float = 1.0,
         op_recorder: Any = None,
+        causal: Any = None,
     ):
         if not (0 <= rank < size):
             raise CommunicatorError(f"rank {rank} outside communicator of size {size}")
@@ -165,6 +170,11 @@ class Communicator:
         #: when the launch asked for ``record_schedule=True``; its hooks fire
         #: at the same sites the tracer records, plus inside collectives.
         self.op_recorder = op_recorder
+        #: Vector-clock tracker (:class:`~repro.obs.causal.CausalTracker`)
+        #: when the launch asked for causal tracing; stamps ride in
+        #: :attr:`Message.causal`, outside the payload, so the timing
+        #: model and byte accounting never see them.
+        self.causal = causal
 
     # -- identity -------------------------------------------------------------
 
@@ -244,6 +254,11 @@ class Communicator:
         inject = nbytes * concurrency / link.bandwidth
         self.clock.advance(SEND_OVERHEAD + inject)
         arrival = self.clock.time + link.latency
+        stamp = (
+            None
+            if self.causal is None
+            else self.causal.on_send(self.world_rank, world_dest, tag, nbytes)
+        )
         self.engine.post(
             world_dest,
             Message(
@@ -253,6 +268,7 @@ class Communicator:
                 payload=payload,
                 nbytes=nbytes,
                 arrival_time=arrival,
+                causal=stamp,
             ),
         )
         self.tracer.record(
@@ -300,6 +316,8 @@ class Communicator:
         """Merge the message's arrival time into this rank's clock."""
         self.clock.merge(msg.arrival_time)
         self.clock.advance(RECV_OVERHEAD)
+        if self.causal is not None:
+            self.causal.on_recv(self.world_rank, msg.causal, msg.source, msg.tag)
         if self.op_recorder is not None:
             self.op_recorder.on_recv(
                 self.rank, self._local_of(msg.source), msg.tag, msg.nbytes
@@ -1037,6 +1055,7 @@ class Communicator:
             group=[self.group[r] for r in local_ranks],
             volume_limit_bytes=self.volume_limit_bytes,
             nic_concurrency=self.nic_concurrency,
+            causal=self.causal,
         )
 
     def dup(self) -> "Communicator":

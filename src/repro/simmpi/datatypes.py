@@ -23,6 +23,12 @@ class Message:
     payload: Any
     nbytes: int
     arrival_time: float
+    #: Out-of-band causal metadata (a :class:`repro.obs.causal.CausalStamp`)
+    #: when the run tracks vector clocks.  Deliberately *not* part of the
+    #: payload: ``nbytes`` above is computed from the payload alone, so
+    #: piggybacked clocks never enter the timing model, the byte
+    #: accounting, or a schedule recording.
+    causal: Any = None
 
     def matches(self, source: int, tag: int) -> bool:
         """Whether this message satisfies a receive for (source, tag)."""

@@ -98,6 +98,10 @@ class SPMDResult:
     #: when launched with ``record_schedule=True``; None when recording
     #: was off or the rank program touched an unrecordable feature.
     recording: Any = None
+    #: The :class:`~repro.obs.causal.CausalTracker` holding the run's
+    #: Lamport/vector clocks when launched with causal tracing; None
+    #: otherwise.
+    causal: Any = None
 
     @property
     def max_time(self) -> float:
@@ -132,6 +136,7 @@ def run_spmd(
     observability=None,
     engine: str | None = None,
     record_schedule: bool = False,
+    causal: Any = None,
 ) -> SPMDResult:
     """Run ``target(comm, *args, **kwargs)`` on ``num_ranks`` ranks.
 
@@ -161,6 +166,13 @@ def run_spmd(
     communicator and exposes the frozen schedule as ``result.recording``
     (None if the program used features replay cannot represent — see
     ``docs/replay.md``); fault injection always disables recording.
+
+    ``causal`` enables vector-clock tracing: pass ``True`` to build a
+    fresh :class:`~repro.obs.causal.CausalTracker`, or an existing
+    tracker to reuse one.  When an ``observability`` hub is attached
+    with ``config.causal`` set, a tracker is created automatically.
+    The tracker rides back as ``result.causal`` (and on the hub) for
+    :meth:`~repro.obs.causal.CausalTracker.check`.
 
     Raises the first rank exception after aborting the others.
     """
@@ -194,6 +206,17 @@ def run_spmd(
         recorder = ScheduleRecorder(num_ranks)
         if fault_injector is not None:
             recorder.mark_unsupported("fault injection")
+    tracker = causal if not isinstance(causal, bool) and causal is not None else None
+    if tracker is None and (
+        causal is True
+        or (observability is not None
+            and getattr(observability.config, "causal", False))
+    ):
+        from repro.obs.causal import CausalTracker
+
+        tracker = CausalTracker(num_ranks)
+    if observability is not None and tracker is not None:
+        observability.causal = tracker
     comms = [
         Communicator(
             engine=runtime,
@@ -205,6 +228,7 @@ def run_spmd(
             volume_limit_bytes=volume_limit_bytes,
             nic_concurrency=nic_concurrency,
             op_recorder=recorder,
+            causal=tracker,
         )
         for r in range(num_ranks)
     ]
@@ -229,6 +253,7 @@ def run_spmd(
         engine=engine_kind,
         algorithm_counts=algorithm_counts,
         recording=None if recorder is None else recorder.finish(),
+        causal=tracker,
     )
 
 

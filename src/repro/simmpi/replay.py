@@ -84,6 +84,7 @@ def replay_schedule(
     observability=None,
     real_timeout: float = 120.0,
     check_compatibility: bool = True,
+    causal=None,
 ) -> SPMDResult:
     """Re-time ``recording`` on a platform model; returns an SPMDResult.
 
@@ -92,7 +93,10 @@ def replay_schedule(
     charges (pass the platform's
     :meth:`~repro.platforms.specs.PlatformSpec.core_flops`);
     ``nic_concurrency``/``volume_limit_bytes``/``engine``/``trace``/
-    ``observability`` mirror :func:`~repro.simmpi.launcher.run_spmd`.
+    ``observability``/``causal`` mirror
+    :func:`~repro.simmpi.launcher.run_spmd` — in particular a replayed
+    run re-stamps every message with fresh vector clocks, so replayed
+    schedules keep checkable causal metadata.
 
     With ``check_compatibility`` (the default) the recording's frozen
     ``auto`` collective choices are validated against the target
@@ -120,6 +124,7 @@ def replay_schedule(
         real_timeout=real_timeout,
         observability=observability,
         engine=engine,
+        causal=causal,
     )
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ObservabilityError
 from repro.obs import Observability
 from repro.obs.analysis import critical_path, overlap_report, phase_statistics
 
@@ -107,9 +106,12 @@ class TestCriticalPath:
         for step in range(NUM_STEPS):
             assert f"step {step}:" in text
 
-    def test_empty_trace_raises(self):
-        with pytest.raises(ObservabilityError):
-            critical_path(Observability())
+    def test_empty_trace_yields_empty_report(self):
+        report = critical_path(Observability())
+        assert report.segments == ()
+        assert report.length == 0.0
+        assert report.time_by_rank_phase() == {}
+        assert "critical path: 0 events" in report.format()
 
 
 class TestOverlap:

@@ -147,3 +147,94 @@ class TestPrometheus:
         text = prometheus_text(obs.metrics)
         for r in range(NUM_RANKS):
             assert f'rank="{r}"' in text
+
+
+class TestPrometheusHardening:
+    """Spec conformance on hostile names, labels, and help strings."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_help_and_type_precede_samples(self):
+        reg = self._registry()
+        reg.counter("requests_total", help="Total requests.").inc(3.0)
+        reg.gauge("depth", help="Queue depth.").set(2.0)
+        lines = prometheus_text(reg).splitlines()
+        for name, kind in (("requests_total", "counter"), ("depth", "gauge")):
+            help_i = lines.index(f"# HELP {name} " + (
+                "Total requests." if kind == "counter" else "Queue depth."))
+            type_i = lines.index(f"# TYPE {name} {kind}")
+            sample_i = next(i for i, line in enumerate(lines)
+                            if line.startswith(name + "{"))
+            assert help_i < type_i < sample_i
+
+    def test_empty_help_falls_back_to_name(self):
+        reg = self._registry()
+        reg.counter("plain_total").inc()
+        assert "# HELP plain_total plain_total" in prometheus_text(reg)
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        reg = self._registry()
+        reg.counter("c_total", help='path\\to "quoted"\nsecond').inc()
+        text = prometheus_text(reg)
+        assert '# HELP c_total path\\\\to "quoted"\\nsecond' in text
+
+    def test_label_values_escape_quote_backslash_newline(self):
+        reg = self._registry()
+        reg.counter("c_total").inc(labels={"path": 'a\\b"c\nd'})
+        text = prometheus_text(reg)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # The physical line must stay a single line.
+        assert all("\n" not in line for line in text.splitlines())
+
+    def test_illegal_metric_and_label_names_are_sanitized(self):
+        reg = self._registry()
+        reg.counter("phase.solve-time:total").inc(
+            labels={"mesh-shape": "5x5", "9lives": "yes"}
+        )
+        reg.gauge("2fast").set(1.0)
+        text = prometheus_text(reg)
+        assert "phase_solve_time:total" in text  # colon is legal, dot/dash not
+        assert 'mesh_shape="5x5"' in text
+        assert '_9lives="yes"' in text  # label may not start with a digit
+        assert "# TYPE _2fast gauge" in text
+        assert not any(line.startswith("2fast")
+                       for line in text.splitlines())
+
+    def test_histogram_buckets_are_ordered_cumulative_with_inf(self):
+        reg = self._registry()
+        hist = reg.histogram("lat_seconds", help="Latency.",
+                             buckets=(0.1, 0.5, 2.0))
+        for v in (0.05, 0.3, 0.3, 1.0, 10.0):
+            hist.observe(v)
+        lines = prometheus_text(reg).splitlines()
+        bucket_lines = [l for l in lines if l.startswith("lat_seconds_bucket")]
+        les, counts = [], []
+        for line in bucket_lines:
+            label_part, value = line.rsplit(" ", 1)
+            les.append(label_part.split('le="')[1].split('"')[0])
+            counts.append(int(value))
+        assert les == ["0.1", "0.5", "2.0", "+Inf"]  # ordered, +Inf last
+        assert counts == sorted(counts)  # cumulative monotone
+        assert counts[-1] == 5  # +Inf counts every observation
+        assert "lat_seconds_sum" in "\n".join(lines)
+        assert any(l.startswith("lat_seconds_count") and l.endswith(" 5")
+                   for l in lines)
+
+    def test_histogram_le_is_a_label_alongside_rank(self):
+        reg = self._registry()
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5, rank=3)
+        text = prometheus_text(reg)
+        assert 'le="+Inf"' in text and 'rank="3"' in text
+
+    def test_nan_and_inf_values_format_per_spec(self):
+        import math
+
+        reg = self._registry()
+        reg.gauge("g").set(math.inf, rank=0)
+        reg.gauge("g").set(-math.inf, rank=1)
+        text = prometheus_text(reg)
+        assert 'g{rank="0"} +Inf' in text
+        assert 'g{rank="1"} -Inf' in text

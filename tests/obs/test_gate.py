@@ -136,6 +136,19 @@ BASELINE = {
             for name in ("puma", "ellipse", "lagrange", "ec2")
         },
     },
+    "obs_overhead": {
+        "num_ranks": 512,
+        "steps": 2,
+        "events_limit": 8,
+        "plain_wall_seconds": 0.35,
+        "observed_wall_seconds": 0.7,
+        "overhead_ratio": 2.0,
+        "clocks_match": True,
+        "makespans_match": True,
+        "health_comm_seconds": 0.01,
+        "health_wait_fraction": 0.4,
+        "causal_events": 26752,
+    },
     "targets": {
         "rd_step_speedup_min": 3.0,
         "dist_cg_rounds_ratio_min": 1.5,
@@ -147,7 +160,31 @@ BASELINE = {
         "engine_sweep_budget_seconds": 120.0,
         "engine_saturation_virtual_ratio_min": 2.0,
         "replay_speedup_min": 10.0,
+        "obs_overhead_ratio_max": 6.0,
     },
+}
+
+HISTORY = {
+    "benchmark": "kernels-history",
+    "entries": [
+        {
+            "label": "pr7",
+            "metrics": {
+                "rd_step_path.speedup": {
+                    "value": 4.0, "direction": "higher", "tolerance": 2.0,
+                },
+                "dist_cg_rounds.rounds_ratio": {
+                    "value": 2.5, "direction": "higher", "tolerance": 1.05,
+                },
+                "replay.speedup": {
+                    "value": 84.0, "direction": "higher", "tolerance": 3.0,
+                },
+                "obs_overhead.overhead_ratio": {
+                    "value": 2.0, "direction": "lower", "tolerance": 2.0,
+                },
+            },
+        },
+    ],
 }
 
 
@@ -157,7 +194,7 @@ def fresh_like_baseline():
             k: BASELINE[k]
             for k in (
                 "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
-                "engine_throughput", "replay",
+                "engine_throughput", "replay", "obs_overhead",
             )
         }
     )
@@ -337,6 +374,26 @@ class TestCompare:
         report = gate.compare(BASELINE, fresh)
         assert any(c.name == "replay.speedup" for c in report.failures)
 
+    def test_obs_overhead_ratio_blown_fails(self):
+        """Acceptance: causal clocks + health must stay under the
+        overhead-ratio ceiling at the benchmarked rank count."""
+        fresh = fresh_like_baseline()
+        fresh["obs_overhead"]["overhead_ratio"] = 9.0
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "obs_overhead.overhead_ratio" for c in report.failures
+        )
+
+    def test_obs_clock_perturbation_fails(self):
+        """Acceptance: enabling observability must leave per-rank
+        virtual clocks bit-identical."""
+        fresh = fresh_like_baseline()
+        fresh["obs_overhead"]["clocks_match"] = False
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "obs_overhead.clocks_match" for c in report.failures
+        )
+
     def test_missing_key_is_an_error_not_a_failure(self):
         fresh = fresh_like_baseline()
         del fresh["rd_phases"]["phase_means"]
@@ -362,16 +419,140 @@ class TestRunGate:
         fresh = fresh_like_baseline()
         monkeypatch.setattr(gate, "measure_fresh", lambda baseline: fresh)
         out = io.StringIO()
-        assert gate.run_gate(baseline_path, stream=out) == 0
+        assert gate.run_gate(baseline_path, stream=out, use_history=False) == 0
         assert "bench gate: PASS" in out.getvalue()
 
         fresh["rd_phases"]["phase_means"]["solve"] *= 2.0
-        assert gate.run_gate(baseline_path, stream=io.StringIO()) == 1
+        assert gate.run_gate(
+            baseline_path, stream=io.StringIO(), use_history=False
+        ) == 1
 
         out = io.StringIO()
-        assert gate.run_gate(baseline_path, warn_only=True, stream=out) == 0
+        assert gate.run_gate(
+            baseline_path, warn_only=True, stream=out, use_history=False
+        ) == 0
         assert "downgraded to warnings" in out.getvalue()
+
+    def test_history_regression_fails_the_gate(self, baseline_path, tmp_path,
+                                               monkeypatch):
+        """A baseline whose headline metric fell below the last history
+        entry fails even when every absolute target still passes."""
+        monkeypatch.setattr(
+            gate, "measure_fresh", lambda baseline: fresh_like_baseline()
+        )
+        history_path = tmp_path / "BENCH_history.json"
+        history = copy.deepcopy(HISTORY)
+        history["entries"][-1]["metrics"]["replay.speedup"] = {
+            "value": 500.0, "direction": "higher", "tolerance": 1.05,
+        }
+        history_path.write_text(json.dumps(history))
+        out = io.StringIO()
+        assert gate.run_gate(
+            baseline_path, stream=out, history_path=history_path
+        ) == 1
+        assert "[FAIL] trajectory.replay.speedup" in out.getvalue()
+
+        out = io.StringIO()
+        history["entries"][-1]["metrics"]["replay.speedup"]["value"] = 84.0
+        history_path.write_text(json.dumps(history))
+        assert gate.run_gate(
+            baseline_path, stream=out, history_path=history_path
+        ) == 0
+        assert "trajectory.replay.speedup" in out.getvalue()
+
+    def test_missing_history_is_an_error(self, baseline_path, monkeypatch):
+        monkeypatch.setattr(
+            gate, "measure_fresh", lambda baseline: fresh_like_baseline()
+        )
+        with pytest.raises(BenchGateError, match="history not found"):
+            gate.run_gate(
+                baseline_path, stream=io.StringIO(),
+                history_path="/nonexistent/history.json",
+            )
 
     def test_main_reports_gate_errors_as_exit_2(self, tmp_path):
         missing = tmp_path / "absent.json"
         assert gate.main(["--baseline", str(missing)]) == 2
+
+
+class TestTrajectory:
+    """The pure history comparison: direction- and tolerance-aware."""
+
+    def test_repo_history_is_valid(self):
+        history = gate.load_history()
+        assert history["entries"]
+        last = history["entries"][-1]
+        assert last["metrics"]
+
+    def test_repo_baseline_passes_repo_history(self):
+        """Acceptance: the committed baseline must clear the committed
+        trajectory — this is the exact check CI's bench-gate step runs."""
+        report = gate.compare_trajectory(
+            gate.load_history(),
+            gate.extract_trajectory_metrics(gate.load_baseline()),
+        )
+        assert report.checks, "trajectory must actually check something"
+        assert report.passed, report.format()
+
+    def test_extract_covers_headline_metrics(self):
+        metrics = gate.extract_trajectory_metrics(BASELINE)
+        assert metrics["rd_step_path.speedup"]["value"] == 4.0
+        assert metrics["rd_step_path.speedup"]["direction"] == "higher"
+        assert metrics["obs_overhead.overhead_ratio"]["direction"] == "lower"
+        assert metrics["engine_throughput.p1000.ratio"]["value"] == 10.0
+
+    def test_identical_metrics_pass(self):
+        report = gate.compare_trajectory(
+            HISTORY, gate.extract_trajectory_metrics(BASELINE)
+        )
+        assert report.passed, report.format()
+        checked = {c.name for c in report.checks}
+        assert "trajectory.replay.speedup" in checked
+
+    def test_higher_metric_dropping_fails(self):
+        metrics = gate.extract_trajectory_metrics(BASELINE)
+        metrics["dist_cg_rounds.rounds_ratio"]["value"] = 1.0
+        report = gate.compare_trajectory(HISTORY, metrics)
+        assert [c.name for c in report.failures] == [
+            "trajectory.dist_cg_rounds.rounds_ratio"
+        ]
+
+    def test_lower_metric_rising_fails(self):
+        metrics = gate.extract_trajectory_metrics(BASELINE)
+        metrics["obs_overhead.overhead_ratio"]["value"] = 5.0  # > 2.0 * 2.0
+        report = gate.compare_trajectory(HISTORY, metrics)
+        assert [c.name for c in report.failures] == [
+            "trajectory.obs_overhead.overhead_ratio"
+        ]
+
+    def test_per_metric_tolerance_overrides_default(self):
+        """rounds_ratio carries a tight 1.05 slack: a 7% drop fails it
+        even though the default trajectory tolerance would forgive it."""
+        metrics = gate.extract_trajectory_metrics(BASELINE)
+        metrics["dist_cg_rounds.rounds_ratio"]["value"] = 2.5 / 1.07
+        report = gate.compare_trajectory(HISTORY, metrics, tolerance=1.10)
+        assert not report.passed
+
+    def test_wiggle_within_tolerance_passes(self):
+        metrics = gate.extract_trajectory_metrics(BASELINE)
+        metrics["replay.speedup"]["value"] = 84.0 / 1.5  # 3.0x slack
+        assert gate.compare_trajectory(HISTORY, metrics).passed
+
+    def test_metrics_absent_from_history_are_skipped(self):
+        metrics = gate.extract_trajectory_metrics(BASELINE)
+        report = gate.compare_trajectory(HISTORY, metrics)
+        checked = {c.name for c in report.checks}
+        # HISTORY predates the offnode-bytes metric: no check, no fail.
+        assert "trajectory.collectives.large.offnode_bytes_ratio" not in checked
+
+    def test_empty_history_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"entries": []}))
+        with pytest.raises(BenchGateError, match="non-empty"):
+            gate.load_history(path)
+
+    def test_malformed_history_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(BenchGateError, match="not valid JSON"):
+            gate.load_history(path)

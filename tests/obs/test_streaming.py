@@ -1,0 +1,182 @@
+"""Streaming telemetry: ring bounds, tolerant readers, live sweeps."""
+
+import json
+
+import pytest
+
+from repro.obs.streaming import (
+    STREAM_FILENAME,
+    StreamingSink,
+    format_row,
+    read_rows,
+    stream_path,
+    tail_rows,
+)
+
+
+class TestSink:
+    def test_ring_bounds_memory(self, tmp_path):
+        sink = StreamingSink(tmp_path / "s.jsonl", capacity=10,
+                             flush_interval=4)
+        for i in range(100):
+            sink.emit("tick", i=i)
+        assert sink.emitted == 100
+        recent = sink.recent()
+        assert len(recent) == 10  # ring evicted the rest
+        assert [r["i"] for r in recent] == list(range(90, 100))
+        assert [r["i"] for r in sink.recent(3)] == [97, 98, 99]
+        sink.close()
+        # ...but the file keeps every row: the ring bounds memory only.
+        assert len(read_rows(tmp_path / "s.jsonl")) == 100
+
+    def test_rows_are_sequenced_and_stamped(self, tmp_path):
+        with StreamingSink(tmp_path / "s.jsonl", flush_interval=1) as sink:
+            sink.emit("a", x=1.5)
+            sink.emit("b", y="z")
+        rows = read_rows(tmp_path / "s.jsonl")
+        assert [r["seq"] for r in rows] == [0, 1]
+        assert rows[0]["kind"] == "a" and rows[0]["x"] == 1.5
+        assert all("wall" in r for r in rows)
+
+    def test_flush_interval_batches_writes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = StreamingSink(path, flush_interval=8)
+        for _ in range(7):
+            sink.emit("tick")
+        assert not path.exists()  # still pending
+        sink.emit("tick")  # 8th row triggers the flush
+        assert len(read_rows(path)) == 8
+        sink.close()
+
+    def test_pathless_sink_is_memory_only(self):
+        sink = StreamingSink(None, flush_interval=1)
+        sink.emit("tick")
+        sink.flush()
+        assert sink.recent() and sink.path is None
+
+    def test_numpy_payloads_serialize(self, tmp_path):
+        import numpy as np
+
+        with StreamingSink(tmp_path / "s.jsonl", flush_interval=1) as sink:
+            sink.emit("stats", mean=np.float64(1.25), n=np.int64(3))
+        row = read_rows(tmp_path / "s.jsonl")[0]
+        assert row["mean"] == 1.25 and row["n"] == 3
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StreamingSink(None, capacity=0)
+
+
+class TestReaders:
+    def test_half_written_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with StreamingSink(path, flush_interval=1) as sink:
+            sink.emit("a")
+            sink.emit("b")
+        with open(path, "a") as fh:
+            fh.write('{"seq": 2, "kind": "tru')  # mid-append crash
+        rows = read_rows(path)
+        assert [r["kind"] for r in rows] == ["a", "b"]
+
+    def test_malformed_interior_lines_are_dropped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"seq": 0, "kind": "ok"}\nnot json\n[1,2]\n'
+                        '{"seq": 1, "kind": "ok2"}\n\n')
+        rows = read_rows(path)
+        assert [r["kind"] for r in rows] == ["ok", "ok2"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_rows(tmp_path / "absent.jsonl") == []
+
+    def test_stream_path_joins_filename(self, tmp_path):
+        assert stream_path(tmp_path).endswith(STREAM_FILENAME)
+
+    def test_format_row_is_one_line(self):
+        line = format_row({"seq": 3, "kind": "point", "wall": 0.0,
+                           "artifact": "fig4", "wall_s": 1.23456789,
+                           "meta": {"a": [1, 2]}})
+        assert "\n" not in line
+        assert "#   3" in line and "point" in line
+        assert "artifact=fig4" in line
+        assert "wall_s=1.23457" in line  # floats compacted
+        assert "meta={a:[1,2]}" in line
+
+    def test_tail_rows_filters_and_limits(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with StreamingSink(path, flush_interval=1) as sink:
+            for i in range(30):
+                sink.emit("tick", i=i)
+            sink.emit("end")
+        lines = list(tail_rows(path, last=5))
+        assert len(lines) == 5
+        assert "end" in lines[-1]
+        ticks = list(tail_rows(path, last=100, kinds=("tick",)))
+        assert len(ticks) == 30
+        assert not any("end" in line for line in ticks)
+
+
+class TestSweepIntegration:
+    def test_observed_sweep_streams_rows(self, tmp_path):
+        import repro
+        from repro.harness.config import RunConfig
+        from repro.obs import ObsConfig
+
+        out = tmp_path / "obs"
+        config = RunConfig(obs=ObsConfig(out_dir=str(out)),
+                           cache_dir=str(tmp_path / "cache"))
+        repro.run("resilience", config=config)
+        rows = read_rows(stream_path(out))
+        kinds = [r["kind"] for r in rows]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_end"
+        assert "point" in kinds
+        end = rows[-1]
+        assert end["points"] >= 1 and "wall_s" in end
+        assert "wait_fraction" in end
+
+        # A warm re-run appends (the stream is a log, not a snapshot)
+        # and marks its points as cached.
+        repro.run("resilience", config=config)
+        rows = read_rows(stream_path(out))
+        assert [r["kind"] for r in rows].count("sweep_end") == 2
+        assert any(r.get("cached") for r in rows if r["kind"] == "point")
+
+    def test_unobserved_sweep_writes_no_stream(self, tmp_path):
+        import repro
+        from repro.harness.config import RunConfig
+
+        config = RunConfig(cache_dir=str(tmp_path / "cache"))
+        repro.run("table1", config=config)
+        assert not list(tmp_path.glob("**/" + STREAM_FILENAME))
+
+
+class TestCLI:
+    def test_tail_and_health_subcommands(self, tmp_path, capsys):
+        import repro
+        from repro.__main__ import main as cli_main
+        from repro.harness.config import RunConfig
+        from repro.obs import ObsConfig
+
+        out = tmp_path / "obs"
+        config = RunConfig(obs=ObsConfig(out_dir=str(out)),
+                           cache_dir=str(tmp_path / "cache"))
+        repro.run("resilience", config=config)
+
+        assert cli_main(["tail", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "sweep_start" in text and "sweep_end" in text
+
+        assert cli_main(["tail", str(out), "--last", "1",
+                         "--kind", "sweep_end"]) == 0
+        text = capsys.readouterr().out
+        assert "sweep_end" in text and "sweep_start" not in text
+
+        assert cli_main(["health", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "run health:" in text
+
+    def test_tail_empty_dir_is_friendly(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["tail", str(tmp_path)]) == 0
+        assert "no telemetry rows" in capsys.readouterr().out
