@@ -5,23 +5,24 @@ from repro.harness import experiment_porting_effort
 
 
 def test_porting_effort(benchmark, save_artifact):
-    efforts = benchmark(experiment_porting_effort)
+    report = benchmark(experiment_porting_effort)
 
     # The paper's numbers: nothing at home, ~8 man-hours on ellipse and
     # lagrange, about a working day on EC2 including the cloud actions.
-    assert efforts["puma"]["total_hours"] == 0.0
-    assert 6 <= efforts["ellipse"]["total_hours"] <= 10
-    assert 5 <= efforts["lagrange"]["total_hours"] <= 10
-    assert efforts["ec2"]["total_hours"] > efforts["ellipse"]["total_hours"]
+    assert report.effort("puma").total_hours == 0.0
+    assert 6 <= report.effort("ellipse").total_hours <= 10
+    assert 5 <= report.effort("lagrange").total_hours <= 10
+    assert report.effort("ec2").total_hours > report.effort("ellipse").total_hours
 
     lines = ["Porting effort per platform (paper §VI):", ""]
     headers = ["platform", "man-hours", "installed packages"]
     rows = [
-        [name, data["total_hours"], len(data["missing_packages"])]
-        for name, data in efforts.items()
+        [name, report.effort(name).total_hours,
+         len(report.effort(name).missing_packages)]
+        for name in report.platforms()
     ]
     lines.append(ascii_table(headers, rows))
-    for name, data in efforts.items():
+    for name in report.platforms():
         lines.append(f"\n--- {name} ---")
-        lines.extend(f"  {a}" for a in data["actions"])
+        lines.extend(f"  {a}" for a in report.effort(name).actions)
     save_artifact("porting_effort.txt", "\n".join(lines))

@@ -6,27 +6,28 @@ from repro.harness import experiment_porting_effort, experiment_table1
 
 
 def test_table1_regeneration(benchmark, save_artifact):
-    rows = benchmark(experiment_table1)
+    matrix = benchmark(experiment_table1)
     # Spot-check the cells the paper prints.
-    assert rows["# cpu/cores"]["ec2"] == "2/8"
-    assert rows["MPI"]["ellipse"] == "none"
+    assert matrix.cell("# cpu/cores", "ec2") == "2/8"
+    assert matrix.cell("MPI", "ellipse") == "none"
 
     text = render_table1()
     gaps = experiment_porting_effort()
     text += "\n\nHow the missing capabilities were addressed (the colored cells):\n"
     headers = ["platform", "preinstalled", "module", "yum", "source", "config", "man-hours"]
     table_rows = []
-    for name, data in gaps.items():
-        by = data["by_method"]
+    for name in gaps.platforms():
+        effort = gaps.effort(name)
+        by = effort.by_method
         table_rows.append(
             [
                 name,
-                len(by.get("preinstalled", [])),
-                len(by.get("module", [])),
-                len(by.get("yum", [])),
-                len(by.get("source", [])),
-                len(by.get("config", [])),
-                data["total_hours"],
+                len(by.get("preinstalled", ())),
+                len(by.get("module", ())),
+                len(by.get("yum", ())),
+                len(by.get("source", ())),
+                len(by.get("config", ())),
+                effort.total_hours,
             ]
         )
     text += ascii_table(headers, table_rows)

@@ -15,7 +15,10 @@ subpackages remain importable directly for everything else:
   experiment generator per paper table/figure;
 * ``repro.core`` — the deployment/characterization framework;
 * ``repro.broker`` — the assembly broker and the parallel sweep engine
-  behind :func:`repro.run`.
+  behind :func:`repro.run`;
+* ``repro.service`` — the broker as a persistent multi-tenant service
+  (job queue, request coalescing, admission control) behind
+  ``repro.run(request, via=...)``.
 """
 
 from repro.errors import ReproError
@@ -42,6 +45,13 @@ from repro.broker import (
     broker_assemblies,
     run,
     section_7d_request,
+)
+from repro.service import (
+    AdmissionPolicy,
+    BrokerService,
+    ServiceClient,
+    ServiceConfig,
+    TenantQuota,
 )
 
 __version__ = "1.0.0"
@@ -72,5 +82,10 @@ __all__ = [
     "BrokerRequest",
     "broker_assemblies",
     "section_7d_request",
+    "AdmissionPolicy",
+    "BrokerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "TenantQuota",
     "__version__",
 ]

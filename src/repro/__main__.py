@@ -17,10 +17,17 @@ Usage::
     python -m repro tail traces/         # follow a sweep's telemetry stream
     python -m repro health traces/       # wait-state report of a finished run
     python -m repro bench-gate           # fresh kernels vs baseline + history
+    python -m repro serve --port 8642    # broker-as-a-service (HTTP + stream)
+    python -m repro submit fig4 --wait   # run through a service, coalesced
+    python -m repro status --url ...     # jobs on a running service
 
 The single-artifact subcommands (``fig4`` … ``resilience``) are thin
 aliases for ``run <name> --no-cache``: every path goes through the
 artifact registry and the sweep engine.
+
+Shared flag vocabulary (``--seed``/``--engine``/``--obs-out``/...) and
+the ``--json`` output mode on read-only subcommands come from
+:mod:`repro.cli`.
 """
 
 from __future__ import annotations
@@ -28,14 +35,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import cli
 from repro.core.reporting import ascii_table
 
 
 def _cmd_run(args) -> int:
     from repro.broker.api import RunRequest, run
     from repro.broker.registry import REGISTRY, artifact_names
-    from repro.harness.config import RunConfig
-    from repro.obs.core import ObsConfig
 
     if args.list:
         width = max(len(name) for name in artifact_names())
@@ -45,9 +51,7 @@ def _cmd_run(args) -> int:
     names = tuple(args.artifacts)
     if args.all or not names:
         names = ("all",)
-    obs = ObsConfig(out_dir=args.obs_out) if args.obs_out else None
-    config = RunConfig(seed=args.seed, obs=obs, cache_dir=args.cache_dir,
-                       engine=args.engine, replay=args.replay)
+    config = cli.config_from_args(args)
     result = run(RunRequest(
         artifacts=names,
         config=config,
@@ -67,6 +71,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_broker(args) -> str:
+    import dataclasses
+
     from repro.broker.assembly import (
         BrokerRequest,
         broker_assemblies,
@@ -83,7 +89,18 @@ def _cmd_broker(args) -> str:
         spot_spike_probability=args.spike_probability,
         seed=args.seed,
     )
-    return render_broker_report(broker_assemblies(request), top=args.top)
+    report = broker_assemblies(request)
+    return cli.render(
+        args,
+        text=lambda: render_broker_report(report, top=args.top),
+        payload=lambda: {
+            "request": dataclasses.asdict(request),
+            "plans": [
+                dataclasses.asdict(plan)
+                for plan in (report.plans[:args.top] if args.top else report.plans)
+            ],
+        },
+    )
 
 
 def _render_artifact(name: str) -> str:
@@ -132,17 +149,40 @@ def _cmd_compare(args) -> str:
     deployments, expenses = compare_platforms(
         args.app, args.ranks, num_iterations=args.iterations
     )
-    rows = []
-    for d in deployments:
-        rows.append([d.platform, d.nodes, f"{d.queue_wait_s / 3600:.2f}",
-                     f"{d.phases.total:.2f}", f"{d.run_cost_dollars:.2f}"])
-    out = ascii_table(
-        ["platform", "nodes", "wait [h]", "s/iter", "cost [$]"], rows
-    )
     infeasible = [e for e in expenses if not e.feasible]
-    for e in infeasible:
-        out += f"\n{e.platform}: infeasible - {e.infeasibility_reason}"
-    return out
+
+    def text() -> str:
+        rows = []
+        for d in deployments:
+            rows.append([d.platform, d.nodes, f"{d.queue_wait_s / 3600:.2f}",
+                         f"{d.phases.total:.2f}", f"{d.run_cost_dollars:.2f}"])
+        out = ascii_table(
+            ["platform", "nodes", "wait [h]", "s/iter", "cost [$]"], rows
+        )
+        for e in infeasible:
+            out += f"\n{e.platform}: infeasible - {e.infeasibility_reason}"
+        return out
+
+    return cli.render(
+        args,
+        text=text,
+        payload=lambda: {
+            "deployments": [
+                {
+                    "platform": d.platform,
+                    "nodes": d.nodes,
+                    "queue_wait_s": d.queue_wait_s,
+                    "seconds_per_iteration": d.phases.total,
+                    "run_cost_dollars": d.run_cost_dollars,
+                }
+                for d in deployments
+            ],
+            "infeasible": [
+                {"platform": e.platform, "reason": e.infeasibility_reason}
+                for e in infeasible
+            ],
+        },
+    )
 
 
 def _cmd_validate(_args) -> str:
@@ -189,7 +229,7 @@ def _cmd_validate(_args) -> str:
     return "\n".join(lines)
 
 
-def _cmd_experiments(_args) -> str:
+def _cmd_experiments(args) -> str:
     """Paper-vs-measured summary for every numeric artifact."""
     from repro.harness import (
         experiment_fig4_rd_weak_scaling,
@@ -202,42 +242,63 @@ def _cmd_experiments(_args) -> str:
         PAPER_TABLE2,
     )
 
-    lines = ["Paper vs reproduction", "=" * 60, ""]
-
-    lines.append("Porting effort [man-hours] (paper §VI is approximate):")
     efforts = experiment_porting_effort()
-    rows = [
-        [name, PAPER_PORTING_HOURS[name], effort.total_hours]
-        for name, effort in efforts.items()
-    ]
-    lines.append(ascii_table(["platform", "paper ~", "measured"], rows))
-
-    lines.append("Weak-scaling ceilings (§VII.A):")
     fig4 = experiment_fig4_rd_weak_scaling()
-    rows = [
-        [name, PAPER_MAX_RANKS[name], fig4.feasible_max(name)]
+    t2 = experiment_table2_placement()
+    porting = [
+        {"platform": name, "paper_hours": PAPER_PORTING_HOURS[name],
+         "measured_hours": efforts.effort(name).total_hours}
+        for name in efforts.platforms()
+    ]
+    ceilings = [
+        {"platform": name, "paper_max_ranks": PAPER_MAX_RANKS[name],
+         "measured_max_ranks": fig4.feasible_max(name)}
         for name in fig4.platforms()
     ]
-    lines.append(ascii_table(["platform", "paper", "measured"], rows))
+    table2 = [
+        {"ranks": row.mpi,
+         "paper_time_s": PAPER_TABLE2[row.mpi].full_time_s,
+         "measured_time_s": row.full_time_s,
+         "paper_full_cost": PAPER_TABLE2[row.mpi].full_real_cost,
+         "measured_full_cost": row.full_real_cost,
+         "paper_mix_cost": PAPER_TABLE2[row.mpi].mix_est_cost,
+         "measured_mix_cost": row.mix_est_cost}
+        for row in t2
+    ]
 
-    lines.append("Table II, RD on EC2 (time s/iter and cost $/iter):")
-    t2 = experiment_table2_placement()
-    rows = []
-    for row in t2:
-        paper = PAPER_TABLE2[row.mpi]
-        rows.append([
-            row.mpi,
-            paper.full_time_s, row.full_time_s,
-            paper.full_real_cost, row.full_real_cost,
-            paper.mix_est_cost, row.mix_est_cost,
-        ])
-    lines.append(ascii_table(
-        ["ranks", "t paper", "t ours", "$ paper", "$ ours",
-         "$mix paper", "$mix ours"],
-        rows, fmt="{:.4f}",
-    ))
-    lines.append("See EXPERIMENTS.md for the full per-artifact record.")
-    return "\n".join(lines)
+    def text() -> str:
+        lines = ["Paper vs reproduction", "=" * 60, ""]
+        lines.append("Porting effort [man-hours] (paper §VI is approximate):")
+        lines.append(ascii_table(
+            ["platform", "paper ~", "measured"],
+            [[p["platform"], p["paper_hours"], p["measured_hours"]]
+             for p in porting],
+        ))
+        lines.append("Weak-scaling ceilings (§VII.A):")
+        lines.append(ascii_table(
+            ["platform", "paper", "measured"],
+            [[c["platform"], c["paper_max_ranks"], c["measured_max_ranks"]]
+             for c in ceilings],
+        ))
+        lines.append("Table II, RD on EC2 (time s/iter and cost $/iter):")
+        lines.append(ascii_table(
+            ["ranks", "t paper", "t ours", "$ paper", "$ ours",
+             "$mix paper", "$mix ours"],
+            [[r["ranks"], r["paper_time_s"], r["measured_time_s"],
+              r["paper_full_cost"], r["measured_full_cost"],
+              r["paper_mix_cost"], r["measured_mix_cost"]] for r in table2],
+            fmt="{:.4f}",
+        ))
+        lines.append("See EXPERIMENTS.md for the full per-artifact record.")
+        return "\n".join(lines)
+
+    return cli.render(
+        args,
+        text=text,
+        payload=lambda: {"porting_effort": porting,
+                         "weak_scaling_ceilings": ceilings,
+                         "table2": table2},
+    )
 
 
 def _cmd_trace(args) -> str:
@@ -294,19 +355,49 @@ def _cmd_trace(args) -> str:
     return "\n".join(lines)
 
 
-def _cmd_tail(args) -> str:
-    """Show the last rows of a run directory's telemetry stream."""
-    from repro.obs.streaming import stream_path, tail_rows
+def _cmd_tail(args) -> int:
+    """Show (or follow) the last rows of a run directory's telemetry stream."""
+    import json
+    import os
 
-    path = stream_path(args.dir)
+    from repro.obs.streaming import (
+        follow_rows,
+        format_row,
+        read_rows,
+        stream_path,
+    )
+
+    path = args.dir if os.path.isfile(args.dir) else stream_path(args.dir)
     kinds = tuple(args.kind) if args.kind else None
-    lines = list(tail_rows(path, last=args.last, kinds=kinds))
-    if not lines:
-        return f"no telemetry rows at {path} (is the sweep observed?)"
-    return "\n".join(lines)
+    if args.follow:
+        # A follow tolerates the file appearing late (a service may still
+        # be booting); Ctrl-C is the normal way out, not an error.
+        try:
+            for row in follow_rows(path, kinds=kinds):
+                if args.json:
+                    print(json.dumps(row, default=str), flush=True)
+                else:
+                    print(format_row(row), flush=True)
+        except KeyboardInterrupt:
+            return 0
+        return 0
+    rows = read_rows(path)
+    if kinds:
+        rows = [r for r in rows if r.get("kind") in kinds]
+    if not rows:
+        return cli.fail(
+            f"no telemetry rows at {path} (is the sweep observed?)"
+        )
+    rows = rows[-args.last:]
+    print(cli.render(
+        args,
+        text=lambda: "\n".join(format_row(r) for r in rows),
+        payload=lambda: rows,
+    ))
+    return 0
 
 
-def _cmd_health(args) -> str:
+def _cmd_health(args) -> int:
     """Wait-state report from a run directory's exported health JSON."""
     import json
     from pathlib import Path
@@ -318,16 +409,170 @@ def _cmd_health(args) -> str:
         [target] if target.is_file() else sorted(target.glob("*-health.json"))
     )
     if not candidates:
-        return (
+        return cli.fail(
             f"no *-health.json under {target} — run an observed sweep "
             f"(repro run --obs-out) or repro trace first"
         )
-    out = []
-    for path in candidates:
-        report = RunHealthReport.from_dict(json.loads(path.read_text()))
-        out.append(f"{path}:")
-        out.append(report.format().rstrip())
-    return "\n".join(out)
+    reports = [
+        (path, RunHealthReport.from_dict(json.loads(path.read_text())))
+        for path in candidates
+    ]
+    print(cli.render(
+        args,
+        text=lambda: "\n".join(
+            f"{path}:\n{report.format().rstrip()}" for path, report in reports
+        ),
+        payload=lambda: {str(path): report.as_dict()
+                         for path, report in reports},
+    ))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the broker-as-a-service daemon until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from repro.service import (
+        AdmissionPolicy,
+        BrokerService,
+        ServiceConfig,
+        TenantQuota,
+    )
+
+    policy = AdmissionPolicy(
+        default_quota=TenantQuota(
+            rate_per_s=args.rate,
+            burst=args.burst,
+            max_concurrent_points=args.max_points,
+        ),
+        max_queue_depth=args.max_queue_depth,
+    )
+    config = ServiceConfig(
+        out_dir=args.out_dir,
+        max_workers=args.max_workers,
+        policy=policy,
+        http=True,
+        host=args.host,
+        port=args.port,
+    )
+    service = BrokerService(config)
+    service.start()
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    print(f"[serve] listening on {service.url}", flush=True)
+    if args.out_dir:
+        print(f"[serve] telemetry: repro tail {args.out_dir} --follow",
+              flush=True)
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        service.stop(drain=True)
+        print("[serve] drained and stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit artifacts to a running service; duplicates coalesce."""
+    import json
+
+    from repro.broker.api import RunRequest
+    from repro.errors import ReproError
+    from repro.service import ServiceClient
+
+    request = RunRequest(
+        artifacts=tuple(args.artifacts) or ("all",),
+        config=cli.config_from_args(args),
+        parallel=args.parallel,
+        use_cache=not args.no_cache,
+    )
+    client = ServiceClient(args.url)
+    try:
+        receipt = client.submit(request, tenant=args.tenant)
+        if not args.wait:
+            print(cli.render(
+                args,
+                text=lambda: (
+                    f"job {receipt.job_id[:12]} {receipt.state}"
+                    + (" (coalesced)" if receipt.coalesced else "")
+                ),
+                payload=lambda: {
+                    "job_id": receipt.job_id,
+                    "state": receipt.state,
+                    "coalesced": receipt.coalesced,
+                    "tenant": receipt.tenant,
+                },
+            ))
+            return 0
+        result = client.result(receipt.job_id, timeout=args.timeout)
+    except (ReproError, TimeoutError, OSError) as exc:
+        return cli.fail(str(exc))
+    if args.json:
+        print(json.dumps({
+            "job_id": receipt.job_id,
+            "coalesced": receipt.coalesced,
+            "artifacts": list(result.names()),
+            "stats": result.stats.summary(),
+        }, indent=2))
+        return 0
+    for name in result.names():
+        print(result.render(name))
+        print()
+    print(f"[submit] job {receipt.job_id[:12]} done "
+          f"({'coalesced' if receipt.coalesced else 'computed'}): "
+          f"{result.stats.summary()}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    """Job table (or one job's status) of a running service."""
+    from repro.errors import ReproError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id:
+            statuses = [client.status(args.job_id)]
+            stats = None
+        else:
+            statuses = client.jobs()
+            stats = client.stats()
+    except (ReproError, TimeoutError, OSError) as exc:
+        return cli.fail(str(exc))
+
+    def text() -> str:
+        if not statuses:
+            return "no jobs"
+        rows = [
+            [s.job_id[:12], s.state, ",".join(s.artifacts), s.points,
+             ",".join(s.tenants), s.coalesced,
+             s.error or ""]
+            for s in statuses
+        ]
+        out = ascii_table(
+            ["job", "state", "artifacts", "points", "tenants",
+             "coalesced", "error"],
+            rows,
+        )
+        if stats is not None:
+            out += (
+                f"\nqueue depth {stats['queue_depth']}, "
+                f"inflight {stats['inflight']}, "
+                f"dedup hit-rate {stats['dedup_hit_rate']:.2f}"
+            )
+        return out
+
+    print(cli.render(
+        args,
+        text=text,
+        payload=lambda: {
+            "jobs": [s.as_dict() for s in statuses],
+            **({"stats": stats} if stats is not None else {}),
+        },
+    ))
+    return 0
 
 
 def _cmd_bench_gate(args) -> int:
@@ -345,6 +590,8 @@ def _cmd_bench_gate(args) -> int:
         forwarded += ["--history", str(args.history)]
     if args.no_history:
         forwarded.append("--no-history")
+    for section in args.only or ():
+        forwarded += ["--only", section]
     return gate.main(forwarded)
 
 
@@ -378,21 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fan points out over N worker processes")
     runp.add_argument("--no-cache", action="store_true",
                       help="recompute every point, bypassing the result cache")
-    runp.add_argument("--cache-dir", default=None,
-                      help="result cache directory (default .repro_cache)")
-    runp.add_argument("--seed", type=int, default=7)
-    runp.add_argument("--obs-out", default=None, metavar="DIR",
-                      help="observe the sweep and export artifacts to DIR")
-    runp.add_argument("--engine", choices=("events", "threads"), default=None,
-                      help="simmpi execution core for SPMD points "
-                           "(default: REPRO_SIMMPI_ENGINE or events)")
-    runp.add_argument("--replay", dest="replay", action="store_true",
-                      default=True,
-                      help="let executed platform sweeps record the schedule "
-                           "once and replay it per platform (default)")
-    runp.add_argument("--no-replay", dest="replay", action="store_false",
-                      help="force full per-platform simulation "
-                           "(bit-identical to replay, just slower)")
+    cli.add_config_options(runp)
     runp.set_defaults(func=_cmd_run)
 
     brokerp = sub.add_parser(
@@ -412,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     brokerp.add_argument("--top", type=int, default=None,
                          help="show only the best N plans")
     brokerp.add_argument("--seed", type=int, default=7)
+    cli.add_json_flag(brokerp)
     brokerp.set_defaults(func=_cmd_broker)
 
     for name, fn in [
@@ -419,14 +653,19 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig4", _cmd_fig4), ("fig5", _cmd_fig5), ("table2", _cmd_table2),
         ("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
         ("resilience", _cmd_resilience), ("validate", _cmd_validate),
-        ("experiments", _cmd_experiments),
     ]:
         p = sub.add_parser(name, help=fn.__doc__)
         p.set_defaults(func=fn)
+    experiments = sub.add_parser(
+        "experiments", help="paper-vs-measured summary for numeric artifacts"
+    )
+    cli.add_json_flag(experiments)
+    experiments.set_defaults(func=_cmd_experiments)
     compare = sub.add_parser("compare", help="deploy an app across all platforms")
     compare.add_argument("--app", choices=("rd", "ns"), default="rd")
     compare.add_argument("--ranks", type=int, default=64)
     compare.add_argument("--iterations", type=int, default=100)
+    cli.add_json_flag(compare)
     compare.set_defaults(func=_cmd_compare)
     script = sub.add_parser("script", help="emit a provisioning shell script")
     script.add_argument("--platform", required=True,
@@ -454,12 +693,66 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows to show (default 20)")
     tail.add_argument("--kind", action="append", default=None,
                       help="only rows of this kind (repeatable)")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep reading as rows are appended (tail -f); "
+                           "tolerates the file appearing late")
+    cli.add_json_flag(tail)
     tail.set_defaults(func=_cmd_tail)
     health = sub.add_parser(
         "health", help="wait-state report from exported health JSON"
     )
     health.add_argument("dir", help="run directory (or a *-health.json file)")
+    cli.add_json_flag(health)
     health.set_defaults(func=_cmd_health)
+    serve = sub.add_parser(
+        "serve", help="broker-as-a-service: async job queue over localhost"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=cli.DEFAULT_SERVE_PORT,
+                       help="bind port (default %d; 0 picks a free one)"
+                            % cli.DEFAULT_SERVE_PORT)
+    serve.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="telemetry/observability directory "
+                            "(enables repro tail --follow)")
+    serve.add_argument("--max-workers", type=int, default=2,
+                       help="concurrent job computations (default 2)")
+    serve.add_argument("--rate", type=float, default=50.0,
+                       help="per-tenant admission rate [submissions/s]")
+    serve.add_argument("--burst", type=int, default=100,
+                       help="per-tenant token-bucket burst size")
+    serve.add_argument("--max-points", type=int, default=256,
+                       help="per-tenant concurrent sweep-point quota")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="global queue depth before backpressure denials")
+    serve.set_defaults(func=_cmd_serve)
+    submit = sub.add_parser(
+        "submit", help="submit artifacts to a running service (coalesced)"
+    )
+    submit.add_argument("artifacts", nargs="*",
+                        help="artifact names (default: all)")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant name for admission control")
+    submit.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="fan points out over N worker processes")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, bypassing the cache")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes, print artifacts")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds (default 600)")
+    cli.add_service_endpoint(submit)
+    cli.add_config_options(submit)
+    cli.add_json_flag(submit)
+    submit.set_defaults(func=_cmd_submit)
+    status = sub.add_parser(
+        "status", help="job table of a running service"
+    )
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id or unique prefix (default: all jobs)")
+    cli.add_service_endpoint(status)
+    cli.add_json_flag(status)
+    status.set_defaults(func=_cmd_status)
     bench_gate = sub.add_parser(
         "bench-gate", help="fresh kernel measurements vs BENCH_kernels.json"
     )
@@ -478,6 +771,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default BENCH_history.json)")
     bench_gate.add_argument("--no-history", action="store_true",
                             help="skip the trajectory-regression check")
+    bench_gate.add_argument("--only", action="append", default=None,
+                            metavar="SECTION",
+                            help="gate only this section (repeatable)")
     bench_gate.set_defaults(func=_cmd_bench_gate)
     return parser
 

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import itertools
 import json
+import os
 import pickle
+import threading
 from pathlib import Path
 
 from repro.errors import RecordingError, SweepCacheError
@@ -29,6 +32,30 @@ from repro.errors import RecordingError, SweepCacheError
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 _PICKLE_PROTOCOL = 4
+
+_tmp_counter = itertools.count()
+
+
+def _write_atomic(target: Path, blob: bytes) -> None:
+    """Publish ``blob`` at ``target`` atomically, safe under racing writers.
+
+    The temp name is unique per (process, thread, call): two processes
+    racing ``put()`` on the same content-addressed key each write their
+    own temp file and then ``os.replace`` it over the target — last
+    rename wins, readers only ever see a complete entry, and nobody
+    scribbles into a temp file another writer is about to publish.
+    (A shared ``<key>.tmp`` name had exactly that interleaving bug.)
+    """
+    tmp = target.with_name(
+        f"{target.name}.{os.getpid()}.{threading.get_ident()}."
+        f"{next(_tmp_counter)}.tmp"
+    )
+    try:
+        tmp.write_bytes(blob)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 @functools.lru_cache(maxsize=1)
@@ -126,12 +153,10 @@ class RecordingStore:
             return None
 
     def put(self, key: str, recording) -> None:
-        """Store one recording; atomic via write-to-temp + rename."""
+        """Store one recording; atomic even under racing writers."""
         try:
             self.dir.mkdir(parents=True, exist_ok=True)
-            tmp = self._path(key).with_suffix(".tmp")
-            tmp.write_bytes(recording.to_bytes())
-            tmp.replace(self._path(key))
+            _write_atomic(self._path(key), recording.to_bytes())
         except OSError as exc:
             raise SweepCacheError(
                 f"cannot write recording under {self.dir}: {exc}"
@@ -199,12 +224,12 @@ class SweepCache:
             return False, None
 
     def put(self, key: str, value: object) -> None:
-        """Store one result; atomic via write-to-temp + rename."""
+        """Store one result; atomic even under racing writers."""
         try:
             self.dir.mkdir(parents=True, exist_ok=True)
-            tmp = self._path(key).with_suffix(".tmp")
-            tmp.write_bytes(pickle.dumps(value, protocol=_PICKLE_PROTOCOL))
-            tmp.replace(self._path(key))
+            _write_atomic(
+                self._path(key), pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+            )
         except OSError as exc:
             raise SweepCacheError(
                 f"cannot write sweep cache entry under {self.dir}: {exc}"

@@ -165,7 +165,7 @@ def _render_table1(matrix: Table1Matrix) -> str:
 
 def _render_porting(report: PortingEffortReport) -> str:
     lines = []
-    for name, effort in report.items():
+    for name, effort in report.entries.items():
         lines.append(f"=== {name} ({effort.total_hours:.1f} man-hours) ===")
         lines.extend(f"  {a}" for a in effort.actions)
     return "\n".join(lines)

@@ -173,3 +173,34 @@ class BrokerError(ReproError):
 
 class SweepCacheError(ReproError):
     """Sweep-cache misuse (unwritable directory, corrupt entry)."""
+
+
+class ServiceError(ReproError):
+    """Broker-service misuse (bad submission, transport failure, shutdown)."""
+
+
+class AdmissionDenied(ServiceError):
+    """The service refused a submission at the admission-control gate.
+
+    ``reason`` names which guard fired — ``"rate"`` (the tenant's
+    token bucket is empty), ``"quota"`` (the job would exceed the
+    tenant's concurrent-point allowance), or ``"backpressure"`` (the
+    global queue is full).  ``retry_after_s`` is the controller's hint
+    for when a retry could succeed (None when it depends on other
+    tenants draining the queue).
+    """
+
+    def __init__(self, message: str, tenant: str, reason: str,
+                 retry_after_s: float | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id (or id prefix) exists on the service."""
+
+
+class JobCancelledError(ServiceError):
+    """The awaited job was cancelled before it produced a result."""

@@ -4,8 +4,9 @@ Before the API redesign every experiment generator grew its own
 ``obs=None`` / ``seed=7`` / ``checkpoint_dir=None`` keywords.  One
 frozen :class:`RunConfig` now carries all of it: observability, the
 master seed, the resilience-experiment parameters, and the sweep-cache
-directory.  The old per-function keywords still work but emit a
-:class:`DeprecationWarning` (see ``docs/api.md`` for the mapping).
+directory.  The old per-function keywords shipped one release of
+:class:`DeprecationWarning` and have since been removed (see
+``docs/api.md`` for the migration mapping).
 
 The config is deliberately *frozen and picklable*: the parallel sweep
 engine ships it to worker processes verbatim, and the content-addressed

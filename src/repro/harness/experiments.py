@@ -15,8 +15,9 @@ R      resilience: a mix assembly surviving spot reclaims
 
 Every generator takes a single :class:`~repro.harness.config.RunConfig`
 (the unified :func:`repro.run` configuration).  The pre-redesign
-per-function keywords (``obs=``, ``seed=``, ``checkpoint_dir=``, ...)
-still work but emit a :class:`DeprecationWarning`; see ``docs/api.md``.
+per-function keywords (``obs=``, ``seed=``, per-knob resilience
+arguments) shipped one release of :class:`DeprecationWarning` in PR 4
+and are now gone; see ``docs/api.md`` for the migration table.
 
 The artifact bodies are factored into *point* functions
 (:func:`weak_scaling_column`, :func:`cost_column`, :func:`table2_row`,
@@ -29,7 +30,6 @@ sweeps bit-identical.
 from __future__ import annotations
 
 import tempfile
-import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -49,7 +49,7 @@ from repro.harness.results import (
 )
 from repro.network.model import NetworkModel
 from repro.network.topology import ClusterTopology
-from repro.obs.core import NULL_RANK_OBS, Observability, ObsConfig
+from repro.obs.core import NULL_RANK_OBS, Observability
 from repro.perfmodel.calibration import time_scale_for
 from repro.perfmodel.phases import PhaseModel
 from repro.perfmodel.weak_scaling import weak_scaling_sweep
@@ -64,55 +64,27 @@ MIX_COLUMN = "ec2 mix"
 
 _WORKLOADS = {RD_WORKLOAD.name: RD_WORKLOAD, NS_WORKLOAD.name: NS_WORKLOAD}
 
-# Sentinel distinguishing "keyword not passed" from an explicit None.
-_UNSET = object()
-
 
 # ---------------------------------------------------------------------------
-# Config normalisation and the deprecated keyword paths.
+# Config normalisation.
 # ---------------------------------------------------------------------------
 
 
-def _warn_deprecated(fn_name: str, keyword: str) -> None:
-    warnings.warn(
-        f"{fn_name}({keyword}=...) is deprecated; pass a "
-        f"repro.RunConfig instead (see docs/api.md)",
-        DeprecationWarning,
-        stacklevel=4,
-    )
-
-
-def _coerce_config(
-    fn_name: str,
-    config: RunConfig | None,
-    obs=_UNSET,
-    seed=_UNSET,
+def _prepare(
+    config: RunConfig | None, hub: "Observability | None" = None
 ) -> tuple[RunConfig, "Observability | None"]:
-    """Normalise (config, legacy keywords) to ``(RunConfig, hub)``.
+    """Normalise ``(config, hub)``: default the config, derive the hub.
 
-    ``obs`` historically accepted an :class:`ObsConfig` *or* a shared
-    :class:`Observability` hub; a hub cannot live inside the frozen
-    config, so it is returned separately and takes precedence.
+    ``hub`` lets a caller (the sweep engine, a shared-phase experiment
+    script) pass one :class:`Observability` across several generators —
+    it cannot live inside the frozen config, so it rides alongside and
+    takes precedence over the hub the config would create.
     """
-    if config is not None and (obs is not _UNSET or seed is not _UNSET):
-        raise ExperimentError(
-            f"{fn_name}: pass either config= or the deprecated keywords, not both"
-        )
     config = config if config is not None else RunConfig()
-    hub: Observability | None = None
-    if obs is not _UNSET:
-        _warn_deprecated(fn_name, "obs")
-        if isinstance(obs, Observability):
-            hub = obs
-        elif isinstance(obs, ObsConfig):
-            config = replace(config, obs=obs)
-        elif obs is not None:
-            raise ExperimentError(f"{fn_name}: obs must be ObsConfig/Observability/None")
-    if seed is not _UNSET:
-        _warn_deprecated(fn_name, "seed")
-        config = config.with_seed(seed)
     if hub is None:
         hub = config.hub()
+    elif not isinstance(hub, Observability):
+        raise ExperimentError("hub= must be an Observability (or None)")
     return config, hub
 
 
@@ -206,18 +178,22 @@ def _weak_scaling_table(workload, hub, label="weak_scaling") -> WeakScalingTable
 
 
 def experiment_fig4_rd_weak_scaling(
-    config: RunConfig | None = None, *, obs=_UNSET
+    config: RunConfig | None = None, *, hub: "Observability | None" = None
 ) -> WeakScalingTable:
-    """Figure 4: RD weak scaling (20^3 elements per process)."""
-    _config, hub = _coerce_config("experiment_fig4_rd_weak_scaling", config, obs=obs)
+    """Figure 4: RD weak scaling (20^3 elements per process).
+
+    ``hub`` optionally shares one :class:`Observability` across several
+    generators (spans from all of them land in the same trace).
+    """
+    _config, hub = _prepare(config, hub)
     return _weak_scaling_table(RD_WORKLOAD, hub, label="fig4")
 
 
 def experiment_fig5_ns_weak_scaling(
-    config: RunConfig | None = None, *, obs=_UNSET
+    config: RunConfig | None = None, *, hub: "Observability | None" = None
 ) -> WeakScalingTable:
     """Figure 5: NS weak scaling."""
-    _config, hub = _coerce_config("experiment_fig5_ns_weak_scaling", config, obs=obs)
+    _config, hub = _prepare(config, hub)
     return _weak_scaling_table(NS_WORKLOAD, hub, label="fig5")
 
 
@@ -296,7 +272,7 @@ def table2_row(num_ranks: int, seed: int) -> Table2Row:
 
 
 def experiment_table2_placement(
-    config: RunConfig | None = None, *, seed=_UNSET, obs=_UNSET
+    config: RunConfig | None = None, *, hub: "Observability | None" = None
 ) -> list[Table2Row]:
     """Table II: full-price single-group vs spot-mix assemblies.
 
@@ -306,9 +282,7 @@ def experiment_table2_placement(
     §VII.B — *real* node-hours at $2.40 for the full assembly, the
     *estimated* all-spot price for the mix.
     """
-    config, hub = _coerce_config(
-        "experiment_table2_placement", config, obs=obs, seed=seed
-    )
+    config, hub = _prepare(config, hub)
     view = _obs_view(hub)
     rows = []
     with view.span("table2", seed=config.seed):
@@ -356,18 +330,18 @@ def _cost_table(workload, hub, label="costs") -> WeakScalingTable:
 
 
 def experiment_fig6_rd_costs(
-    config: RunConfig | None = None, *, obs=_UNSET
+    config: RunConfig | None = None, *, hub: "Observability | None" = None
 ) -> WeakScalingTable:
     """Figure 6: RD per-iteration cost curves."""
-    _config, hub = _coerce_config("experiment_fig6_rd_costs", config, obs=obs)
+    _config, hub = _prepare(config, hub)
     return _cost_table(RD_WORKLOAD, hub, label="fig6")
 
 
 def experiment_fig7_ns_costs(
-    config: RunConfig | None = None, *, obs=_UNSET
+    config: RunConfig | None = None, *, hub: "Observability | None" = None
 ) -> WeakScalingTable:
     """Figure 7: NS per-iteration cost curves."""
-    _config, hub = _coerce_config("experiment_fig7_ns_costs", config, obs=obs)
+    _config, hub = _prepare(config, hub)
     return _cost_table(NS_WORKLOAD, hub, label="fig7")
 
 
@@ -499,44 +473,19 @@ def resilience_report(
 
 def experiment_resilience(
     config: RunConfig | None = None,
-    checkpoint_dir=_UNSET,
-    num_ranks=_UNSET,
-    num_steps=_UNSET,
-    seed=_UNSET,
-    spike_probability=_UNSET,
-    step_hours=_UNSET,
-    checkpoint_seconds=_UNSET,
-    restart_seconds=_UNSET,
-    obs=_UNSET,
+    checkpoint_dir: str | None = None,
+    *,
+    hub: "Observability | None" = None,
 ) -> ResilienceReport:
     """A mix assembly on a volatile spot market, run to completion.
 
     Parameters live in ``config.resilience`` (a
-    :class:`~repro.harness.config.ResilienceParams`); every individual
-    keyword is deprecated.  ``checkpoint_dir`` stays un-deprecated as a
-    convenience because scratch space is not an experiment input.
+    :class:`~repro.harness.config.ResilienceParams`).  ``checkpoint_dir``
+    stays a plain argument as a convenience because scratch space is not
+    an experiment input (it never enters the cache token).
     """
-    legacy = {
-        "num_ranks": num_ranks,
-        "num_steps": num_steps,
-        "seed": seed,
-        "spike_probability": spike_probability,
-        "step_hours": step_hours,
-        "checkpoint_seconds": checkpoint_seconds,
-        "restart_seconds": restart_seconds,
-    }
-    overrides = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if overrides and config is not None:
-        raise ExperimentError(
-            "experiment_resilience: pass either config= or the deprecated "
-            "keywords, not both"
-        )
-    for key in overrides:
-        _warn_deprecated("experiment_resilience", key)
-    config, hub = _coerce_config("experiment_resilience", config, obs=obs)
+    config, hub = _prepare(config, hub)
     params = config.resilience
-    if overrides:
-        params = replace(params, **overrides)
-    if checkpoint_dir is not _UNSET and checkpoint_dir is not None:
+    if checkpoint_dir is not None:
         params = replace(params, checkpoint_dir=str(checkpoint_dir))
     return resilience_report(params, hub)

@@ -13,9 +13,11 @@ class Table1Matrix:
     """Table I as a typed result: attribute -> platform -> cell text.
 
     Replaces the bare ``dict[str, dict[str, str]]`` return of
-    ``experiment_table1``.  Mapping-style access (``matrix[attr][name]``,
-    ``.items()``) and :meth:`as_dict` keep pre-redesign renderers and
-    benchmarks working unchanged.
+    ``experiment_table1``.  Access cells through :meth:`cell` (typed,
+    raising on absent keys) or :meth:`as_dict` for the historical
+    nested-dict shape; the transitional mapping shims
+    (``matrix[attr]``, ``.items()``) were removed after their
+    deprecation release — see ``docs/api.md``.
     """
 
     rows: dict[str, dict[str, str]]
@@ -42,18 +44,6 @@ class Table1Matrix:
         """The historical ``dict[str, dict[str, str]]`` shape."""
         return {attr: dict(cells) for attr, cells in self.rows.items()}
 
-    # -- mapping shims (legacy renderers index the result directly) -------
-
-    def __getitem__(self, attribute: str) -> dict[str, str]:
-        return self.rows[attribute]
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def items(self):
-        """(attribute, cells) pairs, dict-style."""
-        return self.rows.items()
-
 
 @dataclass(frozen=True)
 class PortingEffort:
@@ -73,22 +63,6 @@ class PortingEffort:
             "missing_packages": list(self.missing_packages),
             "actions": list(self.actions),
         }
-
-    # -- mapping shim ------------------------------------------------------
-
-    def __getitem__(self, key: str):
-        try:
-            return self.as_dict()[key]
-        except KeyError:
-            raise ExperimentError(
-                f"porting effort for {self.platform!r} has no field {key!r}"
-            ) from None
-
-    def __contains__(self, key: str) -> bool:
-        return key in self.as_dict()
-
-    def __iter__(self):
-        return iter(self.as_dict())
 
 
 @dataclass(frozen=True)
@@ -113,18 +87,6 @@ class PortingEffortReport:
     def as_dict(self) -> dict[str, dict]:
         """The historical ``platform -> fields`` nested-dict shape."""
         return {name: e.as_dict() for name, e in self.entries.items()}
-
-    # -- mapping shims -----------------------------------------------------
-
-    def __getitem__(self, platform: str) -> PortingEffort:
-        return self.effort(platform)
-
-    def __iter__(self):
-        return iter(self.entries)
-
-    def items(self):
-        """(platform, effort) pairs, dict-style."""
-        return self.entries.items()
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,11 @@ configurations and compare.  Three measurements:
   event-driven vs threaded simmpi engines at the paper's rank counts,
   the executed weak-scaling sweep over the full Fig. 4–7 rank series
   (p = 1 ... 1000), and a p = 4096 collective micro-run contrasting the
-  1 GbE and InfiniBand interconnect models at saturation.
+  1 GbE and InfiniBand interconnect models at saturation;
+* :func:`measure_service` — the broker-as-a-service layer under 64
+  concurrent HTTP clients: request coalescing onto one computation,
+  bit-identical results to every tenant, admission latency, jobs/sec,
+  and a typed quota denial.
 """
 
 from __future__ import annotations
@@ -621,6 +625,188 @@ def measure_replay(
     }
 
 
+def measure_service(num_clients=64, hold_timeout_s=60.0):
+    """Broker-as-a-service under ``num_clients`` concurrent HTTP clients.
+
+    Boots a real :class:`~repro.service.BrokerService` (localhost HTTP)
+    with an injected run function whose first invocation *holds* until
+    every client has submitted — so the coalescing claim is exercised at
+    its worst case: ``num_clients`` identical submissions from distinct
+    tenants racing one in-flight computation.  Three phases:
+
+    * **coalesce** — all clients submit the same content-identical
+      request concurrently; exactly one computation may run
+      (``computations``), the rest must coalesce
+      (``dedup_hit_rate = coalesced / num_clients``), and every client's
+      unpickled result must be bit-identical (the property that makes
+      cross-tenant sharing safe).  Per-submit round-trip latency at full
+      concurrency is recorded as the admission-latency distribution.
+    * **throughput** — every client submits a *distinct* job (different
+      seed moves the content address) and waits for its result:
+      end-to-end jobs/second through admission, queue, worker, and HTTP.
+    * **admission** — a ``greedy`` tenant with a one-point concurrency
+      quota submits a multi-point job and must receive a typed
+      :class:`~repro.errors.AdmissionDenied` (reason ``quota``) while
+      every other tenant's job completed normally.
+
+    Deterministic pieces (computation count, dedup rate, result
+    identity, denial) gate hard; the latency/throughput numbers get the
+    usual wall-clock tolerance.
+    """
+    import pickle
+    import threading
+
+    from repro.broker.api import RunRequest
+    from repro.errors import AdmissionDenied
+    from repro.harness.config import RunConfig
+    from repro.service import (
+        AdmissionPolicy,
+        BrokerService,
+        ServiceClient,
+        ServiceConfig,
+        TenantQuota,
+    )
+
+    release = threading.Event()
+    computations: list[tuple] = []
+
+    def run_fn(request):
+        computations.append(tuple(sorted(request.artifacts)))
+        release.wait(timeout=hold_timeout_s)
+        return (
+            "service-bench",
+            tuple(sorted(request.artifacts)),
+            request.config.cache_token(),
+        )
+
+    roomy = TenantQuota(
+        rate_per_s=100_000.0, burst=100_000, max_concurrent_points=100_000
+    )
+    policy = AdmissionPolicy(
+        default_quota=roomy,
+        quotas={"greedy": TenantQuota(
+            rate_per_s=100_000.0, burst=100_000, max_concurrent_points=1
+        )},
+        max_queue_depth=100_000,
+    )
+    shared = RunRequest(artifacts=("fig4",), config=RunConfig(seed=7))
+
+    with BrokerService(
+        ServiceConfig(max_workers=2, policy=policy, http=True),
+        run_fn=run_fn,
+    ) as service:
+        url = service.url
+
+        # -- phase 1: the coalesce storm --------------------------------
+        receipts: list = [None] * num_clients
+        results: list = [None] * num_clients
+        latencies: list = [None] * num_clients
+        barrier = threading.Barrier(num_clients)
+
+        def submit_client(i):
+            client = ServiceClient(url)
+            barrier.wait(timeout=hold_timeout_s)
+            t0 = time.perf_counter()
+            receipts[i] = client.submit(shared, tenant=f"client-{i}")
+            latencies[i] = time.perf_counter() - t0
+
+        threads = [
+            threading.Thread(target=submit_client, args=(i,))
+            for i in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=hold_timeout_s)
+        submit_wall = time.perf_counter() - start
+        release.set()
+        coalesce_computations = len(computations)
+
+        def fetch_client(i):
+            client = ServiceClient(url)
+            results[i] = pickle.dumps(
+                client.result(receipts[i].job_id, timeout=hold_timeout_s)
+            )
+
+        threads = [
+            threading.Thread(target=fetch_client, args=(i,))
+            for i in range(num_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=hold_timeout_s)
+
+        coalesced = sum(1 for r in receipts if r is not None and r.coalesced)
+        ordered = sorted(latencies)
+        latency = {
+            "mean_ms": 1e3 * sum(ordered) / num_clients,
+            "p95_ms": 1e3 * ordered[min(num_clients - 1,
+                                        int(0.95 * num_clients))],
+            "max_ms": 1e3 * ordered[-1],
+        }
+
+        # -- phase 2: distinct jobs end to end --------------------------
+        def distinct_client(i):
+            client = ServiceClient(url)
+            request = RunRequest(
+                artifacts=("fig4",), config=RunConfig(seed=1000 + i)
+            )
+            receipt = client.submit(request, tenant=f"client-{i}")
+            client.result(receipt.job_id, timeout=hold_timeout_s)
+
+        threads = [
+            threading.Thread(target=distinct_client, args=(i,))
+            for i in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=hold_timeout_s)
+        throughput_wall = time.perf_counter() - start
+
+        # -- phase 3: the over-quota tenant -----------------------------
+        greedy = RunRequest(
+            artifacts=("fig4", "fig5"), config=RunConfig(seed=2)
+        )
+        denied_ok, denial_reason = False, None
+        try:
+            ServiceClient(url).submit(greedy, tenant="greedy")
+        except AdmissionDenied as exc:
+            denied_ok = exc.tenant == "greedy" and exc.reason == "quota"
+            denial_reason = exc.reason
+        stats = service.stats()
+
+    return {
+        "num_clients": num_clients,
+        "coalesce": {
+            "submissions": num_clients,
+            "coalesced": coalesced,
+            "dedup_hit_rate": coalesced / num_clients,
+            "computations": coalesce_computations,
+            "identical_results": (
+                all(r is not None for r in results)
+                and len(set(results)) == 1
+            ),
+            "submit_wall_seconds": submit_wall,
+            "admission_latency": latency,
+        },
+        "throughput": {
+            "jobs": num_clients,
+            "wall_seconds": throughput_wall,
+            "jobs_per_second": num_clients / throughput_wall,
+        },
+        "admission": {
+            "denied_ok": denied_ok,
+            "reason": denial_reason,
+            "tenant": "greedy",
+        },
+        "queue_stats": stats,
+    }
+
+
 def collect_kernel_metrics(smoke=False):
     """The BENCH_kernels.json payload."""
     if smoke:
@@ -636,6 +822,7 @@ def collect_kernel_metrics(smoke=False):
         )
         replay = measure_replay(mesh_shape=(4, 4, 8), num_steps=2)
         obs_overhead = measure_obs_overhead(num_ranks=128, steps=2)
+        service = measure_service(num_clients=16)
     else:
         rd = measure_rd_step_paths()
         dist = measure_dist_cg_rounds()
@@ -644,6 +831,7 @@ def collect_kernel_metrics(smoke=False):
         engine = measure_engine_throughput()
         replay = measure_replay()
         obs_overhead = measure_obs_overhead()
+        service = measure_service()
     return {
         "benchmark": "kernels",
         "smoke": smoke,
@@ -654,6 +842,7 @@ def collect_kernel_metrics(smoke=False):
         "engine_throughput": engine,
         "replay": replay,
         "obs_overhead": obs_overhead,
+        "service": service,
         "targets": {
             "rd_step_speedup_min": 3.0,
             "dist_cg_rounds_ratio_min": 1.5,
@@ -677,6 +866,11 @@ def collect_kernel_metrics(smoke=False):
             # runners see the worst case — numpy vector merges per
             # message on a single core).
             "obs_overhead_ratio_max": 6.0,
+            # 64 identical submissions must coalesce onto one
+            # computation: at worst one submission computes, so the
+            # dedup rate floor is well under the deterministic
+            # (n-1)/n but far above "coalescing quietly broke".
+            "service_dedup_rate_min": 0.9,
         },
     }
 

@@ -56,6 +56,7 @@ from repro.obs.benchmarks import (
     measure_rd_phases,
     measure_rd_step_paths,
     measure_replay,
+    measure_service,
 )
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
@@ -123,10 +124,7 @@ def load_baseline(path=DEFAULT_BASELINE) -> dict:
         raise BenchGateError(f"bench baseline {path} is not valid JSON: {exc}") from exc
     missing = [
         key
-        for key in (
-            "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
-            "engine_throughput", "replay", "obs_overhead", "targets",
-        )
+        for key in SECTIONS + ("targets",)
         if key not in baseline
     ]
     if missing:
@@ -135,62 +133,6 @@ def load_baseline(path=DEFAULT_BASELINE) -> dict:
             "regenerate it with 'python benchmarks/bench_kernels.py'"
         )
     return baseline
-
-
-def measure_fresh(baseline) -> dict:
-    """Re-run the measurements at the baseline's recorded configurations."""
-    rd_cfg = baseline["rd_step_path"]
-    cg_cfg = baseline["dist_cg_rounds"]
-    ph_cfg = baseline["rd_phases"]
-    co_cfg = baseline["collectives"]
-    en_cfg = baseline["engine_throughput"]
-    rp_cfg = baseline["replay"]
-    ob_cfg = baseline["obs_overhead"]
-    return {
-        "obs_overhead": measure_obs_overhead(
-            num_ranks=ob_cfg["num_ranks"],
-            steps=ob_cfg["steps"],
-            events_limit=ob_cfg["events_limit"],
-        ),
-        "replay": measure_replay(
-            mesh_shape=tuple(rp_cfg["mesh_shape"]),
-            num_ranks=rp_cfg["num_ranks"],
-            num_steps=rp_cfg["num_steps"],
-            platforms=tuple(rp_cfg["platforms"]),
-        ),
-        "engine_throughput": measure_engine_throughput(
-            rank_counts=tuple(en_cfg["rank_counts"]),
-            steps=en_cfg["steps"],
-            sweep_max_ranks=max(en_cfg["sweep"]["rank_series"]),
-            saturation_ranks=en_cfg["saturation"]["num_ranks"],
-            saturation_doubles=en_cfg["saturation"]["payload_doubles"],
-        ),
-        "collectives": measure_collectives(
-            num_nodes=co_cfg["num_nodes"],
-            cores_per_node=co_cfg["cores_per_node"],
-            reps=co_cfg["reps"],
-            small_doubles=co_cfg["small_doubles"],
-            large_doubles=co_cfg["large_doubles"],
-            table_platforms=tuple(co_cfg["table_platforms"]),
-            table_ranks=co_cfg["table_ranks"],
-        ),
-        "rd_step_path": measure_rd_step_paths(
-            mesh_shape=tuple(rd_cfg["mesh_shape"]),
-            num_steps=rd_cfg["num_steps"],
-            preconditioner=rd_cfg["preconditioner"],
-        ),
-        "dist_cg_rounds": measure_dist_cg_rounds(
-            mesh_shape=tuple(cg_cfg["mesh_shape"]),
-            num_ranks=cg_cfg["num_ranks"],
-        ),
-        "rd_phases": measure_rd_phases(
-            mesh_shape=tuple(ph_cfg["mesh_shape"]),
-            num_ranks=ph_cfg["num_ranks"],
-            num_steps=ph_cfg["num_steps"],
-            discard=ph_cfg["discard"],
-            preconditioner=ph_cfg["preconditioner"],
-        ),
-    }
 
 
 def _upper(name, fresh, limit, detail="") -> GateCheck:
@@ -202,269 +144,445 @@ def _lower(name, fresh, floor, detail="") -> GateCheck:
     return check
 
 
+def _bool_check(name, value, detail) -> GateCheck:
+    return GateCheck(name, 1.0 if value else 0.0, 1.0, bool(value), detail)
+
+
+# -- per-section measurement -------------------------------------------------
+
+
+def _measure_rd_step_path(baseline):
+    cfg = baseline["rd_step_path"]
+    return measure_rd_step_paths(
+        mesh_shape=tuple(cfg["mesh_shape"]),
+        num_steps=cfg["num_steps"],
+        preconditioner=cfg["preconditioner"],
+    )
+
+
+def _measure_dist_cg_rounds(baseline):
+    cfg = baseline["dist_cg_rounds"]
+    return measure_dist_cg_rounds(
+        mesh_shape=tuple(cfg["mesh_shape"]), num_ranks=cfg["num_ranks"]
+    )
+
+
+def _measure_rd_phases(baseline):
+    cfg = baseline["rd_phases"]
+    return measure_rd_phases(
+        mesh_shape=tuple(cfg["mesh_shape"]),
+        num_ranks=cfg["num_ranks"],
+        num_steps=cfg["num_steps"],
+        discard=cfg["discard"],
+        preconditioner=cfg["preconditioner"],
+    )
+
+
+def _measure_collectives(baseline):
+    cfg = baseline["collectives"]
+    return measure_collectives(
+        num_nodes=cfg["num_nodes"],
+        cores_per_node=cfg["cores_per_node"],
+        reps=cfg["reps"],
+        small_doubles=cfg["small_doubles"],
+        large_doubles=cfg["large_doubles"],
+        table_platforms=tuple(cfg["table_platforms"]),
+        table_ranks=cfg["table_ranks"],
+    )
+
+
+def _measure_engine_throughput(baseline):
+    cfg = baseline["engine_throughput"]
+    return measure_engine_throughput(
+        rank_counts=tuple(cfg["rank_counts"]),
+        steps=cfg["steps"],
+        sweep_max_ranks=max(cfg["sweep"]["rank_series"]),
+        saturation_ranks=cfg["saturation"]["num_ranks"],
+        saturation_doubles=cfg["saturation"]["payload_doubles"],
+    )
+
+
+def _measure_replay(baseline):
+    cfg = baseline["replay"]
+    return measure_replay(
+        mesh_shape=tuple(cfg["mesh_shape"]),
+        num_ranks=cfg["num_ranks"],
+        num_steps=cfg["num_steps"],
+        platforms=tuple(cfg["platforms"]),
+    )
+
+
+def _measure_obs_overhead(baseline):
+    cfg = baseline["obs_overhead"]
+    return measure_obs_overhead(
+        num_ranks=cfg["num_ranks"],
+        steps=cfg["steps"],
+        events_limit=cfg["events_limit"],
+    )
+
+
+def _measure_service(baseline):
+    return measure_service(num_clients=baseline["service"]["num_clients"])
+
+
+# -- per-section checks ------------------------------------------------------
+
+
+def _checks_rd_step_path(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_rd, fresh_rd = baseline["rd_step_path"], fresh["rd_step_path"]
+    return [
+        _lower(
+            "rd_step_path.speedup",
+            fresh_rd["speedup"],
+            targets["rd_step_speedup_min"],
+            "incremental step path must keep its advantage",
+        ),
+        _upper(
+            "rd_step_path.incremental_seconds",
+            fresh_rd["incremental_seconds"],
+            base_rd["incremental_seconds"] * time_tolerance,
+            f"wall clock, x{time_tolerance:g} slack",
+        ),
+    ]
+
+
+def _checks_dist_cg_rounds(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_cg, fresh_cg = baseline["dist_cg_rounds"], fresh["dist_cg_rounds"]
+    checks = [
+        _upper(
+            f"dist_cg_rounds.{key}",
+            fresh_cg[key],
+            base_cg[key] * count_tolerance,
+            "allreduce rounds are deterministic",
+        )
+        for key in ("classic_rounds", "fused_rounds")
+    ]
+    checks.append(
+        _lower(
+            "dist_cg_rounds.rounds_ratio",
+            fresh_cg["rounds_ratio"],
+            targets["dist_cg_rounds_ratio_min"],
+        )
+    )
+    checks.append(
+        _upper(
+            "dist_cg_rounds.fused_rounds_per_iteration",
+            fresh_cg["fused_rounds_per_iteration"],
+            targets["fused_rounds_per_iteration"],
+            "one fused allreduce per CG iteration",
+        )
+    )
+    return checks
+
+
+def _checks_rd_phases(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_ph, fresh_ph = baseline["rd_phases"], fresh["rd_phases"]
+    checks = []
+    for phase, base_mean in base_ph["phase_means"].items():
+        checks.append(
+            _upper(
+                f"rd_phases.phase_means.{phase}",
+                fresh_ph["phase_means"][phase],
+                base_mean * time_tolerance,
+                f"virtual seconds, x{time_tolerance:g} slack",
+            )
+        )
+    for label, base_count in base_ph["collective_counts"].items():
+        checks.append(
+            _upper(
+                f"rd_phases.collectives.{label}",
+                fresh_ph["collective_counts"].get(label, 0),
+                base_count * count_tolerance,
+                "collective count per rank",
+            )
+        )
+    extra = sorted(
+        set(fresh_ph["collective_counts"]) - set(base_ph["collective_counts"])
+    )
+    checks.append(
+        GateCheck(
+            "rd_phases.new_collective_labels",
+            float(len(extra)),
+            0.0,
+            not extra,
+            "new labels: " + ", ".join(extra) if extra else "no new collective kinds",
+        )
+    )
+    checks.append(
+        _upper(
+            "rd_phases.nodal_error",
+            fresh_ph["nodal_error"],
+            max(base_ph["nodal_error"] * 10.0, 1e-9),
+            "solution accuracy must not degrade",
+        )
+    )
+    return checks
+
+
+def _checks_collectives(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_co, fresh_co = baseline["collectives"], fresh["collectives"]
+    small_alg = fresh_co["cases"]["small"]["adaptive"]["algorithm"]
+    target_alg = targets["collectives_small_algorithm"]
+    base_large_alg = base_co["cases"]["large"]["adaptive"]["algorithm"]
+    fresh_large_alg = fresh_co["cases"]["large"]["adaptive"]["algorithm"]
+    return [
+        _bool_check(
+            "collectives.small.adaptive_algorithm",
+            small_alg == target_alg,
+            f"small messages must stay on {target_alg}, got {small_alg!r}",
+        ),
+        _bool_check(
+            "collectives.large.adaptive_algorithm",
+            fresh_large_alg == base_large_alg,
+            f"selector decision is deterministic: baseline "
+            f"{base_large_alg!r}, fresh {fresh_large_alg!r}",
+        ),
+        _lower(
+            "collectives.large.offnode_bytes_ratio",
+            fresh_co["cases"]["large"]["offnode_bytes_ratio"],
+            targets["collectives_offnode_bytes_ratio_min"],
+            "adaptive schedules must keep cutting NIC bytes",
+        ),
+        _upper(
+            "collectives.large.adaptive_offnode_bytes",
+            fresh_co["cases"]["large"]["adaptive"]["offnode_bytes_per_call"],
+            base_co["cases"]["large"]["adaptive"]["offnode_bytes_per_call"]
+            * count_tolerance,
+            "schedule bytes are deterministic",
+        ),
+        _upper(
+            "collectives.large.adaptive_seconds",
+            fresh_co["cases"]["large"]["adaptive"]["seconds_per_call"],
+            fresh_co["cases"]["large"]["fixed"]["seconds_per_call"]
+            * count_tolerance,
+            "adaptive choice must not lose to the fixed baseline",
+        ),
+    ]
+
+
+def _checks_engine_throughput(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_en, fresh_en = baseline["engine_throughput"], fresh["engine_throughput"]
+    checks = [
+        _bool_check(
+            f"engine_throughput.p{point['num_ranks']}.makespans_match",
+            point["makespans_match"],
+            "events and threads virtual makespans are bit-identical",
+        )
+        for point in fresh_en["points"]
+    ]
+    ratios = {pt["num_ranks"]: pt["ratio"] for pt in fresh_en["points"]}
+    gated = sorted(p for p in ratios if p >= 512)
+    if gated:
+        checks.append(
+            _lower(
+                f"engine_throughput.p{gated[0]}.ratio",
+                ratios[gated[0]],
+                targets["engine_throughput_ratio_min"],
+                "events vs threads ranks/sec (one-core worst-case floor)",
+            )
+        )
+    if len(gated) > 1:
+        checks.append(
+            _lower(
+                f"engine_throughput.p{gated[-1]}.ratio",
+                ratios[gated[-1]],
+                targets["engine_throughput_ratio_min_top"],
+                "the events advantage must grow with rank count",
+            )
+        )
+    checks.append(
+        _lower(
+            "engine_throughput.sweep.max_ranks",
+            max(fresh_en["sweep"]["rank_series"]),
+            max(base_en["sweep"]["rank_series"]),
+            "executed weak-scaling series must still reach the top point",
+        )
+    )
+    checks.append(
+        _upper(
+            "engine_throughput.sweep.total_wall_seconds",
+            fresh_en["sweep"]["total_wall_seconds"],
+            targets["engine_sweep_budget_seconds"],
+            "Fig. 4-7 rank series executed under the event engine",
+        )
+    )
+    checks.append(
+        _lower(
+            "engine_throughput.saturation.virtual_time_ratio",
+            fresh_en["saturation"]["virtual_time_ratio"],
+            targets["engine_saturation_virtual_ratio_min"],
+            "the 1 GbE model must saturate well above InfiniBand",
+        )
+    )
+    return checks
+
+
+def _checks_replay(baseline, fresh, targets, time_tolerance, count_tolerance):
+    fresh_rp = fresh["replay"]
+    checks = []
+    for name, row in fresh_rp["per_platform"].items():
+        checks.append(
+            _bool_check(
+                f"replay.{name}.makespans_match",
+                row["makespans_match"],
+                "replayed virtual makespan equals full simulation exactly",
+            )
+        )
+        checks.append(
+            _bool_check(
+                f"replay.{name}.clocks_match",
+                row["clocks_match"],
+                "replayed per-rank clocks are bit-identical to full sim",
+            )
+        )
+    checks.append(
+        _lower(
+            "replay.speedup",
+            fresh_rp["speedup"],
+            targets["replay_speedup_min"],
+            "wall-time ratio per additional platform (recording cached)",
+        )
+    )
+    return checks
+
+
+def _checks_obs_overhead(baseline, fresh, targets, time_tolerance, count_tolerance):
+    fresh_oo = fresh["obs_overhead"]
+    return [
+        _upper(
+            "obs_overhead.overhead_ratio",
+            fresh_oo["overhead_ratio"],
+            targets["obs_overhead_ratio_max"],
+            f"causal clocks + health at p={fresh_oo['num_ranks']} "
+            "must stay cheap",
+        ),
+        _bool_check(
+            "obs_overhead.clocks_match",
+            fresh_oo["clocks_match"],
+            "per-rank virtual clocks are bit-identical with obs on",
+        ),
+        _bool_check(
+            "obs_overhead.makespans_match",
+            fresh_oo["makespans_match"],
+            "virtual makespan is bit-identical with obs on",
+        ),
+    ]
+
+
+def _checks_service(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_sv, fresh_sv = baseline["service"], fresh["service"]
+    computations = fresh_sv["coalesce"]["computations"]
+    return [
+        GateCheck(
+            "service.coalesce.computations",
+            float(computations),
+            1.0,
+            computations == 1,
+            f"{fresh_sv['num_clients']} identical submissions must share "
+            "exactly one computation",
+        ),
+        _lower(
+            "service.coalesce.dedup_hit_rate",
+            fresh_sv["coalesce"]["dedup_hit_rate"],
+            targets["service_dedup_rate_min"],
+            f"coalesced fraction of {fresh_sv['num_clients']} concurrent "
+            "duplicate submissions",
+        ),
+        _bool_check(
+            "service.coalesce.identical_results",
+            fresh_sv["coalesce"]["identical_results"],
+            "every tenant of a coalesced job gets bit-identical result bytes",
+        ),
+        _bool_check(
+            "service.admission.denied_ok",
+            fresh_sv["admission"]["denied_ok"],
+            "over-quota tenant gets a typed AdmissionDenied (reason: quota) "
+            "while other tenants complete",
+        ),
+        # The p95 is a real-wall tail statistic of 64 simultaneous HTTP
+        # round trips: on a contended runner (the full gate runs every
+        # other section first) it jitters far more than the mean-based
+        # wall metrics, so it gets double the usual time slack.
+        _upper(
+            "service.coalesce.admission_latency_p95_ms",
+            fresh_sv["coalesce"]["admission_latency"]["p95_ms"],
+            base_sv["coalesce"]["admission_latency"]["p95_ms"]
+            * time_tolerance * 2.0,
+            f"submit round-trip at full concurrency, "
+            f"x{time_tolerance * 2.0:g} slack",
+        ),
+        _lower(
+            "service.throughput.jobs_per_second",
+            fresh_sv["throughput"]["jobs_per_second"],
+            base_sv["throughput"]["jobs_per_second"] / time_tolerance,
+            f"end-to-end distinct jobs/sec, /{time_tolerance:g} slack",
+        ),
+    ]
+
+
+#: Section registry: measurement + checks per baseline section, in
+#: report order.  ``--only SECTION`` selects rows of this table.
+SECTION_TABLE = {
+    "rd_step_path": (_measure_rd_step_path, _checks_rd_step_path),
+    "dist_cg_rounds": (_measure_dist_cg_rounds, _checks_dist_cg_rounds),
+    "rd_phases": (_measure_rd_phases, _checks_rd_phases),
+    "collectives": (_measure_collectives, _checks_collectives),
+    "engine_throughput": (_measure_engine_throughput, _checks_engine_throughput),
+    "replay": (_measure_replay, _checks_replay),
+    "obs_overhead": (_measure_obs_overhead, _checks_obs_overhead),
+    "service": (_measure_service, _checks_service),
+}
+SECTIONS = tuple(SECTION_TABLE)
+
+
+def _select_sections(only) -> tuple[str, ...]:
+    """Validate an ``--only`` selection; None means every section."""
+    if not only:
+        return SECTIONS
+    unknown = sorted(set(only) - set(SECTIONS))
+    if unknown:
+        raise BenchGateError(
+            f"unknown bench section(s): {', '.join(unknown)}; "
+            f"known: {', '.join(SECTIONS)}"
+        )
+    return tuple(name for name in SECTIONS if name in set(only))
+
+
+def measure_fresh(baseline, only=None) -> dict:
+    """Re-run the measurements at the baseline's recorded configurations.
+
+    ``only`` (a section-name iterable) restricts the re-measurement —
+    the CI service job runs just the ``service`` section this way.
+    """
+    return {
+        name: SECTION_TABLE[name][0](baseline)
+        for name in _select_sections(only)
+    }
+
+
 def compare(
     baseline,
     fresh,
     time_tolerance=DEFAULT_TIME_TOLERANCE,
     count_tolerance=DEFAULT_COUNT_TOLERANCE,
+    only=None,
 ) -> GateReport:
     """Pure comparison of a fresh measurement dict against the baseline.
 
-    Raises :class:`BenchGateError` if either dict is missing a section —
-    a malformed input is an error, not a failed check.
+    Sections the fresh dict does not carry are skipped only when they
+    were deselected via ``only``; a selected-but-missing section raises
+    :class:`BenchGateError` — a malformed input is an error, not a
+    failed check.
     """
     checks: list[GateCheck] = []
     try:
         targets = baseline["targets"]
-        base_rd, fresh_rd = baseline["rd_step_path"], fresh["rd_step_path"]
-        base_cg, fresh_cg = baseline["dist_cg_rounds"], fresh["dist_cg_rounds"]
-        base_ph, fresh_ph = baseline["rd_phases"], fresh["rd_phases"]
-        base_co, fresh_co = baseline["collectives"], fresh["collectives"]
-
-        checks.append(
-            _lower(
-                "rd_step_path.speedup",
-                fresh_rd["speedup"],
-                targets["rd_step_speedup_min"],
-                "incremental step path must keep its advantage",
-            )
-        )
-        checks.append(
-            _upper(
-                "rd_step_path.incremental_seconds",
-                fresh_rd["incremental_seconds"],
-                base_rd["incremental_seconds"] * time_tolerance,
-                f"wall clock, x{time_tolerance:g} slack",
-            )
-        )
-
-        for key in ("classic_rounds", "fused_rounds"):
-            checks.append(
-                _upper(
-                    f"dist_cg_rounds.{key}",
-                    fresh_cg[key],
-                    base_cg[key] * count_tolerance,
-                    "allreduce rounds are deterministic",
+        for name in _select_sections(only):
+            checks.extend(
+                SECTION_TABLE[name][1](
+                    baseline, fresh, targets, time_tolerance, count_tolerance
                 )
             )
-        checks.append(
-            _lower(
-                "dist_cg_rounds.rounds_ratio",
-                fresh_cg["rounds_ratio"],
-                targets["dist_cg_rounds_ratio_min"],
-            )
-        )
-        checks.append(
-            _upper(
-                "dist_cg_rounds.fused_rounds_per_iteration",
-                fresh_cg["fused_rounds_per_iteration"],
-                targets["fused_rounds_per_iteration"],
-                "one fused allreduce per CG iteration",
-            )
-        )
-
-        for phase, base_mean in base_ph["phase_means"].items():
-            checks.append(
-                _upper(
-                    f"rd_phases.phase_means.{phase}",
-                    fresh_ph["phase_means"][phase],
-                    base_mean * time_tolerance,
-                    f"virtual seconds, x{time_tolerance:g} slack",
-                )
-            )
-        for label, base_count in base_ph["collective_counts"].items():
-            checks.append(
-                _upper(
-                    f"rd_phases.collectives.{label}",
-                    fresh_ph["collective_counts"].get(label, 0),
-                    base_count * count_tolerance,
-                    "collective count per rank",
-                )
-            )
-        extra = sorted(
-            set(fresh_ph["collective_counts"]) - set(base_ph["collective_counts"])
-        )
-        checks.append(
-            GateCheck(
-                "rd_phases.new_collective_labels",
-                float(len(extra)),
-                0.0,
-                not extra,
-                "new labels: " + ", ".join(extra) if extra else "no new collective kinds",
-            )
-        )
-        checks.append(
-            _upper(
-                "rd_phases.nodal_error",
-                fresh_ph["nodal_error"],
-                max(base_ph["nodal_error"] * 10.0, 1e-9),
-                "solution accuracy must not degrade",
-            )
-        )
-
-        small_alg = fresh_co["cases"]["small"]["adaptive"]["algorithm"]
-        target_alg = targets["collectives_small_algorithm"]
-        checks.append(
-            GateCheck(
-                "collectives.small.adaptive_algorithm",
-                1.0 if small_alg == target_alg else 0.0,
-                1.0,
-                small_alg == target_alg,
-                f"small messages must stay on {target_alg}, got {small_alg!r}",
-            )
-        )
-        base_large_alg = base_co["cases"]["large"]["adaptive"]["algorithm"]
-        fresh_large_alg = fresh_co["cases"]["large"]["adaptive"]["algorithm"]
-        checks.append(
-            GateCheck(
-                "collectives.large.adaptive_algorithm",
-                1.0 if fresh_large_alg == base_large_alg else 0.0,
-                1.0,
-                fresh_large_alg == base_large_alg,
-                f"selector decision is deterministic: baseline "
-                f"{base_large_alg!r}, fresh {fresh_large_alg!r}",
-            )
-        )
-        checks.append(
-            _lower(
-                "collectives.large.offnode_bytes_ratio",
-                fresh_co["cases"]["large"]["offnode_bytes_ratio"],
-                targets["collectives_offnode_bytes_ratio_min"],
-                "adaptive schedules must keep cutting NIC bytes",
-            )
-        )
-        checks.append(
-            _upper(
-                "collectives.large.adaptive_offnode_bytes",
-                fresh_co["cases"]["large"]["adaptive"]["offnode_bytes_per_call"],
-                base_co["cases"]["large"]["adaptive"]["offnode_bytes_per_call"]
-                * count_tolerance,
-                "schedule bytes are deterministic",
-            )
-        )
-        checks.append(
-            _upper(
-                "collectives.large.adaptive_seconds",
-                fresh_co["cases"]["large"]["adaptive"]["seconds_per_call"],
-                fresh_co["cases"]["large"]["fixed"]["seconds_per_call"]
-                * count_tolerance,
-                "adaptive choice must not lose to the fixed baseline",
-            )
-        )
-
-        base_en, fresh_en = baseline["engine_throughput"], fresh["engine_throughput"]
-        for point in fresh_en["points"]:
-            checks.append(
-                GateCheck(
-                    f"engine_throughput.p{point['num_ranks']}.makespans_match",
-                    1.0 if point["makespans_match"] else 0.0,
-                    1.0,
-                    bool(point["makespans_match"]),
-                    "events and threads virtual makespans are bit-identical",
-                )
-            )
-        ratios = {pt["num_ranks"]: pt["ratio"] for pt in fresh_en["points"]}
-        gated = sorted(p for p in ratios if p >= 512)
-        if gated:
-            checks.append(
-                _lower(
-                    f"engine_throughput.p{gated[0]}.ratio",
-                    ratios[gated[0]],
-                    targets["engine_throughput_ratio_min"],
-                    "events vs threads ranks/sec (one-core worst-case floor)",
-                )
-            )
-        if len(gated) > 1:
-            checks.append(
-                _lower(
-                    f"engine_throughput.p{gated[-1]}.ratio",
-                    ratios[gated[-1]],
-                    targets["engine_throughput_ratio_min_top"],
-                    "the events advantage must grow with rank count",
-                )
-            )
-        checks.append(
-            _lower(
-                "engine_throughput.sweep.max_ranks",
-                max(fresh_en["sweep"]["rank_series"]),
-                max(base_en["sweep"]["rank_series"]),
-                "executed weak-scaling series must still reach the top point",
-            )
-        )
-        checks.append(
-            _upper(
-                "engine_throughput.sweep.total_wall_seconds",
-                fresh_en["sweep"]["total_wall_seconds"],
-                targets["engine_sweep_budget_seconds"],
-                "Fig. 4-7 rank series executed under the event engine",
-            )
-        )
-        checks.append(
-            _lower(
-                "engine_throughput.saturation.virtual_time_ratio",
-                fresh_en["saturation"]["virtual_time_ratio"],
-                targets["engine_saturation_virtual_ratio_min"],
-                "the 1 GbE model must saturate well above InfiniBand",
-            )
-        )
-
-        fresh_rp = fresh["replay"]
-        for name, row in fresh_rp["per_platform"].items():
-            checks.append(
-                GateCheck(
-                    f"replay.{name}.makespans_match",
-                    1.0 if row["makespans_match"] else 0.0,
-                    1.0,
-                    bool(row["makespans_match"]),
-                    "replayed virtual makespan equals full simulation exactly",
-                )
-            )
-            checks.append(
-                GateCheck(
-                    f"replay.{name}.clocks_match",
-                    1.0 if row["clocks_match"] else 0.0,
-                    1.0,
-                    bool(row["clocks_match"]),
-                    "replayed per-rank clocks are bit-identical to full sim",
-                )
-            )
-        checks.append(
-            _lower(
-                "replay.speedup",
-                fresh_rp["speedup"],
-                targets["replay_speedup_min"],
-                "wall-time ratio per additional platform (recording cached)",
-            )
-        )
-
-        fresh_oo = fresh["obs_overhead"]
-        checks.append(
-            _upper(
-                "obs_overhead.overhead_ratio",
-                fresh_oo["overhead_ratio"],
-                targets["obs_overhead_ratio_max"],
-                f"causal clocks + health at p={fresh_oo['num_ranks']} "
-                "must stay cheap",
-            )
-        )
-        checks.append(
-            GateCheck(
-                "obs_overhead.clocks_match",
-                1.0 if fresh_oo["clocks_match"] else 0.0,
-                1.0,
-                bool(fresh_oo["clocks_match"]),
-                "per-rank virtual clocks are bit-identical with obs on",
-            )
-        )
-        checks.append(
-            GateCheck(
-                "obs_overhead.makespans_match",
-                1.0 if fresh_oo["makespans_match"] else 0.0,
-                1.0,
-                bool(fresh_oo["makespans_match"]),
-                "virtual makespan is bit-identical with obs on",
-            )
-        )
     except KeyError as exc:
         raise BenchGateError(f"bench comparison missing key: {exc}") from exc
     return GateReport(tuple(checks))
@@ -485,7 +603,15 @@ def extract_trajectory_metrics(baseline) -> dict:
     """
     en = baseline["engine_throughput"]
     top = max(en["points"], key=lambda pt: pt["num_ranks"])
-    return {
+    metrics = {}
+    if "service" in baseline:
+        # Wall-clock throughput of the service layer; noisy, so history
+        # entries carry their own loose per-metric tolerance.
+        metrics["service.throughput.jobs_per_second"] = {
+            "value": float(baseline["service"]["throughput"]["jobs_per_second"]),
+            "direction": "higher",
+        }
+    return metrics | {
         "rd_step_path.speedup": {
             "value": float(baseline["rd_step_path"]["speedup"]),
             "direction": "higher",
@@ -591,6 +717,7 @@ def run_gate(
     history_path=DEFAULT_HISTORY,
     use_history=True,
     trajectory_tolerance=DEFAULT_TRAJECTORY_TOLERANCE,
+    only=None,
 ) -> int:
     """Measure, compare, print; return a process exit code.
 
@@ -598,12 +725,14 @@ def run_gate(
     (re-measures at the baseline's configurations) and, unless
     ``use_history`` is false, the trajectory comparison of the committed
     baseline's headline metrics against the last ``BENCH_history.json``
-    entry (pure — no extra measurement).
+    entry (pure — no extra measurement).  ``only`` restricts both the
+    re-measurement and the comparison to the named sections and skips
+    the trajectory gate (whose metrics span sections).
     """
     stream = stream if stream is not None else sys.stdout
     baseline = load_baseline(baseline_path)
     reports: list[GateReport] = []
-    if use_history:
+    if use_history and not only:
         history = load_history(history_path)
         trajectory = compare_trajectory(
             history,
@@ -612,12 +741,13 @@ def run_gate(
         )
         print(trajectory.format(), file=stream)
         reports.append(trajectory)
-    fresh = measure_fresh(baseline)
+    fresh = measure_fresh(baseline, only=only)
     report = compare(
         baseline,
         fresh,
         time_tolerance=time_tolerance,
         count_tolerance=count_tolerance,
+        only=only,
     )
     print(report.format(), file=stream)
     reports.append(report)
@@ -663,6 +793,11 @@ def main(argv=None) -> int:
         default=DEFAULT_TRAJECTORY_TOLERANCE,
         help="multiplicative slack on trajectory checks (default %(default)s)",
     )
+    parser.add_argument(
+        "--only", action="append", choices=SECTIONS, default=None,
+        metavar="SECTION",
+        help="gate only this section (repeatable); skips the trajectory gate",
+    )
     args = parser.parse_args(argv)
     try:
         return run_gate(
@@ -673,6 +808,7 @@ def main(argv=None) -> int:
             history_path=args.history,
             use_history=not args.no_history,
             trajectory_tolerance=args.trajectory_tolerance,
+            only=args.only,
         )
     except BenchGateError as exc:
         print(f"bench gate error: {exc}", file=sys.stderr)

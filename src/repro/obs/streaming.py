@@ -170,6 +170,55 @@ def tail_rows(path: str | os.PathLike, last: int = 20,
         yield format_row(row)
 
 
+def follow_rows(path: str | os.PathLike, poll_interval: float = 0.5,
+                kinds: tuple[str, ...] | None = None,
+                stop=None) -> Iterator[dict]:
+    """Yield stream rows as they are appended (``tail -f`` semantics).
+
+    Tolerates the file not existing yet — a service may be booting when
+    ``tail --follow`` starts — by polling until it appears, and skips
+    half-written or malformed lines exactly like :func:`read_rows`.
+    ``stop`` is an optional zero-argument callable checked between
+    polls so tests (and the CLI's signal handling) can end the follow;
+    without it the generator runs until the consumer stops iterating.
+    """
+    target = os.fspath(path)
+    offset = 0
+    buffer = ""
+    while True:
+        if stop is not None and stop():
+            return
+        try:
+            with open(target, "r", encoding="utf-8") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+        except FileNotFoundError:
+            time.sleep(poll_interval)
+            continue
+        if not chunk:
+            time.sleep(poll_interval)
+            continue
+        buffer += chunk
+        # Only complete lines are parsed; a trailing partial line waits
+        # in the buffer for the writer's next flush.
+        lines = buffer.split("\n")
+        buffer = lines.pop()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(row, dict):
+                continue
+            if kinds and row.get("kind") not in kinds:
+                continue
+            yield row
+
+
 __all__ = [
     "STREAM_FILENAME",
     "StreamingSink",
@@ -177,4 +226,5 @@ __all__ = [
     "stream_path",
     "format_row",
     "tail_rows",
+    "follow_rows",
 ]

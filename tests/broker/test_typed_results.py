@@ -34,11 +34,12 @@ class TestTable1Matrix:
         assert isinstance(data, dict)
         assert data["# cpu/cores"]["ec2"] == matrix.cell("# cpu/cores", "ec2")
 
-    def test_mapping_compatibility(self, matrix):
-        # Legacy consumers index the result like the old dict return.
-        assert matrix["# cpu/cores"]["ec2"]
-        assert set(iter(matrix)) == set(matrix.attributes())
-        assert dict(matrix.items())
+    def test_mapping_shims_removed(self, matrix):
+        # The transitional dict-style access is gone after one
+        # deprecation release; typed access is the only path.
+        with pytest.raises(TypeError):
+            matrix["# cpu/cores"]
+        assert not hasattr(matrix, "items")
 
 
 class TestPortingEffort:
@@ -57,10 +58,10 @@ class TestPortingEffort:
         data = report.as_dict()
         assert data["ec2"]["total_hours"] == report.effort("ec2").total_hours
 
-    def test_mapping_compatibility(self, report):
-        entry = report["ec2"]
-        assert entry["total_hours"] > 0
-        assert "by_method" in entry
+    def test_mapping_shims_removed(self, report):
+        with pytest.raises(TypeError):
+            report["ec2"]
+        assert not hasattr(report, "items")
         with pytest.raises(ExperimentError):
             report.effort("nonexistent")
 
@@ -93,16 +94,27 @@ class TestRunConfig:
             ResilienceParams(spike_probability=2.0)
 
 
-class TestDeprecations:
-    def test_obs_keyword_warns(self):
-        with pytest.warns(DeprecationWarning, match="obs"):
+class TestDeprecatedKeywordsRemoved:
+    """The PR 4 shims are gone: config= (plus hub=) is the only path."""
+
+    def test_obs_keyword_is_gone(self):
+        with pytest.raises(TypeError, match="obs"):
             experiment_fig4_rd_weak_scaling(obs=Observability(ObsConfig()))
 
-    def test_config_and_legacy_keyword_conflict(self):
-        with pytest.raises(ExperimentError, match="both"):
-            experiment_fig4_rd_weak_scaling(
-                RunConfig(), obs=Observability(ObsConfig())
-            )
+    def test_seed_keyword_is_gone(self):
+        from repro.harness.experiments import experiment_table2_placement
+
+        with pytest.raises(TypeError, match="seed"):
+            experiment_table2_placement(seed=3)
+
+    def test_hub_keyword_shares_one_hub(self):
+        hub = Observability(ObsConfig())
+        experiment_fig4_rd_weak_scaling(RunConfig(), hub=hub)
+        assert [root.name for root in hub.span_roots(0)] == ["fig4"]
+
+    def test_hub_must_be_observability(self):
+        with pytest.raises(ExperimentError, match="hub"):
+            experiment_fig4_rd_weak_scaling(RunConfig(), hub=ObsConfig())
 
     def test_config_path_emits_no_warning(self, recwarn):
         experiment_fig4_rd_weak_scaling(RunConfig())

@@ -41,18 +41,19 @@ def table2():
 
 class TestTable1:
     def test_matches_catalog(self):
-        rows = experiment_table1()
-        assert rows["network"]["lagrange"] == "IB-4X-DDR"
-        assert rows["access"]["ec2"] == "root"
+        matrix = experiment_table1()
+        assert matrix.cell("network", "lagrange") == "IB-4X-DDR"
+        assert matrix.cell("access", "ec2") == "root"
 
 
 class TestPortingEffort:
     def test_narrative_numbers(self):
         """§VI: zero effort at home; ~8 man-hours on ellipse/lagrange;
         about a day (incl. cloud config) on EC2."""
+        report = experiment_porting_effort()
         efforts = {
-            name: data["total_hours"]
-            for name, data in experiment_porting_effort().items()
+            name: report.effort(name).total_hours
+            for name in report.platforms()
         }
         assert efforts["puma"] == 0.0
         assert 6 <= efforts["ellipse"] <= 10
@@ -60,8 +61,8 @@ class TestPortingEffort:
         assert 8 <= efforts["ec2"] <= 14
 
     def test_actions_listed(self):
-        data = experiment_porting_effort()["ec2"]
-        assert any("ssh-keys" in a for a in data["actions"])
+        effort = experiment_porting_effort().effort("ec2")
+        assert any("ssh-keys" in a for a in effort.actions)
 
 
 class TestFig4:
@@ -167,11 +168,9 @@ class TestTable2:
         b = experiment_table2_placement(RunConfig(seed=3))
         assert all(x.mix_time_s == y.mix_time_s for x, y in zip(a, b))
 
-    def test_legacy_seed_keyword_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="seed"):
-            a = experiment_table2_placement(seed=3)
-        b = experiment_table2_placement(RunConfig(seed=3))
-        assert all(x.mix_time_s == y.mix_time_s for x, y in zip(a, b))
+    def test_legacy_seed_keyword_removed(self):
+        with pytest.raises(TypeError, match="seed"):
+            experiment_table2_placement(seed=3)
 
 
 class TestCostFigures:

@@ -149,6 +149,29 @@ BASELINE = {
         "health_wait_fraction": 0.4,
         "causal_events": 26752,
     },
+    "service": {
+        "num_clients": 64,
+        "coalesce": {
+            "submissions": 64,
+            "coalesced": 63,
+            "dedup_hit_rate": 63 / 64,
+            "computations": 1,
+            "identical_results": True,
+            "submit_wall_seconds": 0.11,
+            "admission_latency": {
+                "mean_ms": 55.0, "p95_ms": 63.0, "max_ms": 88.0,
+            },
+        },
+        "throughput": {
+            "jobs": 64,
+            "wall_seconds": 0.19,
+            "jobs_per_second": 330.0,
+        },
+        "admission": {
+            "denied_ok": True, "reason": "quota", "tenant": "greedy",
+        },
+        "queue_stats": {"queue_depth": 0, "inflight": 0},
+    },
     "targets": {
         "rd_step_speedup_min": 3.0,
         "dist_cg_rounds_ratio_min": 1.5,
@@ -161,6 +184,7 @@ BASELINE = {
         "engine_saturation_virtual_ratio_min": 2.0,
         "replay_speedup_min": 10.0,
         "obs_overhead_ratio_max": 6.0,
+        "service_dedup_rate_min": 0.9,
     },
 }
 
@@ -189,15 +213,7 @@ HISTORY = {
 
 
 def fresh_like_baseline():
-    return copy.deepcopy(
-        {
-            k: BASELINE[k]
-            for k in (
-                "rd_step_path", "dist_cg_rounds", "rd_phases", "collectives",
-                "engine_throughput", "replay", "obs_overhead",
-            )
-        }
-    )
+    return copy.deepcopy({k: BASELINE[k] for k in gate.SECTIONS})
 
 
 class TestLoadBaseline:
@@ -394,6 +410,51 @@ class TestCompare:
             c.name == "obs_overhead.clocks_match" for c in report.failures
         )
 
+    def test_service_extra_computation_fails(self):
+        """Acceptance: 64 identical submissions must coalesce onto one
+        computation — a second one fails the gate."""
+        fresh = fresh_like_baseline()
+        fresh["service"]["coalesce"]["computations"] = 2
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "service.coalesce.computations" for c in report.failures
+        )
+
+    def test_service_dedup_rate_collapse_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["service"]["coalesce"]["dedup_hit_rate"] = 0.5
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "service.coalesce.dedup_hit_rate"
+            for c in report.failures
+        )
+
+    def test_service_result_divergence_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["service"]["coalesce"]["identical_results"] = False
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "service.coalesce.identical_results"
+            for c in report.failures
+        )
+
+    def test_service_admission_not_enforced_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["service"]["admission"]["denied_ok"] = False
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "service.admission.denied_ok" for c in report.failures
+        )
+
+    def test_service_throughput_collapse_fails(self):
+        fresh = fresh_like_baseline()
+        fresh["service"]["throughput"]["jobs_per_second"] = 1.0
+        report = gate.compare(BASELINE, fresh)
+        assert any(
+            c.name == "service.throughput.jobs_per_second"
+            for c in report.failures
+        )
+
     def test_missing_key_is_an_error_not_a_failure(self):
         fresh = fresh_like_baseline()
         del fresh["rd_phases"]["phase_means"]
@@ -408,6 +469,50 @@ class TestCompare:
         assert "bench gate: FAIL" in text
 
 
+class TestOnly:
+    """``--only SECTION`` runs a subset of the registry."""
+
+    def test_only_restricts_checks_to_the_section(self):
+        fresh = {"service": copy.deepcopy(BASELINE["service"])}
+        report = gate.compare(BASELINE, fresh, only=["service"])
+        assert report.passed
+        assert report.checks
+        assert all(c.name.startswith("service.") for c in report.checks)
+
+    def test_only_still_fails_on_regressions(self):
+        fresh = {"service": copy.deepcopy(BASELINE["service"])}
+        fresh["service"]["coalesce"]["computations"] = 3
+        report = gate.compare(BASELINE, fresh, only=["service"])
+        assert not report.passed
+
+    def test_unknown_section_raises(self):
+        with pytest.raises(BenchGateError, match="unknown bench section"):
+            gate.compare(BASELINE, fresh_like_baseline(), only=["nope"])
+
+    def test_main_rejects_unknown_section(self):
+        with pytest.raises(SystemExit):
+            gate.main(["--only", "nope"])
+
+    def test_run_gate_only_skips_other_sections(self, tmp_path, monkeypatch):
+        baseline_path = tmp_path / "BENCH_kernels.json"
+        baseline_path.write_text(json.dumps(BASELINE))
+        measured = []
+
+        def fake_measure(baseline, only=None):
+            measured.append(tuple(only or ()))
+            return {"service": copy.deepcopy(BASELINE["service"])}
+
+        monkeypatch.setattr(gate, "measure_fresh", fake_measure)
+        out = io.StringIO()
+        # use_history stays default: --only skips the trajectory gate, so
+        # this must not try to read BENCH_history.json semantics.
+        assert gate.run_gate(
+            baseline_path, stream=out, only=["service"]
+        ) == 0
+        assert measured == [("service",)]
+        assert "rd_phases" not in out.getvalue()
+
+
 class TestRunGate:
     @pytest.fixture()
     def baseline_path(self, tmp_path):
@@ -417,7 +522,9 @@ class TestRunGate:
 
     def test_exit_codes(self, baseline_path, monkeypatch):
         fresh = fresh_like_baseline()
-        monkeypatch.setattr(gate, "measure_fresh", lambda baseline: fresh)
+        monkeypatch.setattr(
+            gate, "measure_fresh", lambda baseline, only=None: fresh
+        )
         out = io.StringIO()
         assert gate.run_gate(baseline_path, stream=out, use_history=False) == 0
         assert "bench gate: PASS" in out.getvalue()
@@ -438,7 +545,7 @@ class TestRunGate:
         """A baseline whose headline metric fell below the last history
         entry fails even when every absolute target still passes."""
         monkeypatch.setattr(
-            gate, "measure_fresh", lambda baseline: fresh_like_baseline()
+            gate, "measure_fresh", lambda baseline, only=None: fresh_like_baseline()
         )
         history_path = tmp_path / "BENCH_history.json"
         history = copy.deepcopy(HISTORY)
@@ -462,7 +569,7 @@ class TestRunGate:
 
     def test_missing_history_is_an_error(self, baseline_path, monkeypatch):
         monkeypatch.setattr(
-            gate, "measure_fresh", lambda baseline: fresh_like_baseline()
+            gate, "measure_fresh", lambda baseline, only=None: fresh_like_baseline()
         )
         with pytest.raises(BenchGateError, match="history not found"):
             gate.run_gate(

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.harness.config import RunConfig
 from repro.harness.experiments import (
     experiment_fig4_rd_weak_scaling,
@@ -35,22 +33,19 @@ class TestExperimentObs:
         assert len(sweep_slices) == 4  # one per platform
 
     def test_shared_hub_accumulates_spans(self):
-        # Sharing one live hub across generators is the legacy pattern;
-        # it still works, but under a DeprecationWarning.
+        # Sharing one live hub across generators via the keyword-only
+        # hub= (the obs= shim's typed replacement).
         hub = Observability(ObsConfig())
-        with pytest.warns(DeprecationWarning):
-            experiment_fig4_rd_weak_scaling(obs=hub)
-        with pytest.warns(DeprecationWarning):
-            experiment_fig6_rd_costs(obs=hub)
+        experiment_fig4_rd_weak_scaling(hub=hub)
+        experiment_fig6_rd_costs(hub=hub)
         names = [root.name for root in hub.span_roots(0)]
         assert names == ["fig4", "fig6"]
         assert hub.metrics.counter("platform_sweeps_total").total(
             {"experiment": "fig6"}
         ) == 5.0  # four platforms + the ec2 mix curve
 
-    def test_disabled_config_collects_nothing(self):
+    def test_disabled_hub_collects_nothing(self):
         hub = Observability(ObsConfig(enabled=False))
-        with pytest.warns(DeprecationWarning):
-            table = experiment_fig4_rd_weak_scaling(obs=hub)
+        table = experiment_fig4_rd_weak_scaling(hub=hub)
         assert table.artifacts == ()
         assert hub.all_roots() == {}

@@ -175,8 +175,14 @@ class TestCLI:
         text = capsys.readouterr().out
         assert "run health:" in text
 
-    def test_tail_empty_dir_is_friendly(self, tmp_path, capsys):
+    def test_tail_empty_dir_exits_1_with_one_line_error(self, tmp_path,
+                                                        capsys):
+        """Missing telemetry is an error for scripts: exit 1, stderr,
+        no traceback (see tests/service/test_cli.py for the full
+        contract)."""
         from repro.__main__ import main as cli_main
 
-        assert cli_main(["tail", str(tmp_path)]) == 0
-        assert "no telemetry rows" in capsys.readouterr().out
+        assert cli_main(["tail", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "no telemetry rows" in captured.err

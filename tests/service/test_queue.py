@@ -1,0 +1,306 @@
+"""The asyncio JobQueue: coalescing, lifecycle, cancel, stats."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.broker.api import RunRequest
+from repro.errors import (
+    JobCancelledError,
+    JobNotFoundError,
+    ServiceError,
+)
+from repro.harness.config import RunConfig
+from repro.service.jobs import job_key
+from repro.service.queue import JobQueue, count_points
+
+
+def run_async(coro):
+    """No pytest-asyncio in the toolchain: drive each test coroutine."""
+    return asyncio.run(coro)
+
+
+def echo_run(request):
+    """A deterministic, picklable stand-in for a real broker run."""
+    return ("ran", tuple(sorted(request.artifacts)),
+            request.config.cache_token())
+
+
+async def started(run_fn=echo_run, **kwargs) -> JobQueue:
+    queue = JobQueue(run_fn=run_fn, **kwargs)
+    await queue.start()
+    return queue
+
+
+REQ = RunRequest(artifacts=("fig4",), config=RunConfig(seed=3))
+
+
+class TestIdentity:
+    def test_same_request_same_key(self):
+        assert job_key(REQ) == job_key(
+            RunRequest(artifacts=("fig4",), config=RunConfig(seed=3))
+        )
+
+    def test_execution_strategy_is_excluded(self):
+        """parallel/use_cache never change values, so they must not
+        change identity — that is what makes cross-knob coalescing safe."""
+        assert job_key(REQ) == job_key(
+            RunRequest(artifacts=("fig4",), config=RunConfig(seed=3),
+                       parallel=8, use_cache=False)
+        )
+
+    def test_config_values_are_included(self):
+        assert job_key(REQ) != job_key(
+            RunRequest(artifacts=("fig4",), config=RunConfig(seed=4))
+        )
+
+    def test_artifacts_are_included(self):
+        assert job_key(REQ) != job_key(
+            RunRequest(artifacts=("fig5",), config=RunConfig(seed=3))
+        )
+
+    def test_count_points_sums_specs(self):
+        assert count_points(REQ) >= 1
+        both = RunRequest(artifacts=("fig4", "fig5"), config=RunConfig(seed=3))
+        assert count_points(both) > count_points(REQ)
+
+
+class TestLifecycle:
+    def test_submit_runs_and_settles(self):
+        async def scenario():
+            queue = await started()
+            receipt = await queue.submit(REQ, tenant="alice")
+            assert not receipt.coalesced
+            result = await queue.result(receipt.job_id)
+            status = await queue.status(receipt.job_id)
+            await queue.stop()
+            return receipt, result, status
+
+        receipt, result, status = run_async(scenario())
+        assert result == echo_run(REQ)
+        assert status.state == "done"
+        assert [s for s, _ in status.transitions] == [
+            "queued", "admitted", "running", "done",
+        ]
+        assert status.tenants == ("alice",)
+
+    def test_identical_submissions_coalesce(self):
+        async def scenario():
+            queue = await started()
+            first = await queue.submit(REQ, tenant="alice")
+            second = await queue.submit(REQ, tenant="bob")
+            results = (
+                await queue.result(first.job_id),
+                await queue.result(second.job_id),
+            )
+            status = await queue.status(first.job_id)
+            stats = queue.stats()
+            await queue.stop()
+            return first, second, results, status, stats
+
+        first, second, results, status, stats = run_async(scenario())
+        assert first.job_id == second.job_id
+        assert not first.coalesced and second.coalesced
+        assert results[0] == results[1]
+        assert status.tenants == ("alice", "bob")
+        assert status.coalesced == 1
+        assert stats["computations"] == 1
+        assert stats["dedup_hit_rate"] == pytest.approx(0.5)
+
+    def test_parallel_knob_still_coalesces(self):
+        async def scenario():
+            queue = await started()
+            first = await queue.submit(REQ, tenant="alice")
+            second = await queue.submit(
+                RunRequest(artifacts=("fig4",), config=RunConfig(seed=3),
+                           parallel=8),
+                tenant="bob",
+            )
+            await queue.result(first.job_id)
+            await queue.stop()
+            return first, second
+
+        first, second = run_async(scenario())
+        assert first.job_id == second.job_id and second.coalesced
+
+    def test_coalesce_onto_done_job(self):
+        """A submission identical to finished work collects immediately."""
+        async def scenario():
+            queue = await started()
+            first = await queue.submit(REQ, tenant="alice")
+            await queue.result(first.job_id)
+            late = await queue.submit(REQ, tenant="carol")
+            result = await queue.result(late.job_id)
+            await queue.stop()
+            return late, result, queue.stats()
+
+        late, result, stats = run_async(scenario())
+        assert late.coalesced and late.state == "done"
+        assert result == echo_run(REQ)
+        assert stats["computations"] == 1
+
+    def test_failed_job_reraises_then_is_superseded(self):
+        calls = []
+
+        def flaky(request):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient platform failure")
+            return echo_run(request)
+
+        async def scenario():
+            queue = await started(run_fn=flaky)
+            first = await queue.submit(REQ, tenant="alice")
+            with pytest.raises(RuntimeError, match="transient"):
+                await queue.result(first.job_id)
+            status = await queue.status(first.job_id)
+            assert status.state == "failed"
+            assert "transient" in status.error
+            # Same content again: a failed record does NOT coalesce —
+            # the resubmission supersedes it with a fresh run.
+            retry = await queue.submit(REQ, tenant="alice")
+            result = await queue.result(retry.job_id)
+            await queue.stop()
+            return retry, result
+
+        retry, result = run_async(scenario())
+        assert not retry.coalesced
+        assert result == echo_run(REQ)
+        assert len(calls) == 2
+
+
+class TestCancel:
+    def test_cancel_waiting_job(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(timeout=30.0)
+            return echo_run(request)
+
+        other = RunRequest(artifacts=("fig5",), config=RunConfig(seed=3))
+
+        async def scenario():
+            queue = await started(run_fn=gated, max_workers=1)
+            running = await queue.submit(REQ, tenant="alice")
+            waiting = await queue.submit(other, tenant="bob")
+            # Let the single worker pick up the first job before acting.
+            while (await queue.status(running.job_id)).state != "running":
+                await asyncio.sleep(0.005)
+            cancelled = await queue.cancel(waiting.job_id)
+            assert cancelled.state == "cancelled"
+            with pytest.raises(JobCancelledError):
+                await queue.result(waiting.job_id)
+            release.set()
+            await queue.result(running.job_id)
+            stats = queue.stats()
+            await queue.stop()
+            return stats
+
+        stats = run_async(scenario())
+        assert stats["cancelled"] == 1
+        assert stats["done"] == 1
+        assert stats["computations"] == 1  # the cancelled job never ran
+
+    def test_cancel_running_job_is_refused(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(timeout=30.0)
+            return echo_run(request)
+
+        async def scenario():
+            queue = await started(run_fn=gated, max_workers=1)
+            receipt = await queue.submit(REQ, tenant="alice")
+            while (await queue.status(receipt.job_id)).state != "running":
+                await asyncio.sleep(0.005)
+            with pytest.raises(ServiceError, match="cannot be cancelled"):
+                await queue.cancel(receipt.job_id)
+            release.set()
+            await queue.result(receipt.job_id)
+            await queue.stop()
+
+        run_async(scenario())
+
+    def test_cancel_terminal_job_is_a_noop(self):
+        async def scenario():
+            queue = await started()
+            receipt = await queue.submit(REQ, tenant="alice")
+            await queue.result(receipt.job_id)
+            status = await queue.cancel(receipt.job_id)
+            await queue.stop()
+            return status
+
+        assert run_async(scenario()).state == "done"
+
+
+class TestLookupsAndMisuse:
+    def test_prefix_lookup(self):
+        async def scenario():
+            queue = await started()
+            receipt = await queue.submit(REQ, tenant="alice")
+            await queue.result(receipt.job_id)
+            status = await queue.status(receipt.job_id[:10])
+            await queue.stop()
+            return receipt, status
+
+        receipt, status = run_async(scenario())
+        assert status.job_id == receipt.job_id
+
+    def test_unknown_job_raises(self):
+        async def scenario():
+            queue = await started()
+            with pytest.raises(JobNotFoundError, match="no job"):
+                await queue.status("feedface")
+            await queue.stop()
+
+        run_async(scenario())
+
+    def test_submit_before_start_raises(self):
+        async def scenario():
+            queue = JobQueue(run_fn=echo_run)
+            with pytest.raises(ServiceError, match="before start"):
+                await queue.submit(REQ)
+
+        run_async(scenario())
+
+    def test_result_timeout_is_an_observer_not_an_owner(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(timeout=30.0)
+            return echo_run(request)
+
+        async def scenario():
+            queue = await started(run_fn=gated, max_workers=1)
+            receipt = await queue.submit(REQ, tenant="alice")
+            with pytest.raises(TimeoutError):
+                await queue.result(receipt.job_id, timeout=0.05)
+            # The timed-out wait must not have killed the job.
+            release.set()
+            result = await queue.result(receipt.job_id)
+            await queue.stop()
+            return result
+
+        assert run_async(scenario()) == echo_run(REQ)
+
+    def test_stop_without_drain_cancels_waiting_jobs(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(timeout=30.0)
+            return echo_run(request)
+
+        other = RunRequest(artifacts=("fig5",), config=RunConfig(seed=3))
+
+        async def scenario():
+            queue = await started(run_fn=gated, max_workers=1)
+            running = await queue.submit(REQ, tenant="alice")
+            waiting = await queue.submit(other, tenant="bob")
+            while (await queue.status(running.job_id)).state != "running":
+                await asyncio.sleep(0.005)
+            release.set()
+            await queue.stop(drain=False)
+            return await queue.status(waiting.job_id)
+
+        assert run_async(scenario()).state == "cancelled"
