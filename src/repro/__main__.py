@@ -75,9 +75,40 @@ def _cmd_broker(args) -> str:
 
     from repro.broker.assembly import (
         BrokerRequest,
+        ElasticBroker,
         broker_assemblies,
         render_broker_report,
+        render_elastic_report,
+        volatile_market_request,
     )
+
+    if args.elastic:
+        # The volatile-market scenario of docs/elasticity.md; explicit
+        # flags override its defaults (flags left at the static broker's
+        # defaults keep the scenario's values).
+        request = volatile_market_request(seed=args.seed)
+        overrides = {}
+        if args.app != "rd":
+            overrides["app"] = args.app
+        if args.ranks != 64:
+            overrides["num_ranks"] = args.ranks
+        if args.iterations != 100:
+            overrides["num_iterations"] = args.iterations
+        if args.spike_probability != 0.06:
+            overrides["spot_spike_probability"] = args.spike_probability
+        if args.deadline_h is not None:
+            overrides["deadline_s"] = args.deadline_h * 3600.0
+        if overrides:
+            request = dataclasses.replace(request, **overrides)
+        report = ElasticBroker(request).run()
+        return cli.render(
+            args,
+            text=lambda: render_elastic_report(report),
+            payload=lambda: {
+                "request": dataclasses.asdict(request),
+                **report.to_dict(),
+            },
+        )
 
     request = BrokerRequest(
         app=args.app,
@@ -141,6 +172,11 @@ def _cmd_fig7(_args) -> str:
 
 def _cmd_resilience(_args) -> str:
     return _render_artifact("resilience")
+
+
+def _cmd_elasticity(_args) -> str:
+    """Table II (extended): elastic re-brokering on a volatile market."""
+    return _render_artifact("elasticity")
 
 
 def _cmd_compare(args) -> str:
@@ -644,6 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-spot-node hourly reclaim probability")
     brokerp.add_argument("--top", type=int, default=None,
                          help="show only the best N plans")
+    brokerp.add_argument("--elastic", action="store_true",
+                         help="simulate elastic re-brokering under spot "
+                              "reclaims (per-reclaim decision log; defaults "
+                              "to the volatile-market scenario)")
     brokerp.add_argument("--seed", type=int, default=7)
     cli.add_json_flag(brokerp)
     brokerp.set_defaults(func=_cmd_broker)
@@ -652,7 +692,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("table1", _cmd_table1), ("porting", _cmd_porting),
         ("fig4", _cmd_fig4), ("fig5", _cmd_fig5), ("table2", _cmd_table2),
         ("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
-        ("resilience", _cmd_resilience), ("validate", _cmd_validate),
+        ("resilience", _cmd_resilience), ("elasticity", _cmd_elasticity),
+        ("validate", _cmd_validate),
     ]:
         p = sub.add_parser(name, help=fn.__doc__)
         p.set_defaults(func=fn)

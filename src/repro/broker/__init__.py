@@ -11,14 +11,21 @@ Two halves of one question — *run what, where, how*:
 
 from repro.broker.api import RunRequest, RunResult, run
 from repro.broker.assembly import (
+    ELASTIC_ACTIONS,
     SPOT_MIX,
     AssemblyPlan,
     BrokerReport,
     BrokerRequest,
+    ElasticBroker,
+    ElasticDecision,
+    ElasticOption,
+    ElasticReport,
     PlanPhase,
     broker_assemblies,
     render_broker_report,
+    render_elastic_report,
     section_7d_request,
+    volatile_market_request,
 )
 from repro.broker.cache import CacheStats, SweepCache, code_fingerprint
 from repro.broker.engine import SweepReport, run_sweep
@@ -30,6 +37,11 @@ __all__ = [
     "BrokerReport",
     "BrokerRequest",
     "CacheStats",
+    "ELASTIC_ACTIONS",
+    "ElasticBroker",
+    "ElasticDecision",
+    "ElasticOption",
+    "ElasticReport",
     "PlanPhase",
     "RunRequest",
     "RunResult",
@@ -41,7 +53,9 @@ __all__ = [
     "code_fingerprint",
     "get_artifact",
     "render_broker_report",
+    "render_elastic_report",
     "run",
     "run_sweep",
     "section_7d_request",
+    "volatile_market_request",
 ]

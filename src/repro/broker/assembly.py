@@ -29,16 +29,17 @@ constraint-violating plans sort last with the reason attached.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.cloud.instances import CC2_8XLARGE
+from repro.cloud.spot import SpotMarket
 from repro.costs.analysis import DEVELOPER_HOURLY_RATE
 from repro.costs.model import PlatformCostModel
 from repro.errors import BrokerError
 from repro.harness.experiments import workload_by_name
 from repro.perfmodel.calibration import time_scale_for
 from repro.perfmodel.phases import PhaseModel
-from repro.perfmodel.resilience import CheckpointRestartModel
+from repro.perfmodel.resilience import CheckpointRestartModel, expected_cost_to_go
 from repro.platforms.catalog import all_platforms, ec2_cc28xlarge
 from repro.platforms.limits import effective_max_ranks
 from repro.platforms.provisioning import plan_provisioning
@@ -463,6 +464,559 @@ def section_7d_request(
         num_iterations=num_iterations,
         deadline_s=deadline_hours * 3600.0,
     )
+
+
+# ---------------------------------------------------------------------------
+# Elastic re-brokering under spot reclaims (docs/elasticity.md)
+# ---------------------------------------------------------------------------
+
+#: The three actions the elastic broker chooses among at a reclaim event.
+ELASTIC_ACTIONS = ("continue-degraded", "shrink", "migrate-and-expand")
+
+
+@dataclass(frozen=True)
+class ElasticOption:
+    """One candidate action at a reclaim event, scored to completion."""
+
+    action: str
+    expected_wall_s: float
+    expected_dollars: float
+    meets_deadline: bool
+    spot_nodes: int
+    ondemand_nodes: int
+    note: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the option can finish at all."""
+        return math.isfinite(self.expected_dollars)
+
+
+@dataclass(frozen=True)
+class ElasticDecision:
+    """One re-plan: the reclaim that triggered it and the scored options."""
+
+    event: int
+    hour: float
+    reclaimed: tuple[int, ...]
+    survivors: int
+    action: str
+    options: tuple[ElasticOption, ...]
+
+    def option(self, action: str) -> ElasticOption:
+        """Look one scored option up by action name."""
+        for opt in self.options:
+            if opt.action == action:
+                return opt
+        raise BrokerError(f"decision has no option {action!r}")
+
+    @property
+    def chosen(self) -> ElasticOption:
+        """The option the broker committed to."""
+        return self.option(self.action)
+
+    def to_dict(self) -> dict:
+        return {
+            "event": self.event,
+            "hour": self.hour,
+            "reclaimed": list(self.reclaimed),
+            "survivors": self.survivors,
+            "action": self.action,
+            "options": [
+                {
+                    "action": o.action,
+                    "expected_wall_h": o.expected_wall_s / 3600.0,
+                    "expected_dollars": o.expected_dollars,
+                    "meets_deadline": o.meets_deadline,
+                    "spot_nodes": o.spot_nodes,
+                    "ondemand_nodes": o.ondemand_nodes,
+                }
+                for o in self.options
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ElasticReport:
+    """Outcome of one elastic run against a sampled reclaim trajectory.
+
+    ``cost_dollars``/``wall_hours`` are the *realized* totals of the
+    simulated elastic run.  The two static baselines answer "what if
+    the broker had planned once and never re-planned": all-spot is a
+    rigid job replayed against the *same* reclaim trajectory (forced
+    ``continue-degraded``; infinite when it loses every node), all
+    on-demand is failure-free at full price.  The §VII.D acceptance
+    inequality is ``cost < both baselines`` while the deadline holds.
+    """
+
+    request: BrokerRequest
+    decisions: tuple[ElasticDecision, ...]
+    cost_dollars: float
+    wall_hours: float
+    met_deadline: bool
+    static_all_spot_cost: float
+    static_all_spot_wall_hours: float
+    static_on_demand_cost: float
+    static_on_demand_wall_hours: float
+    nodes: int
+    final_spot_nodes: int
+    final_ondemand_nodes: int
+
+    @property
+    def beats_baselines(self) -> bool:
+        """The acceptance inequality of the volatile-market scenario."""
+        return (
+            self.cost_dollars < self.static_all_spot_cost
+            and self.cost_dollars < self.static_on_demand_cost
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "cost_dollars": self.cost_dollars,
+            "wall_hours": self.wall_hours,
+            "met_deadline": self.met_deadline,
+            "beats_baselines": self.beats_baselines,
+            "static_all_spot_cost": self.static_all_spot_cost,
+            "static_all_spot_wall_hours": self.static_all_spot_wall_hours,
+            "static_on_demand_cost": self.static_on_demand_cost,
+            "static_on_demand_wall_hours": self.static_on_demand_wall_hours,
+            "final_spot_nodes": self.final_spot_nodes,
+            "final_ondemand_nodes": self.final_ondemand_nodes,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+
+@dataclass
+class ElasticBroker:
+    """Re-evaluate the placement portfolio at every spot reclaim.
+
+    The static broker (:func:`broker_assemblies`) answers §VII.D once,
+    up front.  This closes ROADMAP item 3's loop: subscribed to the
+    shared :meth:`~repro.cloud.spot.SpotMarket.reclaim_sampler`, the
+    elastic broker simulates the run in billing-interval rounds and, at
+    each reclaim event, re-scores three actions with
+    :func:`~repro.perfmodel.resilience.expected_cost_to_go`:
+
+    * **continue-degraded** — restart on the survivors keeping the old
+      decomposition (no repartition stall, but the reclaimed subdomains
+      oversubscribe the survivors, so progress drops by the imbalance
+      factor);
+    * **shrink** — malleable repartition onto the survivors
+      (:func:`repro.resilience.run_malleable` lifecycle: pay the
+      repartition stall, then run balanced at the smaller width);
+    * **migrate-and-expand** — checkpoint, abandon the spot assembly,
+      and resume at full width on on-demand instances (pay the
+      migration stall, then zero reclaim exposure).
+
+    The cheapest deadline-meeting option wins (the fastest one when
+    none meets it).  Each decision lands as an obs span plus a
+    streaming ``replan`` row, so ``repro tail`` can watch an elastic
+    run live.  Everything is deterministic in the request's seed.
+    """
+
+    request: BrokerRequest
+    interval_hours: float = 1.0
+    repartition_seconds: float = 60.0
+    migration_seconds: float = 600.0
+    market: SpotMarket | None = None
+    obs: object | None = None
+    _max_rounds: int = field(default=10_000, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_hours <= 0:
+            raise BrokerError("interval_hours must be positive")
+        if self.market is None:
+            self.market = SpotMarket(
+                CC2_8XLARGE,
+                spare_capacity_mean=max(self.request.spot_pool_mean, 1.0),
+                spike_probability=self.request.spot_spike_probability,
+                seed=self.request.seed,
+            )
+
+    # -- per-reclaim option scoring --------------------------------------
+
+    def _score_options(
+        self,
+        remaining_work: float,
+        elapsed_s: float,
+        hosting: int,
+        survivors: int,
+        ondemand_nodes: int,
+        nodes: int,
+    ) -> tuple[ElasticOption, ...]:
+        """Score the three actions from this event to completion."""
+        request = self.request
+        spot_hr = CC2_8XLARGE.typical_spot_hourly
+        od_hr = ec2_cc28xlarge.cost_per_core_hour * ec2_cc28xlarge.cores_per_node
+
+        def option(action, rate, spot, od, switch, note=""):
+            togo = expected_cost_to_go(
+                remaining_work_node_seconds=remaining_work,
+                progress_rate_nodes=rate,
+                spot_nodes=spot,
+                ondemand_nodes=od,
+                spot_node_hourly=spot_hr,
+                ondemand_node_hourly=od_hr,
+                spike_probability_per_hour=request.spot_spike_probability,
+                checkpoint_seconds=request.checkpoint_seconds,
+                restart_seconds=request.restart_seconds,
+                switch_seconds=switch,
+            )
+            finish_s = elapsed_s + togo["wall_seconds"]
+            meets = (
+                request.deadline_s is None or finish_s <= request.deadline_s
+            ) and togo["feasible"]
+            return ElasticOption(
+                action=action,
+                expected_wall_s=togo["wall_seconds"],
+                expected_dollars=togo["dollars"],
+                meets_deadline=meets,
+                spot_nodes=spot,
+                ondemand_nodes=od,
+                note=note,
+            )
+
+        active = survivors + ondemand_nodes
+        degraded_rate = (
+            hosting / math.ceil(hosting / active) if active else 0.0
+        )
+        return (
+            option(
+                "continue-degraded",
+                degraded_rate,
+                survivors,
+                ondemand_nodes,
+                request.restart_seconds,
+                f"{hosting} subdomains on {active} nodes",
+            ),
+            option(
+                "shrink",
+                float(active),
+                survivors,
+                ondemand_nodes,
+                request.restart_seconds + self.repartition_seconds,
+                f"repartition {hosting} -> {active}",
+            ),
+            option(
+                "migrate-and-expand",
+                float(nodes),
+                0,
+                nodes,
+                request.restart_seconds + self.migration_seconds,
+                f"all {nodes} nodes on demand",
+            ),
+        )
+
+    @staticmethod
+    def _choose(options: tuple[ElasticOption, ...]) -> str:
+        """Cheapest deadline-meeting option; fastest when none meets it."""
+        meeting = [o for o in options if o.meets_deadline]
+        if meeting:
+            return min(meeting, key=lambda o: (o.expected_dollars, o.action)).action
+        return min(options, key=lambda o: (o.expected_wall_s, o.action)).action
+
+    # -- the round-based simulation ---------------------------------------
+
+    def run(self) -> ElasticReport:
+        """Simulate the elastic run and its rigid baselines.
+
+        Both the elastic run and the static all-spot baseline face the
+        *same* seeded reclaim trajectory, so the comparison is
+        realization-for-realization: the baseline is a rigid job that
+        can only restart on the survivors with its original
+        decomposition (forced ``continue-degraded``), while the elastic
+        run re-plans.  The on-demand baseline is failure-free by
+        construction.
+        """
+        request = self.request
+        platform = ec2_cc28xlarge
+        workload = workload_by_name(request.app)
+        limit = effective_max_ranks(platform)
+        if request.num_ranks > limit:
+            raise BrokerError(
+                f"{request.num_ranks} ranks exceed {platform.name}'s "
+                f"effective ceiling of {limit}"
+            )
+        nodes = platform.nodes_for_ranks(request.num_ranks)
+        model = PhaseModel(workload, platform, time_scale=time_scale_for(workload))
+        compute_s = model.predict(request.num_ranks).total * request.num_iterations
+        od_hr = platform.cost_per_core_hour * platform.cores_per_node
+        spot_nodes = min(nodes, int(round(request.spot_pool_mean)))
+
+        decisions, cost, elapsed, f_spot, f_od = self._simulate(
+            None, nodes, compute_s, spot_nodes, emit=True
+        )
+        _, rigid_cost, rigid_elapsed, _, _ = self._simulate(
+            "continue-degraded", nodes, compute_s, spot_nodes, emit=False
+        )
+        met_deadline = (
+            request.deadline_s is None or elapsed <= request.deadline_s
+        )
+        return ElasticReport(
+            request=request,
+            decisions=tuple(decisions),
+            cost_dollars=cost,
+            wall_hours=elapsed / 3600.0,
+            met_deadline=met_deadline,
+            static_all_spot_cost=rigid_cost,
+            static_all_spot_wall_hours=rigid_elapsed / 3600.0,
+            static_on_demand_cost=nodes * od_hr * compute_s / 3600.0,
+            static_on_demand_wall_hours=compute_s / 3600.0,
+            nodes=nodes,
+            final_spot_nodes=f_spot,
+            final_ondemand_nodes=f_od,
+        )
+
+    def _simulate(
+        self,
+        policy: str | None,
+        nodes: int,
+        compute_s: float,
+        spot_nodes: int,
+        emit: bool,
+    ) -> tuple[list[ElasticDecision], float, float, int, int]:
+        """One policy's realized run against the seeded reclaim trajectory.
+
+        ``policy=None`` re-plans at every reclaim; a fixed action name
+        simulates a rigid baseline (``"continue-degraded"`` is the
+        static all-spot plan that cannot change shape).  Returns
+        ``(decisions, cost_dollars, wall_seconds, spot, ondemand)`` —
+        infinite cost and wall when a rigid run loses every node.
+        """
+        if policy is not None and policy not in ELASTIC_ACTIONS:
+            raise BrokerError(f"unknown elastic policy {policy!r}")
+        request = self.request
+        work = compute_s * nodes  # node-seconds of useful work
+        spot_hr = CC2_8XLARGE.typical_spot_hourly
+        od_hr = ec2_cc28xlarge.cost_per_core_hour * ec2_cc28xlarge.cores_per_node
+        ondemand_nodes = nodes - spot_nodes
+        sampler = self.market.reclaim_sampler(
+            spot_nodes, self.interval_hours, seed=request.seed
+        )
+        view, sink = _elastic_obs(self.obs if emit else None)
+        interval_s = self.interval_hours * 3600.0
+        hosting = nodes  # width of the current decomposition
+        migrated = spot_nodes == 0
+        remaining = work
+        elapsed = 0.0
+        cost = 0.0
+        pause = 0.0  # transition stall charged at the next round's start
+        decisions: list[ElasticDecision] = []
+        tau_cache: dict[int, float] = {}
+
+        def tau_for(exposed: int) -> float:
+            """Checkpoint interval in use while ``exposed`` nodes are spot."""
+            if exposed not in tau_cache:
+                m = CheckpointRestartModel(
+                    checkpoint_seconds=request.checkpoint_seconds,
+                    restart_seconds=request.restart_seconds,
+                    failure_rate_per_hour=(
+                        request.spot_spike_probability * exposed
+                    ),
+                )
+                tau_cache[exposed] = min(
+                    m.optimal_interval_seconds(), max(compute_s, 1.0)
+                )
+            return tau_cache[exposed]
+
+        def overhead_factor(exposed: int) -> float:
+            """Young checkpoint overhead ``1 + c/tau`` while spot-exposed."""
+            if exposed <= 0 or request.checkpoint_seconds <= 0:
+                return 1.0
+            return 1.0 + request.checkpoint_seconds / tau_for(exposed)
+
+        for _round in range(self._max_rounds):
+            active = spot_nodes + ondemand_nodes
+            if active <= 0:
+                # A rigid run that lost every node never finishes.
+                return decisions, math.inf, math.inf, 0, ondemand_nodes
+            rate = (
+                hosting / math.ceil(hosting / active)
+                if hosting > active else float(active)
+            )
+            rate /= overhead_factor(spot_nodes)
+            hourly = spot_nodes * spot_hr + ondemand_nodes * od_hr
+            avail = max(0.0, interval_s - pause)
+            step_work = rate * avail
+            if step_work >= remaining:
+                used = pause + remaining / rate
+                cost += hourly * used / 3600.0
+                elapsed += used
+                remaining = 0.0
+                break
+            remaining -= step_work
+            cost += hourly * interval_s / 3600.0
+            elapsed += interval_s
+            pause = 0.0
+            if migrated:
+                continue
+            reclaimed = sampler.next_round()
+            if not reclaimed:
+                continue
+            # Work since the last checkpoint is lost whatever we do next:
+            # half the in-use interval, in expectation (Young's rework).
+            rework = 0.5 * tau_for(spot_nodes) if spot_nodes > 0 else 0.0
+            survivors = len(sampler.alive_slots)
+            options = self._score_options(
+                remaining, elapsed, hosting, survivors, ondemand_nodes, nodes
+            )
+            action = policy if policy is not None else self._choose(options)
+            decision = ElasticDecision(
+                event=len(decisions),
+                hour=elapsed / 3600.0,
+                reclaimed=tuple(int(r) for r in reclaimed),
+                survivors=survivors,
+                action=action,
+                options=options,
+            )
+            decisions.append(decision)
+            with view.span(
+                "replan", event=decision.event, action=action,
+                survivors=survivors,
+            ):
+                if action == "continue-degraded":
+                    pause = rework + request.restart_seconds
+                    spot_nodes = survivors
+                elif action == "shrink":
+                    pause = (
+                        rework + request.restart_seconds
+                        + self.repartition_seconds
+                    )
+                    spot_nodes = survivors
+                    hosting = survivors + ondemand_nodes
+                else:  # migrate-and-expand
+                    pause = (
+                        rework + request.restart_seconds
+                        + self.migration_seconds
+                    )
+                    spot_nodes = 0
+                    ondemand_nodes = nodes
+                    hosting = nodes
+                    migrated = True
+            if sink is not None:
+                sink.emit(
+                    "replan",
+                    event=decision.event,
+                    hour=round(decision.hour, 4),
+                    reclaimed=len(reclaimed),
+                    survivors=survivors,
+                    action=action,
+                    expected_dollars=round(
+                        decision.chosen.expected_dollars, 2
+                    ),
+                )
+        else:
+            raise BrokerError(
+                f"elastic run did not finish within {self._max_rounds} rounds"
+            )
+        if sink is not None:
+            sink.emit(
+                "replan_summary",
+                events=len(decisions),
+                cost_dollars=round(cost, 2),
+                wall_hours=round(elapsed / 3600.0, 4),
+            )
+            sink.flush()
+        return decisions, cost, elapsed, spot_nodes, ondemand_nodes
+
+
+def _elastic_obs(obs) -> tuple:
+    """The (span view, stream sink) pair for an elastic run."""
+    from repro.obs.core import NULL_RANK_OBS
+
+    if obs is None or not getattr(obs, "config", None) or not obs.config.enabled:
+        return NULL_RANK_OBS, None
+    sink = None
+    if obs.config.stream and obs.config.resolved_dir() is not None:
+        sink = obs.attach_stream()
+    return obs.wall_view(), sink
+
+
+def volatile_market_request(
+    num_ranks: int = 128,
+    num_iterations: int = 1000,
+    deadline_hours: float = 16.0,
+    spike_probability: float = 0.12,
+    seed: int = 7,
+) -> BrokerRequest:
+    """The elasticity acceptance scenario: a volatile spot market.
+
+    Twice the §VII.B spike rate, an assembly that fits entirely in the
+    spot pool, and a deadline loose enough that shrinking is an option
+    but tight enough that unbounded degradation is not — the regime
+    where re-planning at each reclaim beats both static answers
+    (gate-tested: elastic cost < the rigid all-spot run under the same
+    reclaim trajectory AND < failure-free on-demand, deadline met).
+    """
+    return BrokerRequest(
+        app="rd",
+        num_ranks=num_ranks,
+        num_iterations=num_iterations,
+        deadline_s=deadline_hours * 3600.0,
+        spot_spike_probability=spike_probability,
+        seed=seed,
+    )
+
+
+def render_elastic_report(report: ElasticReport) -> str:
+    """The per-reclaim decision log plus the baseline comparison."""
+    request = report.request
+    lines = [
+        f"elastic broker: {request.num_ranks} ranks of {request.app!r} x "
+        f"{request.num_iterations} iterations on {report.nodes} nodes",
+    ]
+    if request.deadline_s is not None:
+        lines[-1] += f", deadline {request.deadline_s / 3600.0:.1f} h"
+    lines.append(
+        f"market: spike probability {request.spot_spike_probability:.2f}/h"
+    )
+    lines.append("")
+    if not report.decisions:
+        lines.append("no reclaim events — the run finished undisturbed")
+    for d in report.decisions:
+        lines.append(
+            f"event {d.event} @ {d.hour:5.1f} h: {len(d.reclaimed)} "
+            f"reclaimed, {d.survivors} spot survivors -> {d.action}"
+        )
+        for o in d.options:
+            marker = "*" if o.action == d.action else " "
+            dollars = (
+                f"${o.expected_dollars:9.2f}" if o.feasible else "  infeasible"
+            )
+            flag = "" if o.meets_deadline else "  [misses deadline]"
+            lines.append(
+                f"  {marker} {o.action:18s} {dollars}  "
+                f"+{o.expected_wall_s / 3600.0:6.2f} h  "
+                f"({o.spot_nodes} spot + {o.ondemand_nodes} od){flag}"
+            )
+    lines.append("")
+    lines.append(
+        f"elastic:          ${report.cost_dollars:9.2f}  "
+        f"{report.wall_hours:6.2f} h"
+        f"{'' if report.met_deadline else '  [missed deadline]'}"
+    )
+    spot_cost = (
+        f"${report.static_all_spot_cost:9.2f}"
+        if math.isfinite(report.static_all_spot_cost)
+        else "never finishes"
+    )
+    spot_wall = (
+        f"{report.static_all_spot_wall_hours:6.2f} h"
+        if math.isfinite(report.static_all_spot_wall_hours)
+        else ""
+    )
+    lines.append(
+        f"static all-spot:  {spot_cost}  {spot_wall}  "
+        f"(rigid, same reclaim trajectory)"
+    )
+    lines.append(
+        f"static on-demand: ${report.static_on_demand_cost:9.2f}  "
+        f"{report.static_on_demand_wall_hours:6.2f} h"
+    )
+    verdict = "beats" if report.beats_baselines else "does NOT beat"
+    lines.append(f"elastic {verdict} both static baselines")
+    return "\n".join(lines)
 
 
 def render_broker_report(report: BrokerReport, top: int | None = None) -> str:

@@ -29,6 +29,7 @@ from repro.harness.config import RunConfig
 from repro.harness.experiments import (
     MIX_COLUMN,
     cost_column,
+    elasticity_report,
     porting_effort_for,
     resilience_report,
     table2_row,
@@ -113,6 +114,10 @@ def _eval_table2(key, config, _hub):
 
 def _eval_resilience(_key, config, hub):
     return resilience_report(config.resilience, hub)
+
+
+def _eval_elasticity(_key, config, hub):
+    return elasticity_report(config.seed, hub)
 
 
 # -- assemblers --------------------------------------------------------------
@@ -207,6 +212,33 @@ def _render_resilience(report) -> str:
     )
 
 
+def _render_elasticity(report) -> str:
+    row = report.table2_elastic_row()
+    data = [[
+        row["mpi"], row["nodes"], row["time_h"], row["cost"],
+        row["static_spot_cost"], row["static_ondemand_cost"],
+    ]]
+    table = ascii_table(
+        ["# mpi", "#", "time[h]", "cost[$]", "rigid spot[$]", "on-demand[$]"],
+        data,
+        fmt="{:.4f}",
+    )
+    verdict = "beats" if report.beats_baselines else "does NOT beat"
+    trajectory = "bit-identical" if report.trajectory_matches else "DIVERGED"
+    return (
+        "Table II (extended) - elastic re-brokering on a volatile market\n\n"
+        + table
+        + f"\n\nreclaim events: {report.events} "
+        + f"({', '.join(report.actions) if report.actions else 'none'})\n"
+        + f"elastic {verdict} both static baselines; deadline "
+        + f"{'met' if report.met_deadline else 'MISSED'}\n"
+        + f"malleable shrink p={report.repartition_p_old} -> "
+        + f"p={report.repartition_p_new} moved "
+        + f"{report.repartition_moved_fraction:.0%} of dofs; "
+        + f"resumed trajectory {trajectory} to the fixed-width run"
+    )
+
+
 REGISTRY: dict[str, ArtifactSpec] = {
     spec.name: spec
     for spec in (
@@ -245,6 +277,11 @@ REGISTRY: dict[str, ArtifactSpec] = {
         ArtifactSpec(
             "resilience", "Resilience - mix assembly under spot reclaims",
             _single_point, _eval_resilience, _assemble_single, _render_resilience,
+        ),
+        ArtifactSpec(
+            "elasticity",
+            "Table II (extended) - elastic re-brokering under spot reclaims",
+            _single_point, _eval_elasticity, _assemble_single, _render_elasticity,
         ),
         ArtifactSpec(
             "simsweep",

@@ -63,11 +63,15 @@ class RankFailedError(SimMPIError):
     """
 
     def __init__(self, message: str, rank: int, step: int | None = None,
-                 phase: str | None = None):
+                 phase: str | None = None, kind: str | None = None):
         super().__init__(message)
         self.rank = rank
         self.step = step
         self.phase = phase
+        # The fault kind that took the rank out ("spot_reclaim" vs
+        # "rank_kill"): reclaim-driven kills are re-plan candidates the
+        # resilient runner restarts without a backoff penalty.
+        self.kind = kind
 
 
 class LaunchError(SimMPIError):

@@ -25,6 +25,8 @@ from repro.harness.experiments import (
     experiment_fig6_rd_costs,
     experiment_fig7_ns_costs,
     experiment_resilience,
+    experiment_elasticity,
+    ElasticityReport,
     Table2Row,
 )
 
@@ -45,5 +47,7 @@ __all__ = [
     "experiment_fig6_rd_costs",
     "experiment_fig7_ns_costs",
     "experiment_resilience",
+    "experiment_elasticity",
+    "ElasticityReport",
     "Table2Row",
 ]

@@ -40,7 +40,7 @@ from repro.cloud.instances import CC2_8XLARGE
 from repro.core.characterization import characterization_matrix, platform_gaps
 from repro.costs.model import cost_per_iteration
 from repro.errors import ExperimentError
-from repro.harness.config import RunConfig, ResilienceParams
+from repro.harness.config import DEFAULT_SEED, ResilienceParams, RunConfig
 from repro.harness.results import (
     PortingEffort,
     PortingEffortReport,
@@ -489,3 +489,123 @@ def experiment_resilience(
     if checkpoint_dir is not None:
         params = replace(params, checkpoint_dir=str(checkpoint_dir))
     return resilience_report(params, hub)
+
+
+# ---------------------------------------------------------------------------
+# E — elastic re-brokering under spot reclaims
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElasticityReport:
+    """Table II's "elastic" extension row plus the malleability proof.
+
+    The first half is the volatile-market scenario of
+    :func:`repro.broker.assembly.volatile_market_request` run through
+    the :class:`~repro.broker.assembly.ElasticBroker`: realized elastic
+    cost and wall time against the two static answers a one-shot broker
+    could have given (a rigid all-spot run replayed on the same reclaim
+    trajectory, and failure-free on-demand).  The second half is the
+    mechanism that makes the elastic answers *legal*: a malleable RD run
+    shrunk mid-flight via :func:`repro.resilience.repartition_state`,
+    byte-compared against the fixed-width run it must reproduce.
+    """
+
+    num_ranks: int
+    num_iterations: int
+    nodes: int
+    events: int
+    actions: tuple[str, ...]
+    elastic_cost: float
+    elastic_wall_hours: float
+    met_deadline: bool
+    beats_baselines: bool
+    static_all_spot_cost: float
+    static_all_spot_wall_hours: float
+    static_on_demand_cost: float
+    static_on_demand_wall_hours: float
+    repartition_p_old: int
+    repartition_p_new: int
+    repartition_moved_fraction: float
+    trajectory_matches: bool
+    artifacts: tuple[str, ...] = ()
+
+    def table2_elastic_row(self) -> dict:
+        """The "elastic" row extending Table II (§VII.D)."""
+        return {
+            "assembly": "elastic",
+            "mpi": self.num_ranks,
+            "nodes": self.nodes,
+            "time_h": self.elastic_wall_hours,
+            "cost": self.elastic_cost,
+            "static_spot_cost": self.static_all_spot_cost,
+            "static_ondemand_cost": self.static_on_demand_cost,
+        }
+
+
+def elasticity_report(
+    seed: int = DEFAULT_SEED, hub: "Observability | None" = None
+) -> ElasticityReport:
+    """The elasticity artifact body (one sweep point).
+
+    Deterministic in ``seed``: the broker half replays the seeded
+    reclaim trajectory, and the malleable half is bit-deterministic by
+    construction (``docs/elasticity.md``).  The malleable proof runs the
+    RD app twice — once at a fixed width, once shrinking half way
+    through — and reports whether the solutions agree *byte for byte*.
+    """
+    from repro.apps.reaction_diffusion import RDProblem
+    from repro.broker.assembly import ElasticBroker, volatile_market_request
+    from repro.resilience import run_malleable
+
+    view = _obs_view(hub)
+    with view.span("elasticity", seed=seed):
+        request = volatile_market_request(seed=seed)
+        report = ElasticBroker(request, obs=hub).run()
+
+        problem = RDProblem(mesh_shape=(4, 4, 4), num_steps=6)
+        with tempfile.TemporaryDirectory() as scratch:
+            with view.span("malleable_fixed", width=2):
+                fixed = run_malleable(problem, [(2, 6)], scratch + "/fixed")
+            with view.span("malleable_shrink", p_old=4, p_new=2):
+                shrunk = run_malleable(
+                    problem, [(4, 3), (2, 3)], scratch + "/shrink"
+                )
+        repartition = shrunk.repartitions[0]
+        matches = (
+            fixed.solution.tobytes() == shrunk.solution.tobytes()
+            and fixed.t == shrunk.t
+        )
+
+    return ElasticityReport(
+        num_ranks=request.num_ranks,
+        num_iterations=request.num_iterations,
+        nodes=report.nodes,
+        events=len(report.decisions),
+        actions=tuple(d.action for d in report.decisions),
+        elastic_cost=report.cost_dollars,
+        elastic_wall_hours=report.wall_hours,
+        met_deadline=report.met_deadline,
+        beats_baselines=report.beats_baselines,
+        static_all_spot_cost=report.static_all_spot_cost,
+        static_all_spot_wall_hours=report.static_all_spot_wall_hours,
+        static_on_demand_cost=report.static_on_demand_cost,
+        static_on_demand_wall_hours=report.static_on_demand_wall_hours,
+        repartition_p_old=repartition.p_old,
+        repartition_p_new=repartition.p_new,
+        repartition_moved_fraction=repartition.moved_fraction,
+        trajectory_matches=matches,
+        artifacts=_export_artifacts(hub, "elasticity"),
+    )
+
+
+def experiment_elasticity(
+    config: RunConfig | None = None, *, hub: "Observability | None" = None
+) -> ElasticityReport:
+    """Elastic re-brokering on a volatile market (Table II, elastic row).
+
+    Deterministic in ``config.seed`` alone, so the sweep cache token
+    needs no new fields.
+    """
+    config, hub = _prepare(config, hub)
+    return elasticity_report(config.seed, hub)

@@ -61,15 +61,31 @@ class ExchangePlan:
 
 
 class DistVector:
-    """A distributed vector: owned block plus ghost buffer."""
+    """A distributed vector: owned block plus ghost buffer.
 
-    def __init__(self, comm: Communicator, owned_values: np.ndarray, num_ghosts: int = 0):
+    When built against a globally-numbered :class:`DistMatrix` (the
+    malleable-run path, ``docs/elasticity.md``) the vector also carries
+    its owned *global* indices and a ``deterministic`` flag: dot
+    products then reassemble the full element-wise product vector on
+    every rank and reduce it in global index order, making the scalar
+    bit-identical at any rank count (including ``p = 1``).
+    """
+
+    def __init__(self, comm: Communicator, owned_values: np.ndarray, num_ghosts: int = 0,
+                 owned_indices: np.ndarray | None = None, deterministic: bool = False):
         self.comm = comm
         self.owned = np.asarray(owned_values, dtype=float).copy()
         self.ghosts = np.zeros(num_ghosts)
+        self.owned_indices = (
+            None if owned_indices is None
+            else np.asarray(owned_indices, dtype=np.int64)
+        )
+        self.deterministic = bool(deterministic and self.owned_indices is not None)
 
     def copy(self) -> "DistVector":
-        out = DistVector(self.comm, self.owned, self.ghosts.shape[0])
+        out = DistVector(self.comm, self.owned, self.ghosts.shape[0],
+                         owned_indices=self.owned_indices,
+                         deterministic=self.deterministic)
         out.ghosts[:] = self.ghosts
         return out
 
@@ -79,7 +95,11 @@ class DistVector:
         The reduction goes through the adaptive collective layer
         (``algorithm="auto"``); at these scalar payloads the selector
         resolves to recursive doubling on every modeled platform.
+        In deterministic mode the reduction order is the global index
+        order instead (rank-count independent bit pattern).
         """
+        if self.deterministic:
+            return float(self._deterministic_dots([(self, other)])[0])
         local = float(self.owned @ other.owned)
         return float(self.comm.allreduce(local, op=SUM, site="la.dot"))
 
@@ -90,10 +110,34 @@ class DistVector:
         through this: the local partial dots ride together in a single
         small array, so latency is paid once instead of once per dot.
         """
+        if self.deterministic:
+            return self._deterministic_dots(pairs)
         local = np.array([float(a.owned @ b.owned) for a, b in pairs])
         return np.asarray(
             self.comm.allreduce(local, op=SUM, site="la.dot_many"), dtype=float
         )
+
+    def _deterministic_dots(
+        self, pairs: list[tuple["DistVector", "DistVector"]]
+    ) -> np.ndarray:
+        """Rank-count-invariant dots: allgather element-wise products and
+        reduce them in global index order.
+
+        Every rank ships its owned product block (not the partial sum),
+        scatters the pieces into one global array, and sums that — so
+        the floating-point reduction tree is a function of the *global*
+        vector alone, never of how it is split over ranks.  This is what
+        pins the bit-consistent repartitioned-resume guarantee of the
+        malleable layer; it trades one scalar per dot for ``n`` doubles
+        of traffic, which the elasticity experiments accept knowingly.
+        """
+        local = np.stack([a.owned * b.owned for a, b in pairs])
+        pieces = self.comm.allgather((self.owned_indices, local))
+        total = sum(int(idx.size) for idx, _ in pieces)
+        out = np.empty((len(pairs), total))
+        for idx, vals in pieces:
+            out[:, idx] = vals
+        return np.sum(out, axis=1)
 
     def norm(self) -> float:
         """Global 2-norm."""
@@ -126,6 +170,9 @@ class DistMatrix:
         data_map: np.ndarray | None = None,
         global_shape: tuple[int, int] | None = None,
         global_nnz: int | None = None,
+        numbering: str = "owned-first",
+        full_order: np.ndarray | None = None,
+        owned_col_positions: np.ndarray | None = None,
     ):
         self.comm = comm
         self.local_rows = local_rows
@@ -138,6 +185,15 @@ class DistMatrix:
         self._data_map = data_map
         self._global_shape = global_shape
         self._global_nnz = global_nnz
+        self.numbering = numbering
+        # Under global column numbering, the permutation taking the
+        # storage-ordered [owned | ghosts] concatenation to ascending
+        # global index order (None under owned-first numbering).
+        self._full_order = full_order
+        self._owned_col_positions = (
+            owned_col_positions if owned_col_positions is not None
+            else np.arange(owned_indices.size, dtype=np.int64)
+        )
 
     @classmethod
     def from_global(
@@ -145,12 +201,24 @@ class DistMatrix:
         comm: Communicator,
         global_matrix: sp.csr_matrix,
         ownership: list[np.ndarray] | None = None,
+        numbering: str = "owned-first",
     ) -> "DistMatrix":
         """Distribute ``global_matrix`` by rows over the communicator.
 
         ``ownership`` is one index array per rank (defaults to contiguous
         balanced ranges).  Collective: all ranks must call with identical
         arguments.
+
+        ``numbering`` picks the local column numbering.  The default
+        ``"owned-first"`` packs owned columns before ghosts (the classic
+        Epetra layout).  ``"global"`` renumbers local columns
+        monotonically in ascending *global* index order instead, so each
+        local CSR row accumulates its matvec contribution in exactly the
+        order the undistributed row would — the per-row result is then
+        bit-identical at every rank count.  Vectors extracted from a
+        globally-numbered matrix carry the deterministic-dot flag (see
+        :class:`DistVector`), which together makes whole Krylov
+        trajectories rank-count invariant.
         """
         n = global_matrix.shape[0]
         if global_matrix.shape != (n, n):
@@ -172,6 +240,10 @@ class DistMatrix:
         if count != n:
             raise SolverError("ownership arrays must cover every dof exactly once")
 
+        if numbering not in ("owned-first", "global"):
+            raise SolverError(
+                f"numbering must be 'owned-first' or 'global', got {numbering!r}"
+            )
         gcsr = global_matrix.tocsr()
         if not gcsr.has_sorted_indices:
             gcsr = gcsr.copy()
@@ -182,10 +254,19 @@ class DistMatrix:
         ghost_mask = owner_of[referenced] != comm.rank
         ghosts = referenced[ghost_mask]
 
-        # Renumber columns: owned dofs -> [0, n_owned), ghosts -> following.
         col_map = np.full(n, -1, dtype=np.int64)
-        col_map[owned] = np.arange(owned.size)
-        col_map[ghosts] = owned.size + np.arange(ghosts.size)
+        full_order = None
+        if numbering == "global":
+            # Monotone renumbering: local columns in ascending global
+            # index order, so CSR row accumulation order matches the
+            # undistributed matrix bit for bit.
+            merged = np.concatenate([owned, ghosts])
+            full_order = np.argsort(merged)
+            col_map[merged[full_order]] = np.arange(merged.size)
+        else:
+            # Owned dofs -> [0, n_owned), ghosts -> following.
+            col_map[owned] = np.arange(owned.size)
+            col_map[ghosts] = owned.size + np.arange(ghosts.size)
         local = rows.tocoo()
         local_shape = (owned.size, owned.size + ghosts.size)
         local_cols = col_map[local.col]
@@ -240,6 +321,9 @@ class DistMatrix:
             data_map=data_map,
             global_shape=gcsr.shape,
             global_nnz=gcsr.nnz,
+            numbering=numbering,
+            full_order=full_order,
+            owned_col_positions=col_map[owned],
         )
 
     def update_values(self, global_matrix: sp.csr_matrix) -> "DistMatrix":
@@ -273,9 +357,17 @@ class DistMatrix:
     # -- vectors -----------------------------------------------------------
 
     def vector_from_global(self, global_values: np.ndarray) -> DistVector:
-        """Extract this rank's DistVector from a global vector."""
+        """Extract this rank's DistVector from a global vector.
+
+        Vectors from a globally-numbered matrix carry the
+        deterministic-dot flag so every reduction taken on them is
+        rank-count invariant.
+        """
+        deterministic = self.numbering == "global"
         v = DistVector(self.comm, np.asarray(global_values)[self.owned_indices],
-                       self.ghost_indices.size)
+                       self.ghost_indices.size,
+                       owned_indices=self.owned_indices if deterministic else None,
+                       deterministic=deterministic)
         return v
 
     def gather_global(self, vector: DistVector, root: int = 0) -> np.ndarray | None:
@@ -325,21 +417,25 @@ class DistMatrix:
         """y = A x with a ghost update first."""
         self.update_ghosts(vector)
         full = np.concatenate([vector.owned, vector.ghosts])
+        if self._full_order is not None:
+            full = full[self._full_order]
         result = self.local_rows @ full
-        return DistVector(self.comm, result, self.ghost_indices.size)
+        return DistVector(self.comm, result, self.ghost_indices.size,
+                          owned_indices=vector.owned_indices,
+                          deterministic=vector.deterministic)
 
     def diagonal(self) -> np.ndarray:
         """Owned diagonal entries (for Jacobi preconditioning)."""
-        # Column j of owned dof i is i's own renumbered position i.
+        # Column of owned dof i is its renumbered position (identity
+        # under owned-first numbering, global rank under "global").
         return np.asarray(
             self.local_rows[np.arange(self.owned_indices.size),
-                            np.arange(self.owned_indices.size)]
+                            self._owned_col_positions]
         ).ravel()
 
     def local_diagonal_block(self) -> sp.csr_matrix:
         """The owned-by-owned block (for block-Jacobi / additive Schwarz)."""
-        k = self.owned_indices.size
-        return self.local_rows[:, :k].tocsr()
+        return self.local_rows[:, self._owned_col_positions].tocsr()
 
 
 class DistJacobiPreconditioner:
@@ -360,7 +456,9 @@ class DistJacobiPreconditioner:
 
     def apply(self, vector: DistVector) -> DistVector:
         _obs_current().count("precond_applies_total", kind="jacobi")
-        return DistVector(self._comm, self._inv * vector.owned, self._num_ghosts)
+        return DistVector(self._comm, self._inv * vector.owned, self._num_ghosts,
+                          owned_indices=vector.owned_indices,
+                          deterministic=vector.deterministic)
 
 
 class DistBlockJacobiPreconditioner:

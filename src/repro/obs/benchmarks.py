@@ -24,7 +24,11 @@ configurations and compare.  Three measurements:
 * :func:`measure_service` — the broker-as-a-service layer under 64
   concurrent HTTP clients: request coalescing onto one computation,
   bit-identical results to every tenant, admission latency, jobs/sec,
-  and a typed quota denial.
+  and a typed quota denial;
+* :func:`measure_elasticity` — the malleable shrink/expand layer:
+  repartition latency per target width, byte-identical trajectories
+  across the width change, and the elastic broker's realized cost
+  against both static baselines on the volatile-market scenario.
 """
 
 from __future__ import annotations
@@ -807,6 +811,106 @@ def measure_service(num_clients=64, hold_timeout_s=60.0):
     }
 
 
+def measure_elasticity(
+    mesh_shape=(4, 4, 4),
+    num_steps=6,
+    p_old=4,
+    rank_counts=(1, 2, 3, 8),
+    seed=7,
+):
+    """Malleable repartition latency vs width plus the elastic cost edge.
+
+    Three deterministic claims of ``docs/elasticity.md``, measured:
+
+    * **repartition** — a v2 checkpoint written at ``p_old`` mid-run is
+      re-decomposed at every width in ``rank_counts`` (shrink to 1,
+      non-power-of-two, expand past ``p_old``), timing
+      :func:`~repro.resilience.repartition_state` and recording the
+      redistribution volume (moved-DOF fraction, edge cut, balance);
+    * **trajectory** — the shrink run's final solution must be
+      *byte-identical* to the fixed-width run's (the deterministic
+      numerics gate that makes re-brokering legal);
+    * **cost** — the volatile-market scenario through the
+      :class:`~repro.broker.assembly.ElasticBroker`: realized elastic
+      dollars against the rigid all-spot replay and the failure-free
+      on-demand baseline (both ratios must stay under 1).
+    """
+    import tempfile
+
+    from repro.apps.reaction_diffusion import RDProblem
+    from repro.broker.assembly import ElasticBroker, volatile_market_request
+    from repro.resilience import run_malleable
+    from repro.resilience.malleable import MALLEABLE_CHECKPOINT, repartition_state
+
+    problem = RDProblem(mesh_shape=mesh_shape, num_steps=num_steps)
+    half = num_steps // 2
+    repartition = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        start = time.perf_counter()
+        fixed = run_malleable(problem, [(2, num_steps)], scratch + "/fixed")
+        fixed_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        shrunk = run_malleable(
+            problem, [(p_old, half), (2, num_steps - half)], scratch + "/shrink"
+        )
+        shrink_wall = time.perf_counter() - start
+        trajectory_match = (
+            fixed.solution.tobytes() == shrunk.solution.tobytes()
+            and fixed.t == shrunk.t
+        )
+
+        # The shrink run left its mid-run checkpoint (written at p_old)
+        # behind; repartition it at every requested width.
+        checkpoint = Path(scratch) / "shrink" / MALLEABLE_CHECKPOINT
+        for p_new in rank_counts:
+            start = time.perf_counter()
+            _states, _t, _step, _own, report = repartition_state(
+                checkpoint, problem, p_new
+            )
+            repartition[str(p_new)] = {
+                "seconds": time.perf_counter() - start,
+                "moved_fraction": report.moved_fraction,
+                "edge_cut": report.edge_cut,
+                "load_imbalance": report.load_imbalance,
+            }
+
+    broker = ElasticBroker(volatile_market_request(seed=seed)).run()
+    return {
+        "mesh_shape": list(mesh_shape),
+        "num_steps": num_steps,
+        "p_old": p_old,
+        "rank_counts": list(rank_counts),
+        "seed": seed,
+        "trajectory_match": trajectory_match,
+        "fixed_wall_seconds": fixed_wall,
+        "shrink_wall_seconds": shrink_wall,
+        "repartition": repartition,
+        "repartition_seconds_max": max(
+            entry["seconds"] for entry in repartition.values()
+        ),
+        "scenario": {
+            "num_ranks": broker.request.num_ranks,
+            "num_iterations": broker.request.num_iterations,
+            "nodes": broker.nodes,
+            "events": len(broker.decisions),
+            "actions": [d.action for d in broker.decisions],
+            "elastic_cost": broker.cost_dollars,
+            "elastic_wall_hours": broker.wall_hours,
+            "met_deadline": broker.met_deadline,
+            "beats_baselines": broker.beats_baselines,
+            "static_all_spot_cost": broker.static_all_spot_cost,
+            "static_on_demand_cost": broker.static_on_demand_cost,
+        },
+        "elastic_vs_rigid_spot_ratio": (
+            broker.cost_dollars / broker.static_all_spot_cost
+        ),
+        "elastic_vs_ondemand_ratio": (
+            broker.cost_dollars / broker.static_on_demand_cost
+        ),
+    }
+
+
 def collect_kernel_metrics(smoke=False):
     """The BENCH_kernels.json payload."""
     if smoke:
@@ -823,6 +927,7 @@ def collect_kernel_metrics(smoke=False):
         replay = measure_replay(mesh_shape=(4, 4, 8), num_steps=2)
         obs_overhead = measure_obs_overhead(num_ranks=128, steps=2)
         service = measure_service(num_clients=16)
+        elasticity = measure_elasticity(num_steps=4, rank_counts=(1, 2, 3))
     else:
         rd = measure_rd_step_paths()
         dist = measure_dist_cg_rounds()
@@ -832,6 +937,7 @@ def collect_kernel_metrics(smoke=False):
         replay = measure_replay()
         obs_overhead = measure_obs_overhead()
         service = measure_service()
+        elasticity = measure_elasticity()
     return {
         "benchmark": "kernels",
         "smoke": smoke,
@@ -843,6 +949,7 @@ def collect_kernel_metrics(smoke=False):
         "replay": replay,
         "obs_overhead": obs_overhead,
         "service": service,
+        "elasticity": elasticity,
         "targets": {
             "rd_step_speedup_min": 3.0,
             "dist_cg_rounds_ratio_min": 1.5,
@@ -871,6 +978,12 @@ def collect_kernel_metrics(smoke=False):
             # dedup rate floor is well under the deterministic
             # (n-1)/n but far above "coalescing quietly broke".
             "service_dedup_rate_min": 0.9,
+            # Elastic re-brokering must stay strictly cheaper than both
+            # static answers in the volatile-market scenario, and the
+            # checkpoint -> repartition -> resume hop must stay cheap
+            # (wall budget is generous: one-core CI runners).
+            "elasticity_cost_ratio_max": 1.0,
+            "elasticity_repartition_seconds_max": 2.0,
         },
     }
 

@@ -51,6 +51,7 @@ from repro.obs.benchmarks import (
     REPO_ROOT,
     measure_collectives,
     measure_dist_cg_rounds,
+    measure_elasticity,
     measure_engine_throughput,
     measure_obs_overhead,
     measure_rd_phases,
@@ -223,6 +224,17 @@ def _measure_obs_overhead(baseline):
 
 def _measure_service(baseline):
     return measure_service(num_clients=baseline["service"]["num_clients"])
+
+
+def _measure_elasticity(baseline):
+    cfg = baseline["elasticity"]
+    return measure_elasticity(
+        mesh_shape=tuple(cfg["mesh_shape"]),
+        num_steps=cfg["num_steps"],
+        p_old=cfg["p_old"],
+        rank_counts=tuple(cfg["rank_counts"]),
+        seed=cfg["seed"],
+    )
 
 
 # -- per-section checks ------------------------------------------------------
@@ -520,6 +532,50 @@ def _checks_service(baseline, fresh, targets, time_tolerance, count_tolerance):
     ]
 
 
+def _checks_elasticity(baseline, fresh, targets, time_tolerance, count_tolerance):
+    base_el, fresh_el = baseline["elasticity"], fresh["elasticity"]
+    return [
+        _bool_check(
+            "elasticity.trajectory_match",
+            fresh_el["trajectory_match"],
+            "shrink-mid-run solution is byte-identical to the fixed-width run",
+        ),
+        _bool_check(
+            "elasticity.scenario.met_deadline",
+            fresh_el["scenario"]["met_deadline"],
+            "the elastic plan finishes inside the volatile-market deadline",
+        ),
+        _bool_check(
+            "elasticity.scenario.beats_baselines",
+            fresh_el["scenario"]["beats_baselines"],
+            "elastic cost undercuts both static answers (Table II, elastic row)",
+        ),
+        _bool_check(
+            "elasticity.scenario.decisions_reproduce",
+            fresh_el["scenario"]["actions"] == base_el["scenario"]["actions"],
+            "per-reclaim decisions are deterministic in the seed",
+        ),
+        _upper(
+            "elasticity.elastic_vs_rigid_spot_ratio",
+            fresh_el["elastic_vs_rigid_spot_ratio"],
+            targets["elasticity_cost_ratio_max"],
+            "elastic dollars / rigid all-spot dollars on the same reclaims",
+        ),
+        _upper(
+            "elasticity.elastic_vs_ondemand_ratio",
+            fresh_el["elastic_vs_ondemand_ratio"],
+            targets["elasticity_cost_ratio_max"],
+            "elastic dollars / failure-free on-demand dollars",
+        ),
+        _upper(
+            "elasticity.repartition_seconds_max",
+            fresh_el["repartition_seconds_max"],
+            targets["elasticity_repartition_seconds_max"],
+            "checkpoint -> repartition hop, worst width (wall budget)",
+        ),
+    ]
+
+
 #: Section registry: measurement + checks per baseline section, in
 #: report order.  ``--only SECTION`` selects rows of this table.
 SECTION_TABLE = {
@@ -531,6 +587,7 @@ SECTION_TABLE = {
     "replay": (_measure_replay, _checks_replay),
     "obs_overhead": (_measure_obs_overhead, _checks_obs_overhead),
     "service": (_measure_service, _checks_service),
+    "elasticity": (_measure_elasticity, _checks_elasticity),
 }
 SECTIONS = tuple(SECTION_TABLE)
 
@@ -604,6 +661,13 @@ def extract_trajectory_metrics(baseline) -> dict:
     en = baseline["engine_throughput"]
     top = max(en["points"], key=lambda pt: pt["num_ranks"])
     metrics = {}
+    if "elasticity" in baseline:
+        # Deterministic dollars of the volatile-market scenario; lower
+        # ratio = bigger elastic edge over the rigid all-spot plan.
+        metrics["elasticity.elastic_vs_rigid_spot_ratio"] = {
+            "value": float(baseline["elasticity"]["elastic_vs_rigid_spot_ratio"]),
+            "direction": "lower",
+        }
     if "service" in baseline:
         # Wall-clock throughput of the service layer; noisy, so history
         # entries carry their own loose per-metric tolerance.

@@ -129,6 +129,79 @@ def spot_run_cost(
     return hourly_price * wall / 3600.0
 
 
+def expected_cost_to_go(
+    remaining_work_node_seconds: float,
+    progress_rate_nodes: float,
+    spot_nodes: int,
+    ondemand_nodes: int,
+    spot_node_hourly: float,
+    ondemand_node_hourly: float,
+    spike_probability_per_hour: float,
+    checkpoint_seconds: float,
+    restart_seconds: float,
+    switch_seconds: float = 0.0,
+) -> dict:
+    """Expected wall seconds and dollars to *finish* under one option.
+
+    The elastic broker's per-reclaim re-plan (``docs/elasticity.md``)
+    scores each candidate action — continue degraded, shrink, migrate
+    and expand — by what it is expected to cost from here to the end:
+
+    * ``remaining_work_node_seconds`` of useful work drains at
+      ``progress_rate_nodes`` node-equivalents per wall second (the
+      option's width, discounted for oversubscription imbalance);
+    * while ``spot_nodes`` remain exposed, the wall inflates by Young's
+      checkpoint overhead and expected rework terms at the optimal
+      interval ``tau* = sqrt(2c/lambda)`` (``lambda`` = per-node spike
+      rate x exposed nodes);
+    * ``switch_seconds`` is the option's one-off transition stall
+      (restart, repartition, or migration), during which the target
+      assembly is already billed.
+
+    Returns ``{"wall_seconds", "dollars", "tau_seconds", "feasible"}``;
+    an option whose failure rate consumes all forward progress (the
+    Young validity bound) comes back ``feasible=False`` with infinite
+    cost rather than raising, so the broker can simply rank it last.
+    """
+    if remaining_work_node_seconds < 0:
+        raise CostModelError("remaining work must be >= 0")
+    if progress_rate_nodes <= 0:
+        return {
+            "wall_seconds": math.inf,
+            "dollars": math.inf,
+            "tau_seconds": None,
+            "feasible": False,
+        }
+    base_wall = remaining_work_node_seconds / progress_rate_nodes
+    tau: float | None = None
+    wall = base_wall
+    failure_rate_per_hour = spike_probability_per_hour * spot_nodes
+    if spot_nodes > 0 and failure_rate_per_hour > 0 and checkpoint_seconds > 0:
+        model = CheckpointRestartModel(
+            checkpoint_seconds=checkpoint_seconds,
+            restart_seconds=restart_seconds,
+            failure_rate_per_hour=failure_rate_per_hour,
+        )
+        tau = min(model.optimal_interval_seconds(), max(base_wall, 1.0))
+        try:
+            wall = model.expected_wall_seconds(max(base_wall, 1e-9), tau)
+        except CostModelError:
+            return {
+                "wall_seconds": math.inf,
+                "dollars": math.inf,
+                "tau_seconds": tau,
+                "feasible": False,
+            }
+    wall += switch_seconds
+    hourly = spot_nodes * spot_node_hourly + ondemand_nodes * ondemand_node_hourly
+    return {
+        "wall_seconds": wall,
+        "dollars": hourly * wall / 3600.0,
+        "tau_seconds": tau,
+        "feasible": True,
+    }
+
+
 def spot_break_even_discount(
     base_seconds: float,
     interval_seconds: float,

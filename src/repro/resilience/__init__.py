@@ -14,6 +14,13 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
 )
+from repro.resilience.malleable import (
+    MalleableRunResult,
+    RepartitionReport,
+    decompose,
+    repartition_state,
+    run_malleable,
+)
 from repro.resilience.runner import (
     ResilientRunner,
     ResilientRunResult,
@@ -27,8 +34,13 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "MalleableRunResult",
+    "RepartitionReport",
     "ResilientRunner",
     "ResilientRunResult",
     "RestartStats",
     "StepRecord",
+    "decompose",
+    "repartition_state",
+    "run_malleable",
 ]

@@ -163,7 +163,7 @@ class FaultInjector:
         self.plan = plan or FaultPlan()
         self._armed = [_ArmedEvent(e) for e in self.plan.events]
         self._lock = threading.Lock()
-        self._dead: set[int] = set()
+        self._dead: dict[int, str] = {}  # world rank -> fault kind
         self._op_counts: dict[int, int] = {}
         self._phase_counts: dict[tuple[int, str], int] = {}
         self._activated_steps: set[int] = set()
@@ -188,7 +188,7 @@ class FaultInjector:
 
     def _kill(self, rank: int, armed: _ArmedEvent, phase: str | None = None):
         armed.fired = True
-        self._dead.add(rank)
+        self._dead[rank] = armed.event.kind
         self.kills += 1
         return RankFailedError(
             f"rank {rank} killed by injected {armed.event.kind} "
@@ -196,6 +196,7 @@ class FaultInjector:
             rank=rank,
             step=self._current_step,
             phase=phase,
+            kind=armed.event.kind,
         )
 
     def _raise_if_dead(self, rank: int, phase: str | None = None) -> None:
@@ -203,6 +204,7 @@ class FaultInjector:
             raise RankFailedError(
                 f"rank {rank} is dead (reclaimed instance)",
                 rank=rank, step=self._current_step, phase=phase,
+                kind=self._dead[rank],
             )
 
     # -- hooks called from the runtime and the resilient runner --------------
@@ -248,7 +250,7 @@ class FaultInjector:
                             and oe.at_step == e.at_step
                         ):
                             other.fired = True
-                            self._dead.add(oe.rank)
+                            self._dead[oe.rank] = oe.kind
                             self.kills += 1
                     raise self._kill(world_rank, armed)
             self._raise_if_dead(world_rank)

@@ -98,6 +98,7 @@ class RestartStats:
 
     attempts: int = 0
     restarts: int = 0
+    reclaim_restarts: int = 0  # reclaim-driven restarts (no backoff penalty)
     completed_steps: int = 0
     executed_steps: int = 0  # step-executions, including redone ones
     checkpoints_written: int = 0
@@ -250,10 +251,21 @@ class ResilientRunner:
                         failed_ranks=list(stats.failed_ranks),
                     ) from exc
                 stats.restarts += 1
-                backoff = min(
-                    self.backoff_base_s * 2.0 ** (stats.restarts - 1),
-                    self.backoff_cap_s,
-                )
+                if exc.kind == "spot_reclaim":
+                    # A reclaim is a market event, not a software fault:
+                    # the replacement capacity is provisioned immediately
+                    # (and the elastic broker treats the event as a
+                    # re-plan candidate, docs/elasticity.md), so no
+                    # backoff penalty accrues and the fault-driven
+                    # exponential schedule is left untouched.
+                    stats.reclaim_restarts += 1
+                    backoff = 0.0
+                else:
+                    fault_restarts = stats.restarts - stats.reclaim_restarts
+                    backoff = min(
+                        self.backoff_base_s * 2.0 ** (fault_restarts - 1),
+                        self.backoff_cap_s,
+                    )
                 stats.backoff_seconds.append(backoff)
                 if metrics is not None:
                     metrics.counter("resilience_restarts_total").inc()

@@ -17,7 +17,7 @@ class TestRegistry:
     def test_covers_every_paper_artifact(self):
         assert artifact_names() == (
             "table1", "porting", "fig4", "fig5", "table2", "fig6", "fig7",
-            "resilience", "simsweep",
+            "resilience", "elasticity", "simsweep",
         )
 
     def test_all_alias_expands_and_dedups(self):

@@ -172,6 +172,22 @@ BASELINE = {
         },
         "queue_stats": {"queue_depth": 0, "inflight": 0},
     },
+    "elasticity": {
+        "mesh_shape": [4, 4, 4],
+        "num_steps": 6,
+        "p_old": 4,
+        "rank_counts": [1, 2, 3, 8],
+        "seed": 7,
+        "trajectory_match": True,
+        "repartition_seconds_max": 0.003,
+        "scenario": {
+            "met_deadline": True,
+            "beats_baselines": True,
+            "actions": ["shrink", "shrink", "shrink", "shrink"],
+        },
+        "elastic_vs_rigid_spot_ratio": 0.80,
+        "elastic_vs_ondemand_ratio": 0.25,
+    },
     "targets": {
         "rd_step_speedup_min": 3.0,
         "dist_cg_rounds_ratio_min": 1.5,
@@ -185,6 +201,8 @@ BASELINE = {
         "replay_speedup_min": 10.0,
         "obs_overhead_ratio_max": 6.0,
         "service_dedup_rate_min": 0.9,
+        "elasticity_cost_ratio_max": 1.0,
+        "elasticity_repartition_seconds_max": 2.0,
     },
 }
 

@@ -79,6 +79,32 @@ class TestRecovery:
         out = runner.run()
         assert out.stats.backoff_seconds == [1.0, 2.0, 4.0, 4.0]
 
+    def test_spot_reclaims_skip_backoff(self, tmp_path):
+        """Reclaims restart immediately; only genuine faults back off.
+
+        A reclaim is the *market* taking a healthy instance away — a
+        re-plan trigger, not a crash loop — so it must not inflate the
+        exponential backoff schedule that guards against genuinely
+        faulty software or hosts.
+        """
+        plan = FaultPlan([
+            FaultEvent(kind="spot_reclaim", rank=0, at_step=1),
+            FaultEvent(kind="rank_kill", rank=1, at_step=2),
+            FaultEvent(kind="spot_reclaim", rank=0, at_step=3),
+            FaultEvent(kind="rank_kill", rank=1, at_step=4),
+        ])
+        runner = ResilientRunner(
+            PROBLEM, num_ranks=2, plan=plan, checkpoint_dir=tmp_path,
+            max_retries=6, backoff_base_s=1.0, backoff_cap_s=4.0,
+        )
+        out = runner.run()
+        assert out.stats.restarts == 4
+        assert out.stats.reclaim_restarts == 2
+        # Zero backoff for the two reclaims; the exponential schedule
+        # advances over the two genuine faults alone (1.0 then 2.0).
+        assert out.stats.backoff_seconds == [0.0, 1.0, 0.0, 2.0]
+        assert out.nodal_error < 1e-9
+
     def test_simultaneous_kills_cost_one_restart(self, tmp_path):
         plan = FaultPlan([
             FaultEvent(kind="spot_reclaim", rank=0, at_step=2),

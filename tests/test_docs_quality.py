@@ -77,3 +77,23 @@ class TestMarkdownLinks:
         assert check_docs.main(["--min-coverage", "100"]) == 1
         out = capsys.readouterr().out
         assert "docstring coverage" in out
+
+
+class TestDocsIndex:
+    def test_repo_docs_are_all_indexed(self):
+        assert check_docs.unindexed_docs() == []
+
+    def test_unlinked_page_detected(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "README.md").write_text("| [a](a.md) | indexed |\n")
+        (docs / "a.md").write_text("indexed\n")
+        (docs / "orphan.md").write_text("nobody links here\n")
+        assert check_docs.unindexed_docs(tmp_path) == ["orphan.md"]
+
+    def test_missing_index_indicts_every_page(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text("x\n")
+        (docs / "b.md").write_text("y\n")
+        assert check_docs.unindexed_docs(tmp_path) == ["a.md", "b.md"]

@@ -13,7 +13,9 @@ Two checks, no third-party dependencies (the CI image has no
 * **markdown links** in ``README.md`` and ``docs/*.md``: every
   relative ``[text](target)`` must resolve to an existing file
   (anchors are stripped; ``http(s)``/``mailto`` targets are skipped —
-  this repo is designed to work offline).
+  this repo is designed to work offline), and every page under
+  ``docs/`` must be reachable from the ``docs/README.md`` index table
+  — a page nobody links to is a page nobody finds.
 
 Run from the repo root (or anywhere — paths are derived from this
 file's location)::
@@ -143,6 +145,31 @@ def broken_links(repo_root: Path = REPO_ROOT):
     return broken
 
 
+def unindexed_docs(repo_root: Path = REPO_ROOT):
+    """Pages under ``docs/`` that ``docs/README.md`` does not link to.
+
+    The index is the discovery surface — every subsystem page must
+    appear in it.  A missing index file indicts every page.
+    """
+    docs_dir = repo_root / "docs"
+    if not docs_dir.is_dir():
+        return []
+    pages = sorted(
+        p.name for p in docs_dir.glob("*.md") if p.name != "README.md"
+    )
+    index = docs_dir / "README.md"
+    if not index.exists():
+        return pages
+    indexed = {
+        (index.parent / target).resolve()
+        for target in extract_links(index.read_text())
+    }
+    return [
+        name for name in pages
+        if (docs_dir / name).resolve() not in indexed
+    ]
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -178,6 +205,14 @@ def main(argv=None) -> int:
         failed = True
         for page, target in broken:
             print(f"FAIL: {page} -> {target} (missing file)")
+
+    unindexed = unindexed_docs()
+    if unindexed:
+        failed = True
+        for name in unindexed:
+            print(f"FAIL: docs/{name} is not linked from docs/README.md")
+    else:
+        print("docs index: every docs/*.md page reachable from docs/README.md")
     return 1 if failed else 0
 
 
